@@ -1,0 +1,93 @@
+// Command pba-bench regenerates the reproduction's experiment tables
+// (E1–E17; see DESIGN.md for the experiment index). By default every
+// experiment runs at full scale and tables print to stdout; -quick shrinks
+// the sweeps for a fast smoke run.
+//
+// Usage:
+//
+//	pba-bench                 # run everything (E1..E17)
+//	pba-bench -e E9           # one experiment
+//	pba-bench -quick -seeds 3 # fast pass
+//	pba-bench -csv -out dir   # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("e", "all", "experiment ID (E1..E17) or 'all'")
+		seeds    = flag.Int("seeds", 10, "independent runs per configuration")
+		n        = flag.Int("n", 1024, "default bin count for single-n sweeps")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		csv      = flag.Bool("csv", false, "also write CSV files")
+		outDir   = flag.String("out", ".", "directory for CSV output")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		baseSeed = flag.Uint64("seed", 0, "base seed offset")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seeds:    *seeds,
+		N:        *n,
+		Quick:    *quick,
+		Workers:  *workers,
+		BaseSeed: *baseSeed,
+	}
+
+	var list []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		list = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pba-bench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			list = append(list, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range list {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pba-bench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tbl.AddNote("elapsed: %s", time.Since(start).Round(time.Millisecond))
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pba-bench: render %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *csv {
+			path := filepath.Join(*outDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pba-bench: %v\n", err)
+				failed++
+				continue
+			}
+			if err := tbl.RenderCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pba-bench: csv %s: %v\n", e.ID, err)
+				failed++
+			}
+			f.Close()
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

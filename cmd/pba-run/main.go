@@ -1,0 +1,123 @@
+// Command pba-run executes one allocation algorithm on one instance and
+// prints the outcome: load statistics, rounds, and message counts.
+//
+// Usage:
+//
+//	pba-run -alg aheavy -m 1000000 -n 1000
+//	pba-run -alg asym -m 65536 -n 256 -seed 7
+//	pba-run -alg greedy -d 2 -m 100000 -n 100
+//	pba-run -alg aheavy -m 1e7 -n 1e4 -trace
+//
+// Algorithms: aheavy (agent-based), aheavy-fast (count-based), asym,
+// light, oneshot, greedy (-d), batched (-d, -batch), fixed (-slack),
+// deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asym"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/light"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func parseSize(s string) (int64, error) {
+	// Accept integers and forms like 1e7.
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(f), nil
+}
+
+func main() {
+	var (
+		alg     = flag.String("alg", "aheavy-fast", "algorithm to run")
+		mStr    = flag.String("m", "1000000", "number of balls")
+		nStr    = flag.String("n", "1000", "number of bins")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		d       = flag.Int("d", 2, "choices for greedy/batched")
+		batch   = flag.Int64("batch", 0, "batch size for batched (default n)")
+		slack   = flag.Int64("slack", 2, "slack for fixed threshold")
+		beta    = flag.Float64("beta", 0, "Aheavy slack exponent (0 = paper's 2/3)")
+		trace   = flag.Bool("trace", false, "print per-round remaining-ball trace")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	m, err := parseSize(*mStr)
+	if err != nil {
+		fatal("bad -m: %v", err)
+	}
+	nn, err := parseSize(*nStr)
+	if err != nil {
+		fatal("bad -n: %v", err)
+	}
+	p := model.Problem{M: m, N: int(nn)}
+	if *batch == 0 {
+		*batch = int64(p.N)
+	}
+
+	var res *model.Result
+	switch strings.ToLower(*alg) {
+	case "aheavy":
+		res, err = core.Run(p, core.Config{Seed: *seed, Workers: *workers, Trace: *trace,
+			Params: core.Params{Beta: *beta}})
+	case "aheavy-fast":
+		res, err = core.RunFast(p, core.Config{Seed: *seed, Workers: *workers, Trace: *trace,
+			Params: core.Params{Beta: *beta}})
+	case "asym":
+		res, err = asym.Run(p, asym.Config{Seed: *seed, Workers: *workers, Trace: *trace})
+	case "light":
+		res, err = light.Run(p, light.Config{Seed: *seed, Workers: *workers, Trace: *trace})
+	case "oneshot":
+		res, err = baseline.OneShot(p, baseline.Config{Seed: *seed})
+	case "greedy":
+		res, err = baseline.Greedy(p, *d, baseline.Config{Seed: *seed})
+	case "batched":
+		res, err = baseline.Batched(p, *d, *batch, baseline.Config{Seed: *seed, Workers: *workers})
+	case "fixed":
+		res, err = baseline.FixedThreshold(p, *slack, baseline.Config{Seed: *seed, Workers: *workers, Trace: *trace})
+	case "deterministic":
+		res, err = baseline.Deterministic(p, baseline.Config{Seed: *seed, Workers: *workers})
+	default:
+		fatal("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := res.Check(); err != nil {
+		fatal("invariant violation: %v", err)
+	}
+
+	loads := make([]float64, len(res.Loads))
+	for i, l := range res.Loads {
+		loads[i] = float64(l)
+	}
+	qs := stats.Quantiles(loads, 0, 0.5, 0.99, 1)
+	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("instance       m=%d n=%d (m/n = %.1f)\n", p.M, p.N, p.AvgLoad())
+	fmt.Printf("rounds         %d\n", res.Rounds)
+	fmt.Printf("max load       %d (avg ceil %d, excess %d)\n", res.MaxLoad(), p.CeilAvg(), res.Excess())
+	fmt.Printf("load quantiles min=%.0f median=%.0f p99=%.0f max=%.0f\n", qs[0], qs[1], qs[2], qs[3])
+	fmt.Printf("gini           %.5f\n", res.Gini())
+	fmt.Printf("messages       %s\n", res.Metrics)
+	if *trace && len(res.TraceRemaining) > 0 {
+		fmt.Printf("trace          %v\n", res.TraceRemaining)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pba-run: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command pba-sweep runs an algorithm over a geometric m/n sweep and emits
+// one CSV row per (ratio, seed) pair — the raw data behind the E-series
+// tables, convenient for external plotting.
+//
+// Usage:
+//
+//	pba-sweep -alg aheavy-fast -n 1024 -ratios 16,256,4096 -seeds 10 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asym"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "aheavy-fast", "aheavy | aheavy-fast | asym | oneshot | greedy2 | fixed")
+		n        = flag.Int("n", 1024, "bin count")
+		ratioStr = flag.String("ratios", "16,64,256,1024,4096,16384", "comma-separated m/n values")
+		seeds    = flag.Int("seeds", 10, "seeds per ratio")
+		workers  = flag.Int("workers", 0, "parallel workers")
+	)
+	flag.Parse()
+
+	var ratios []int64
+	for _, s := range strings.Split(*ratioStr, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pba-sweep: bad ratio %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		ratios = append(ratios, v)
+	}
+
+	run := func(p model.Problem, seed uint64) (*model.Result, error) {
+		switch strings.ToLower(*alg) {
+		case "aheavy":
+			return core.Run(p, core.Config{Seed: seed, Workers: *workers})
+		case "aheavy-fast":
+			return core.RunFast(p, core.Config{Seed: seed, Workers: *workers})
+		case "asym":
+			return asym.Run(p, asym.Config{Seed: seed, Workers: *workers})
+		case "oneshot":
+			return baseline.OneShot(p, baseline.Config{Seed: seed})
+		case "greedy2":
+			return baseline.Greedy(p, 2, baseline.Config{Seed: seed})
+		case "fixed":
+			return baseline.FixedThreshold(p, 2, baseline.Config{Seed: seed, Workers: *workers})
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", *alg)
+		}
+	}
+
+	fmt.Println("alg,n,ratio,m,seed,max_load,excess,rounds,ball_requests,max_bin_received,max_ball_sent")
+	for _, ratio := range ratios {
+		p := model.Problem{M: int64(*n) * ratio, N: *n}
+		for s := 0; s < *seeds; s++ {
+			seed := uint64(s)*0x9E3779B97F4A7C15 + 1
+			res, err := run(p, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pba-sweep: ratio %d seed %d: %v\n", ratio, s, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				*alg, *n, ratio, p.M, s,
+				res.MaxLoad(), res.Excess(), res.Rounds,
+				res.Metrics.BallRequests, res.Metrics.MaxBinReceived, res.Metrics.MaxBallSent)
+		}
+	}
+}

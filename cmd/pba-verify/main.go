@@ -1,0 +1,199 @@
+// Command pba-verify is the reproduction gate: it re-checks the paper's
+// headline claims end to end in under a minute and prints PASS/FAIL per
+// claim. Useful as a post-install smoke test and in CI.
+//
+// Checks:
+//
+//	C1  Aheavy excess is flat (O(1)) across three decades of m/n
+//	C2  Aheavy rounds grow like loglog(m/n), not like log n
+//	C3  message totals stay below 3m
+//	C4  asymmetric algorithm: constant rounds, O(1) excess
+//	C5  Theorem 7 floor: one round rejects >= sqrt(Mn)/(4t) for all profiles
+//	C6  fixed threshold needs >= 2x Aheavy's rounds (the §1.1 foil)
+//	C7  Alight: load cap 2 and log*-flat rounds
+//	C8  deterministic fallback: exact balance within n rounds
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/asym"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/light"
+	"repro/internal/lower"
+	"repro/internal/model"
+)
+
+type check struct {
+	id, desc string
+	run      func() error
+}
+
+func main() {
+	checks := []check{
+		{"C1", "Aheavy excess O(1) across m/n in {2^6, 2^10, 2^14}", checkExcessFlat},
+		{"C2", "Aheavy rounds track loglog(m/n)", checkRoundsLogLog},
+		{"C3", "Aheavy total requests < 3m", checkMessages},
+		{"C4", "asymmetric: constant rounds, O(1) excess", checkAsym},
+		{"C5", "Theorem 7 rejection floor under 4 capacity profiles", checkRejectionFloor},
+		{"C6", "fixed threshold pays >= 2x Aheavy's rounds", checkFixedFoil},
+		{"C7", "Alight: load <= 2, log*-flat rounds", checkAlight},
+		{"C8", "deterministic fallback: exact balance in <= n rounds", checkDeterministic},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.run(); err != nil {
+			fmt.Printf("FAIL %s %-55s %v\n", c.id, c.desc, err)
+			failed++
+		} else {
+			fmt.Printf("PASS %s %s\n", c.id, c.desc)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d checks passed — the reproduction is healthy\n", len(checks))
+}
+
+const n = 1 << 10
+
+func runHeavy(ratio int64, seed uint64) (*model.Result, error) {
+	p := model.Problem{M: int64(n) * ratio, N: n}
+	res, err := core.RunFast(p, core.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func checkExcessFlat() error {
+	var worst int64
+	for _, ratio := range []int64{1 << 6, 1 << 10, 1 << 14} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			res, err := runHeavy(ratio, seed)
+			if err != nil {
+				return err
+			}
+			if res.Excess() > worst {
+				worst = res.Excess()
+			}
+		}
+	}
+	if worst > 10 {
+		return fmt.Errorf("worst excess %d > 10", worst)
+	}
+	return nil
+}
+
+func checkRoundsLogLog() error {
+	small, err := runHeavy(1<<6, 1)
+	if err != nil {
+		return err
+	}
+	big, err := runHeavy(1<<16, 1)
+	if err != nil {
+		return err
+	}
+	// 2^6 -> 2^16 is a 10x exponent jump but only ~1.4x in loglog: rounds
+	// must grow by only a few.
+	if big.Rounds > small.Rounds+6 {
+		return fmt.Errorf("rounds jumped %d -> %d", small.Rounds, big.Rounds)
+	}
+	return nil
+}
+
+func checkMessages() error {
+	res, err := runHeavy(1<<10, 2)
+	if err != nil {
+		return err
+	}
+	if res.Metrics.BallRequests > 3*res.Problem.M {
+		return fmt.Errorf("requests %d > 3m", res.Metrics.BallRequests)
+	}
+	return nil
+}
+
+func checkAsym() error {
+	for _, ratio := range []int64{4, 256} {
+		p := model.Problem{M: int64(n) * ratio, N: n}
+		res, err := asym.Run(p, asym.Config{Seed: 3})
+		if err != nil {
+			return err
+		}
+		if err := res.Check(); err != nil {
+			return err
+		}
+		if res.Rounds > 7 {
+			return fmt.Errorf("ratio %d: %d rounds", ratio, res.Rounds)
+		}
+		if res.Excess() > 30 {
+			return fmt.Errorf("ratio %d: excess %d", ratio, res.Excess())
+		}
+	}
+	return nil
+}
+
+func checkRejectionFloor() error {
+	m := int64(n) * 1024
+	floor := lower.PredictedRejections(m, n) / 4
+	for _, profile := range []lower.CapacityProfile{lower.Uniform, lower.TwoClass, lower.Ramp, lower.Random} {
+		caps := lower.Capacities(profile, m, n, 2, 7)
+		if rej := lower.OneRound(m, caps, 11).Rejected; float64(rej) < floor {
+			return fmt.Errorf("%v rejected %d < floor %.0f", profile, rej, floor)
+		}
+	}
+	return nil
+}
+
+func checkFixedFoil() error {
+	p := model.Problem{M: int64(n) * 64, N: n}
+	fixed, err := baseline.FixedThreshold(p, 1, baseline.Config{Seed: 5})
+	if err != nil {
+		return err
+	}
+	heavy, err := core.RunFast(p, core.Config{Seed: 5})
+	if err != nil {
+		return err
+	}
+	if fixed.Rounds < 2*heavy.Rounds {
+		return fmt.Errorf("fixed %d rounds vs aheavy %d: no separation", fixed.Rounds, heavy.Rounds)
+	}
+	return nil
+}
+
+func checkAlight() error {
+	for _, sz := range []int{1 << 10, 1 << 16} {
+		res, err := light.Run(model.Problem{M: int64(sz), N: sz}, light.Config{Seed: 9})
+		if err != nil {
+			return err
+		}
+		if res.MaxLoad() > 2 {
+			return fmt.Errorf("n=%d: load %d", sz, res.MaxLoad())
+		}
+		if res.Rounds > 8 {
+			return fmt.Errorf("n=%d: %d rounds", sz, res.Rounds)
+		}
+	}
+	return nil
+}
+
+func checkDeterministic() error {
+	p := model.Problem{M: 10007, N: 64}
+	res, err := baseline.Deterministic(p, baseline.Config{Seed: 13})
+	if err != nil {
+		return err
+	}
+	if res.MaxLoad() != p.CeilAvg() {
+		return fmt.Errorf("max load %d != ceil(m/n) %d", res.MaxLoad(), p.CeilAvg())
+	}
+	if res.Rounds > p.N {
+		return fmt.Errorf("%d rounds > n", res.Rounds)
+	}
+	return nil
+}

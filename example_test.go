@@ -1,0 +1,82 @@
+package pba_test
+
+// Runnable godoc examples for the public API. Each compiles, runs under
+// `go test`, and asserts its output, so the documentation cannot rot.
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The paper's headline: max load m/n + O(1) regardless of how heavily
+// loaded the system is.
+func ExampleAheavy() {
+	p := pba.Problem{M: 1 << 22, N: 1 << 10} // 4M balls, 1K bins
+	res, err := pba.Aheavy(p, pba.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("balanced:", res.Excess() <= 10)
+	fmt.Println("rounds under 16:", res.Rounds < 16)
+	// Output:
+	// balanced: true
+	// rounds under 16: true
+}
+
+// The asymmetric algorithm finishes in a constant number of rounds.
+func ExampleAsymmetric() {
+	p := pba.Problem{M: 500_000, N: 1_000}
+	res, err := pba.Asymmetric(p, pba.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("constant rounds:", res.Rounds <= 6)
+	fmt.Println("balanced:", res.Excess() <= 25)
+	// Output:
+	// constant rounds: true
+	// balanced: true
+}
+
+// One-shot random allocation is the baseline everyone gets by hashing:
+// fast, communication-free, but sqrt((m/n)·log n) over the average.
+func ExampleOneShot() {
+	p := pba.Problem{M: 1 << 22, N: 1 << 10}
+	naive, _ := pba.OneShot(p, pba.Options{Seed: 7})
+	smart, _ := pba.Aheavy(p, pba.Options{Seed: 7})
+	fmt.Println("one-shot pays >10x the excess:", naive.Excess() > 10*smart.Excess())
+	// Output:
+	// one-shot pays >10x the excess: true
+}
+
+// Weighted balls keep the guarantee in weight units: W/n + O(w_max).
+func ExampleAllocateWeighted() {
+	p := pba.WeightedProblem{
+		N: 256,
+		Classes: []pba.WeightClass{
+			{Weight: 1, Count: 100_000}, // small jobs
+			{Weight: 8, Count: 10_000},  // large jobs
+		},
+	}
+	res, err := pba.AllocateWeighted(p, pba.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("weighted excess within 4*w_max:", res.Excess() <= 32)
+	// Output:
+	// weighted excess within 4*w_max: true
+}
+
+// The fault-tolerant variant completes under 25% message loss.
+func ExampleAdaptiveThreshold() {
+	p := pba.Problem{M: 50_000, N: 200}
+	res, err := pba.AdaptiveThreshold(p, 2, pba.Faults{DropProbability: 0.25}, pba.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all placed:", res.Check() == nil)
+	fmt.Println("excess within slack:", res.Excess() <= 2)
+	// Output:
+	// all placed: true
+	// excess within slack: true
+}

@@ -1,0 +1,78 @@
+// Fault tolerance: allocate under message loss, crashed bins, and slow
+// bins using the state-adaptive threshold algorithm — the robust cousin of
+// the paper's precomputed-schedule Aheavy.
+//
+// The scenario: a 256-node storage cluster ingests 1M objects while (a)
+// the network drops 20% of placement requests, (b) 16 nodes fail-stop
+// after the second round, and (c) every node can admit at most 2000
+// objects per round. The allocator must still place every object, keep
+// nodes near the (surviving-node) average, and leave the dead nodes with
+// only their pre-crash load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	p := pba.Problem{M: 1_000_000, N: 256}
+
+	crashed := make([]int, 16)
+	for i := range crashed {
+		crashed[i] = i * 16
+	}
+	faults := pba.Faults{
+		DropProbability:  0.20,
+		CrashedBins:      crashed,
+		CrashFromRound:   2,
+		ThrottlePerRound: 2000,
+	}
+
+	// Slack provisioning: surviving bins must absorb the crashed bins'
+	// share, so cap slack at >= (m/n)·(n/survivors − 1) plus headroom.
+	// 6.25% of capacity crashes here, so ~280 objects/node of slack; we
+	// provision 400. Clean runs need only O(1).
+	const cleanSlack, faultSlack = 3, 400
+
+	clean, err := pba.AdaptiveThreshold(p, cleanSlack, pba.Faults{}, pba.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty, err := pba.AdaptiveThreshold(p, faultSlack, faults, pba.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := faulty.Check(); err != nil {
+		log.Fatal(err)
+	}
+
+	survivors := p.N - len(crashed)
+	var crashedLoad, maxSurvivor int64
+	isCrashed := map[int]bool{}
+	for _, b := range crashed {
+		isCrashed[b] = true
+	}
+	for i, l := range faulty.Loads {
+		if isCrashed[i] {
+			crashedLoad += l
+		} else if l > maxSurvivor {
+			maxSurvivor = l
+		}
+	}
+	survivorAvg := float64(p.M-crashedLoad) / float64(survivors)
+
+	fmt.Printf("cluster: %d nodes, %d objects; faults: 20%% request loss, %d crashes at round %d, %d admits/round\n\n",
+		p.N, p.M, len(crashed), faults.CrashFromRound, faults.ThrottlePerRound)
+	fmt.Printf("clean run:  %d rounds, max node load %d (excess %d)\n",
+		clean.Rounds, clean.MaxLoad(), clean.Excess())
+	fmt.Printf("faulty run: %d rounds, every object placed\n", faulty.Rounds)
+	fmt.Printf("  crashed nodes retained %d objects (placed before the crash)\n", crashedLoad)
+	fmt.Printf("  surviving nodes: max %d vs survivor average %.0f (%.1f%% over)\n",
+		maxSurvivor, survivorAvg, 100*(float64(maxSurvivor)/survivorAvg-1))
+	fmt.Println("\nlost requests retry, dead capacity is re-spread (provision slack for the")
+	fmt.Println("expected capacity loss), throttling only stretches rounds — the threshold")
+	fmt.Println("mechanism degrades gracefully outside the paper's failure-free model.")
+}

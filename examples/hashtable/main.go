@@ -1,0 +1,65 @@
+// Distributed hash table bulk load: size the buckets of a fixed-capacity
+// hash table that must ingest a known batch of keys.
+//
+// With plain hashing, bucket occupancy fluctuates by Θ(sqrt((m/n)·log n)),
+// so every bucket must over-provision by that margin or spill to overflow
+// pages. Allocating the batch with the paper's asymmetric algorithm
+// (bucket IDs are globally known — exactly the asymmetric model) packs
+// every bucket to m/n + O(1), collapsing the required slack to a constant.
+//
+// The example ingests 4M keys into 4096 buckets, reports the bucket-size
+// distribution under both strategies, and translates the difference into
+// memory over-provisioning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	p := pba.Problem{M: 4_000_000, N: 4096}
+
+	hashed, err := pba.OneShot(p, pba.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	packed, err := pba.Asymmetric(p, pba.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := packed.Check(); err != nil {
+		log.Fatal(err)
+	}
+
+	avg := p.AvgLoad()
+	fmt.Printf("bulk load: %d keys into %d buckets (average %.0f keys/bucket)\n\n", p.M, p.N, avg)
+
+	report := func(name string, r *pba.Result, rounds string) {
+		slackPerBucket := r.MaxLoad() - int64(avg)
+		overProvision := float64(slackPerBucket) * float64(p.N) / float64(p.M) * 100
+		fmt.Printf("%-28s max bucket %d  (slack %d keys, %.2f%% extra memory)  placement: %s\n",
+			name, r.MaxLoad(), slackPerBucket, overProvision, rounds)
+	}
+	report("plain hashing", hashed, "1 round, no coordination")
+	report("asymmetric packing", packed,
+		fmt.Sprintf("%d rounds, %.2f msgs/key", packed.Rounds,
+			float64(packed.Metrics.TotalMessages)/float64(p.M)))
+
+	// Capacity planning: how many keys fit before some bucket overflows a
+	// fixed bucket size B? With hashing you must stop when the *max* hits
+	// B; with packing the table fills almost completely.
+	bucketSize := packed.MaxLoad() + 2
+	hashedUtil := float64(p.M) / float64(int64(p.N)*func() int64 {
+		if hashed.MaxLoad() > bucketSize {
+			return hashed.MaxLoad()
+		}
+		return bucketSize
+	}()) * 100
+	packedUtil := float64(p.M) / float64(int64(p.N)*bucketSize) * 100
+	fmt.Printf("\nwith %d-slot buckets: hashing fills %.1f%% of slots safely, packing %.1f%%\n",
+		bucketSize, hashedUtil, packedUtil)
+	fmt.Println("(the m/n + O(1) guarantee is what lets the table run near 100% occupancy)")
+}

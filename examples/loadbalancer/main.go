@@ -1,0 +1,101 @@
+// Load balancer scenario: a scheduler must spread bursts of short jobs
+// over a server fleet, where every placement message costs real network
+// traffic and every round of negotiation costs latency.
+//
+// The example replays three bursts of jobs arriving at a 512-server fleet
+// and compares three placement strategies:
+//
+//   - random:  hash each job to a server (no coordination, 1 round);
+//   - greedy2: classic power-of-two-choices, but *sequential* — the
+//     textbook balancer that does not parallelize;
+//   - aheavy:  the paper's parallel threshold algorithm — all jobs of a
+//     burst negotiate in parallel over a handful of rounds.
+//
+// Because each burst is balanced to within O(1) per server, the *running*
+// load after every burst stays within a constant of perfect, which is what
+// keeps tail latency flat: makespan tracks the most loaded server.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	servers = 512
+	bursts  = 3
+)
+
+func main() {
+	burstSizes := []int64{2_000_000, 500_000, 1_000_000}
+
+	type fleet struct {
+		name   string
+		loads  []int64
+		rounds int
+		msgs   int64
+		place  func(p pba.Problem, seed uint64) (*pba.Result, error)
+	}
+	fleets := []*fleet{
+		{name: "random (one-shot)", place: func(p pba.Problem, seed uint64) (*pba.Result, error) {
+			return pba.OneShot(p, pba.Options{Seed: seed})
+		}},
+		{name: "greedy[2] sequential", place: func(p pba.Problem, seed uint64) (*pba.Result, error) {
+			return pba.Greedy(p, 2, pba.Options{Seed: seed})
+		}},
+		{name: "aheavy parallel", place: func(p pba.Problem, seed uint64) (*pba.Result, error) {
+			return pba.Aheavy(p, pba.Options{Seed: seed})
+		}},
+	}
+	for _, f := range fleets {
+		f.loads = make([]int64, servers)
+	}
+
+	for b := 0; b < bursts; b++ {
+		p := pba.Problem{M: burstSizes[b], N: servers}
+		for _, f := range fleets {
+			res, err := f.place(p, uint64(b)*97+1)
+			if err != nil {
+				log.Fatalf("%s burst %d: %v", f.name, b, err)
+			}
+			if err := res.Check(); err != nil {
+				log.Fatalf("%s burst %d: %v", f.name, b, err)
+			}
+			for i, l := range res.Loads {
+				f.loads[i] += l
+			}
+			f.rounds += res.Rounds
+			f.msgs += res.Metrics.TotalMessages
+		}
+	}
+
+	var totalJobs int64
+	for _, s := range burstSizes {
+		totalJobs += s
+	}
+	perfect := (totalJobs + servers - 1) / servers
+
+	fmt.Printf("fleet: %d servers, %d bursts, %d jobs total (perfect load %d)\n\n",
+		servers, bursts, totalJobs, perfect)
+	fmt.Printf("%-22s %-10s %-8s %-16s %-12s\n",
+		"strategy", "max load", "excess", "rounds (latency)", "msgs/job")
+	for _, f := range fleets {
+		var max int64
+		for _, l := range f.loads {
+			if l > max {
+				max = l
+			}
+		}
+		rounds := fmt.Sprintf("%d", f.rounds)
+		if f.name == "greedy[2] sequential" {
+			rounds = "m (sequential)"
+		}
+		fmt.Printf("%-22s %-10d %-8d %-16s %-12.2f\n",
+			f.name, max, max-perfect, rounds, float64(f.msgs)/float64(totalJobs))
+	}
+
+	fmt.Println("\nthe parallel threshold algorithm matches sequential two-choice balance")
+	fmt.Println("while finishing each burst in a handful of synchronous rounds.")
+}

@@ -1,0 +1,75 @@
+package pba
+
+import (
+	"testing"
+)
+
+func TestAllocateWeighted(t *testing.T) {
+	p := WeightedProblem{N: 128, Classes: []WeightClass{
+		{Weight: 1, Count: 50000},
+		{Weight: 3, Count: 10000},
+	}}
+	res, err := AllocateWeighted(p, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Excess() > 4*p.MaxWeight() {
+		t.Fatalf("weighted excess %d", res.Excess())
+	}
+}
+
+func TestAdaptiveThresholdClean(t *testing.T) {
+	p := Problem{M: 20000, N: 100}
+	res, err := AdaptiveThreshold(p, 2, Faults{}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Excess() > 2 {
+		t.Fatalf("excess %d above slack", res.Excess())
+	}
+}
+
+func TestAdaptiveThresholdUnderFaults(t *testing.T) {
+	p := Problem{M: 20000, N: 100}
+	f := Faults{
+		DropProbability:  0.25,
+		CrashedBins:      []int{5, 15, 25},
+		CrashFromRound:   1,
+		ThrottlePerRound: 500,
+	}
+	// 3% capacity crashed; slack 20 >> (m/n)·(n/surv − 1) ≈ 6.2.
+	res, err := AdaptiveThreshold(p, 20, f, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveThresholdValidation(t *testing.T) {
+	p := Problem{M: 10, N: 2}
+	if _, err := AdaptiveThreshold(p, -1, Faults{}, Options{}); err == nil {
+		t.Fatal("negative slack accepted")
+	}
+	if _, err := AdaptiveThreshold(p, 1, Faults{CrashedBins: []int{0, 1}}, Options{}); err == nil {
+		t.Fatal("all-bins crash accepted")
+	}
+}
+
+func TestAdaptiveThresholdInsufficientSlackFailsLoudly(t *testing.T) {
+	// Crash half the bins with tiny slack: survivors cannot absorb the
+	// load and the call must return an error, not silently drop balls.
+	p := Problem{M: 10000, N: 20}
+	crashed := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	_, err := AdaptiveThreshold(p, 1, Faults{CrashedBins: crashed, CrashFromRound: 0}, Options{Seed: 5})
+	if err == nil {
+		t.Fatal("under-provisioned crash scenario reported success")
+	}
+}

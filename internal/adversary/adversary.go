@@ -1,0 +1,152 @@
+// Package adversary provides failure injection for the synchronous
+// message-passing engine: lossy networks (request drops), crashed bins
+// (stop accepting mid-run), and slow bins (capacity throttling). Each
+// fault is a sim.Protocol decorator, so any algorithm expressed as a
+// protocol can be stress-tested unchanged.
+//
+// The paper's model assumes a reliable synchronous network; these
+// decorators measure how far outside that model the algorithms keep their
+// guarantees (robustness tests and the failures example). Retry-style
+// algorithms (threshold family with state-adaptive policies, Alight)
+// degrade gracefully — lost or refused requests simply retry — while
+// algorithms that rely on a deterministic schedule (Aheavy's phase 1,
+// asymmetric superbins) under-fill and hand more balls to their final
+// phase, trading constant load slack for fault tolerance.
+package adversary
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// DropRequests wraps a protocol so that every request is independently
+// dropped with probability p before reaching its bin (a lossy network on
+// the ball→bin direction). Drops are deterministic for a given seed.
+// Dropped requests still count as sent by the ball (the message left, the
+// network lost it) but are never seen by a bin.
+func DropRequests(inner sim.Protocol, p float64, seed uint64) sim.Protocol {
+	if p < 0 || p >= 1 {
+		panic("adversary: drop probability must be in [0, 1)")
+	}
+	return &dropProto{inner: inner, p: p, seed: seed}
+}
+
+type dropProto struct {
+	inner sim.Protocol
+	p     float64
+	seed  uint64
+}
+
+func (d *dropProto) Targets(round int, b *sim.Ball, n int, buf []int) []int {
+	targets := d.inner.Targets(round, b, n, buf)
+	if d.p == 0 {
+		return targets
+	}
+	// Deterministic per (seed, ball, round) coin sequence, independent of
+	// the ball's own randomness so the drop pattern does not perturb the
+	// protocol's choices.
+	coins := rng.New(rng.Mix64(d.seed ^ uint64(b.ID)*0x9E3779B97F4A7C15 ^ uint64(round)*0xC2B2AE3D27D4EB4F))
+	kept := targets[:0]
+	for _, tgt := range targets {
+		if !coins.Bernoulli(d.p) {
+			kept = append(kept, tgt)
+		}
+	}
+	return kept
+}
+
+func (d *dropProto) Hold(round int) bool { return d.inner.Hold(round) }
+func (d *dropProto) Capacity(round, bin int, load int64) int64 {
+	return d.inner.Capacity(round, bin, load)
+}
+func (d *dropProto) Payload(round, bin int, k int64) int64 { return d.inner.Payload(round, bin, k) }
+func (d *dropProto) Choose(round int, b *sim.Ball, accepts []sim.Accept) int {
+	return d.inner.Choose(round, b, accepts)
+}
+func (d *dropProto) Place(a sim.Accept) int         { return d.inner.Place(a) }
+func (d *dropProto) Done(round int, rem int64) bool { return d.inner.Done(round, rem) }
+func (d *dropProto) RoundStart(round int, loads []int64, remaining int64) {
+	if obs, ok := d.inner.(sim.RoundObserver); ok {
+		obs.RoundStart(round, loads, remaining)
+	}
+}
+
+// CrashBins wraps a protocol so the given bins stop accepting requests
+// from fromRound onward (fail-stop bins that still hold their current
+// load). The surviving capacity must still cover the balls or the run
+// will exhaust its round budget — exactly the failure mode tests assert.
+func CrashBins(inner sim.Protocol, crashed []int, fromRound int) sim.Protocol {
+	set := make(map[int]struct{}, len(crashed))
+	for _, b := range crashed {
+		set[b] = struct{}{}
+	}
+	return &crashProto{inner: inner, crashed: set, from: fromRound}
+}
+
+type crashProto struct {
+	inner   sim.Protocol
+	crashed map[int]struct{}
+	from    int
+}
+
+func (c *crashProto) Targets(round int, b *sim.Ball, n int, buf []int) []int {
+	return c.inner.Targets(round, b, n, buf)
+}
+func (c *crashProto) Hold(round int) bool { return c.inner.Hold(round) }
+func (c *crashProto) Capacity(round, bin int, load int64) int64 {
+	if round >= c.from {
+		if _, dead := c.crashed[bin]; dead {
+			return 0
+		}
+	}
+	return c.inner.Capacity(round, bin, load)
+}
+func (c *crashProto) Payload(round, bin int, k int64) int64 { return c.inner.Payload(round, bin, k) }
+func (c *crashProto) Choose(round int, b *sim.Ball, accepts []sim.Accept) int {
+	return c.inner.Choose(round, b, accepts)
+}
+func (c *crashProto) Place(a sim.Accept) int         { return c.inner.Place(a) }
+func (c *crashProto) Done(round int, rem int64) bool { return c.inner.Done(round, rem) }
+func (c *crashProto) RoundStart(round int, loads []int64, remaining int64) {
+	if obs, ok := c.inner.(sim.RoundObserver); ok {
+		obs.RoundStart(round, loads, remaining)
+	}
+}
+
+// Throttle wraps a protocol so every bin's per-round capacity is capped at
+// limit (slow bins: they answer, but serve at most `limit` accepts per
+// round). limit <= 0 panics.
+func Throttle(inner sim.Protocol, limit int64) sim.Protocol {
+	if limit <= 0 {
+		panic("adversary: throttle limit must be positive")
+	}
+	return &throttleProto{inner: inner, limit: limit}
+}
+
+type throttleProto struct {
+	inner sim.Protocol
+	limit int64
+}
+
+func (t *throttleProto) Targets(round int, b *sim.Ball, n int, buf []int) []int {
+	return t.inner.Targets(round, b, n, buf)
+}
+func (t *throttleProto) Hold(round int) bool { return t.inner.Hold(round) }
+func (t *throttleProto) Capacity(round, bin int, load int64) int64 {
+	c := t.inner.Capacity(round, bin, load)
+	if c > t.limit {
+		return t.limit
+	}
+	return c
+}
+func (t *throttleProto) Payload(round, bin int, k int64) int64 { return t.inner.Payload(round, bin, k) }
+func (t *throttleProto) Choose(round int, b *sim.Ball, accepts []sim.Accept) int {
+	return t.inner.Choose(round, b, accepts)
+}
+func (t *throttleProto) Place(a sim.Accept) int         { return t.inner.Place(a) }
+func (t *throttleProto) Done(round int, rem int64) bool { return t.inner.Done(round, rem) }
+func (t *throttleProto) RoundStart(round int, loads []int64, remaining int64) {
+	if obs, ok := t.inner.(sim.RoundObserver); ok {
+		obs.RoundStart(round, loads, remaining)
+	}
+}

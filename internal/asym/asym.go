@@ -1,0 +1,271 @@
+// Package asym implements the paper's asymmetric algorithm (Section 5,
+// Theorem 3): with globally known bin IDs, m balls are allocated to n bins
+// with maximal load m/n + O(1) within a constant number of rounds w.h.p.,
+// each bin receiving (1+o(1))·m/n + O(log n) messages.
+//
+// The key idea is to operate on simulated "superbins": contiguous blocks of
+// bins, each controlled by its highest-indexed bin acting as leader. Every
+// active ball contacts the leader of a uniformly random superbin; the
+// leader accepts up to L_r requests and answers the k-th accepted request
+// with the offset j = k mod (block size). A ball answered j places itself
+// in bin leader−j, so accepted balls are spread round-robin across the
+// block, keeping all member bins within 1 of each other per round.
+//
+// # Schedule
+//
+// Superbin counts are chosen so each leader expects
+// µ_r = max(m1/n, 4c²·log n) requests, where m1 is the ball count entering
+// the superbin phase. The acceptance bound L_r = ⌊µ_r − δ_r⌋ with
+// δ_r = c·sqrt(µ_r·log n) deliberately undershoots the expectation so
+// that, w.h.p., every leader receives at least L_r requests and the
+// deterministic recursion m_{r+1} = m_r − L_r·n_r tracks the true
+// remainder. Because µ_r ≥ 4c²·log n, the per-round survival ratio
+// δ_r/µ_r = c·sqrt(log n/µ_r) is at most 1/2, so the remainder at least
+// halves every round (and shrinks by the much stronger factor
+// c·sqrt(n·log n/m) while µ_r = m1/n dominates). Once m_r ≤ 2n, a terminal
+// round uses n_r = ⌈m_r/log n⌉ superbins — blocks of ≥ log n/2 bins — and
+// the overshooting bound L = ⌈µ + 3c·sqrt((µ+1)·log n)⌉, which w.h.p.
+// absorbs every remaining ball while adding O(1) load per member bin.
+//
+// When m > n·log n the algorithm is preceded by one round of the symmetric
+// threshold algorithm (Section 3) with T = m/n − (m/n)^(2/3), which w.h.p.
+// reduces the remainder to m1 = m^(2/3)·n^(1/3) = o(m); the superbin phase
+// then adds only o(m/n) + O(log n) messages per bin, giving the
+// (1+o(1))·m/n + O(log n) bound of Theorem 3.
+//
+// # Deviations from the paper
+//
+// The paper's pseudocode sets n_r = m_r·min(n/m, 1/log n) and claims
+// termination in 3 rounds (Claim 9), but its own proof needs the superbin
+// count to track the current remainder when computing m_3/n_3 = log n; the
+// two readings disagree and neither terminates in 3 rounds for all regimes
+// once thresholds are integers. Our schedule (above) preserves every
+// property the theorem states — O(1)-ish rounds (≤ 3 + log₂ log n in the
+// worst corner, ≤ 6 for every instance in our experiments), m/n + O(1)
+// load, and the per-bin message bound — with explicit constants. We also
+// repeat the terminal round until every ball is placed, so the
+// probability-<1/n^c failure event costs extra rounds instead of dropping
+// balls; tests assert the repeat is not exercised across seeds.
+package asym
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// DefaultC is the concentration constant c in δ_r = c·sqrt(µ_r·log n).
+const DefaultC = 2.0
+
+// Config parameterizes the asymmetric algorithm.
+type Config struct {
+	Seed    uint64
+	Workers int
+	Trace   bool
+	// C overrides the concentration constant (0 means DefaultC).
+	C float64
+	// DisablePreRound skips the symmetric pre-round even when m > n log n
+	// (used by experiments isolating the superbin mechanism).
+	DisablePreRound bool
+}
+
+// RoundPlan holds the precomputed parameters of one superbin round.
+type RoundPlan struct {
+	Blocks   int   // n_r: number of superbins
+	L        int64 // acceptance bound per leader this round
+	Terminal bool  // true for the final (overshooting) round
+}
+
+// MinBlockSize returns the size of the smallest block when n bins are
+// partitioned evenly into rp.Blocks contiguous blocks (sizes differ by at
+// most one).
+func (rp RoundPlan) MinBlockSize(n int) int {
+	return n / rp.Blocks
+}
+
+// Plan computes the deterministic superbin schedule for m1 balls entering
+// the phase and n bins. See the package comment for the construction.
+func Plan(m1 int64, n int, c float64) []RoundPlan {
+	if c <= 0 {
+		c = DefaultC
+	}
+	logn := math.Log(float64(n))
+	if logn < 1 {
+		logn = 1 // n <= 2: degenerate, but keep the formulas finite
+	}
+	// Leaders expect at least 16c²·log n requests per round, making the
+	// survival ratio δ/µ = c·sqrt(log n/µ) at most 1/4: the remainder
+	// shrinks by 4x per round (and far faster while µ = m1/n dominates).
+	muTarget := math.Max(float64(m1)/float64(n), 16*c*c*logn)
+	var plans []RoundPlan
+	mr := float64(m1)
+	for r := 0; r < 64; r++ {
+		if mr <= 2*float64(n) || r == 63 {
+			nt := clampBlocks(math.Ceil(mr/logn), n)
+			mu := mr / float64(nt)
+			l := math.Ceil(mu + 3*c*math.Sqrt((mu+1)*logn))
+			plans = append(plans, RoundPlan{Blocks: nt, L: int64(l), Terminal: true})
+			return plans
+		}
+		nr := clampBlocks(math.Floor(mr/muTarget), n)
+		mu := mr / float64(nr)
+		delta := c * math.Sqrt(mu*logn)
+		l := math.Floor(mu - delta)
+		if l < 1 {
+			l = 1 // unreachable for µ >= 4c²·log n; guards degenerate n
+		}
+		plans = append(plans, RoundPlan{Blocks: nr, L: int64(l)})
+		mr -= l * float64(nr)
+	}
+	panic(fmt.Sprintf("asym: plan did not terminate: m1=%d n=%d", m1, n))
+}
+
+func clampBlocks(v float64, n int) int {
+	b := int(v)
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// preRoundThreshold returns the threshold of the symmetric pre-round and
+// the bins' deterministic estimate of the remainder, or (0, m) when the
+// pre-round is not applicable.
+func preRoundThreshold(p model.Problem, disable bool) (t int64, m1 int64) {
+	logn := math.Max(math.Log(float64(p.N)), 1)
+	if disable || float64(p.M) <= float64(p.N)*logn {
+		return 0, p.M
+	}
+	mu := p.AvgLoad()
+	t = int64(math.Floor(mu - math.Pow(mu, 2.0/3.0)))
+	if t <= 0 {
+		return 0, p.M
+	}
+	// m̃_1 = n·(m/n)^(2/3); Claim 2 gives equality w.h.p.
+	return t, int64(math.Ceil(float64(p.N) * math.Pow(mu, 2.0/3.0)))
+}
+
+// protocol implements sim.Protocol for the asymmetric algorithm.
+type protocol struct {
+	n            int
+	plans        []RoundPlan
+	preThreshold int64 // cumulative threshold for round 0; 0 disables
+}
+
+func (p *protocol) hasPre() bool { return p.preThreshold > 0 }
+
+// plan returns the RoundPlan in effect for an engine round, clamping past
+// the end of the schedule (terminal repeats).
+func (p *protocol) plan(round int) RoundPlan {
+	idx := round
+	if p.hasPre() {
+		idx--
+	}
+	if idx >= len(p.plans) {
+		idx = len(p.plans) - 1
+	}
+	return p.plans[idx]
+}
+
+// Block geometry: the n bins are partitioned into exactly rp.Blocks
+// contiguous blocks of near-equal size, block k spanning
+// [k·n/Blocks, (k+1)·n/Blocks). The leader is the block's last bin.
+
+func (p *protocol) blockStart(rp RoundPlan, k int) int { return k * p.n / rp.Blocks }
+
+func (p *protocol) blockEnd(rp RoundPlan, k int) int { return (k + 1) * p.n / rp.Blocks }
+
+// blockOf returns the block index containing bin b.
+func (p *protocol) blockOf(rp RoundPlan, b int) int {
+	return ((b+1)*rp.Blocks - 1) / p.n
+}
+
+// leaderOf returns the leader (highest index) of block k under plan rp.
+func (p *protocol) leaderOf(rp RoundPlan, k int) int {
+	return p.blockEnd(rp, k) - 1
+}
+
+func (p *protocol) isLeader(rp RoundPlan, b int) bool {
+	return p.leaderOf(rp, p.blockOf(rp, b)) == b
+}
+
+func (p *protocol) Targets(round int, b *sim.Ball, n int, buf []int) []int {
+	if p.hasPre() && round == 0 {
+		return append(buf, b.R.Intn(n))
+	}
+	rp := p.plan(round)
+	k := b.R.Intn(rp.Blocks)
+	return append(buf, p.leaderOf(rp, k))
+}
+
+func (p *protocol) Hold(int) bool { return false }
+
+func (p *protocol) Capacity(round int, bin int, load int64) int64 {
+	if p.hasPre() && round == 0 {
+		return p.preThreshold - load
+	}
+	rp := p.plan(round)
+	// Only leaders accept; L_r is a per-round acceptance budget, not a
+	// load-based cap (member loads are balanced by the round-robin offsets).
+	if p.isLeader(rp, bin) {
+		return rp.L
+	}
+	return 0
+}
+
+func (p *protocol) Payload(round int, bin int, k int64) int64 {
+	if p.hasPre() && round == 0 {
+		return 0
+	}
+	rp := p.plan(round)
+	blk := p.blockOf(rp, bin)
+	blockLen := int64(p.blockEnd(rp, blk) - p.blockStart(rp, blk))
+	return k % blockLen
+}
+
+func (p *protocol) Choose(_ int, _ *sim.Ball, _ []sim.Accept) int { return 0 }
+
+func (p *protocol) Place(a sim.Accept) int { return a.From - int(a.Payload) }
+
+func (p *protocol) Done(int, int64) bool { return false }
+
+// Run executes the asymmetric algorithm and returns the complete allocation.
+func Run(p model.Problem, cfg Config) (*model.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.M == 0 {
+		return &model.Result{Problem: p, Loads: make([]int64, p.N)}, nil
+	}
+	t, m1 := preRoundThreshold(p, cfg.DisablePreRound)
+	proto := &protocol{
+		n:            p.N,
+		preThreshold: t,
+		plans:        Plan(m1, p.N, cfg.C),
+	}
+	eng := sim.New(p, proto, sim.Config{
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Trace:   cfg.Trace,
+		// pre-round + planned rounds + generous terminal repeats.
+		MaxRounds: 1 + len(proto.plans) + 64,
+	})
+	return eng.Run()
+}
+
+// PlannedRounds returns the number of rounds the schedule prescribes for an
+// instance (excluding terminal repeats), including the pre-round when it
+// applies. Used by experiments to compare planned vs actual rounds.
+func PlannedRounds(p model.Problem, cfg Config) int {
+	t, m1 := preRoundThreshold(p, cfg.DisablePreRound)
+	pre := 0
+	if t > 0 {
+		pre = 1
+	}
+	return pre + len(Plan(m1, p.N, cfg.C))
+}

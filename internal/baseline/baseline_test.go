@@ -1,0 +1,291 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func TestOneShotConservation(t *testing.T) {
+	for _, tc := range []struct {
+		m int64
+		n int
+	}{{0, 5}, {1, 1}, {1000, 10}, {1 << 20, 1 << 10}, {10_000_000, 100}} {
+		res, err := OneShot(model.Problem{M: tc.m, N: tc.n}, Config{Seed: uint64(tc.m + 1)})
+		if err != nil {
+			t.Fatalf("m=%d n=%d: %v", tc.m, tc.n, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("m=%d n=%d: %v", tc.m, tc.n, err)
+		}
+	}
+}
+
+func TestOneShotExcessScaling(t *testing.T) {
+	// E5 shape: excess ≈ sqrt(2·(m/n)·ln n). Verify the measured excess is
+	// within a factor 2 of the prediction across a ratio sweep.
+	n := 1 << 10
+	for _, ratio := range []int64{64, 1024, 16384} {
+		p := model.Problem{M: int64(n) * ratio, N: n}
+		var worst stats.Running
+		for seed := uint64(0); seed < 10; seed++ {
+			res, err := OneShot(p, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst.Add(float64(res.Excess()))
+		}
+		pred := model.TheoreticalOneShotExcess(p)
+		if worst.Mean() < pred/2 || worst.Mean() > 2*pred {
+			t.Fatalf("ratio %d: mean excess %.1f vs predicted %.1f",
+				ratio, worst.Mean(), pred)
+		}
+	}
+}
+
+func TestOneShotZeroBalls(t *testing.T) {
+	res, err := OneShot(model.Problem{M: 0, N: 3}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Fatal("zero balls should take zero rounds")
+	}
+}
+
+func TestGreedyConservation(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		res, err := Greedy(model.Problem{M: 10000, N: 100}, d, Config{Seed: uint64(d)})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestGreedyTwoChoiceBeatsOneChoice(t *testing.T) {
+	// The Berenbrink et al. phenomenon: Greedy[2] excess stays O(log log n)
+	// while Greedy[1] grows like sqrt((m/n) log n).
+	p := model.Problem{M: 1 << 21, N: 1 << 9} // ratio 4096
+	var e1, e2 stats.Running
+	for seed := uint64(0); seed < 5; seed++ {
+		r1, err := Greedy(p, 1, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Greedy(p, 2, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1.Add(float64(r1.Excess()))
+		e2.Add(float64(r2.Excess()))
+	}
+	if e2.Mean() > 6 {
+		t.Fatalf("Greedy[2] mean excess %.1f; want O(log log n) ~ small", e2.Mean())
+	}
+	if e1.Mean() < 4*e2.Mean() {
+		t.Fatalf("Greedy[1] excess %.1f not clearly above Greedy[2] %.1f",
+			e1.Mean(), e2.Mean())
+	}
+}
+
+func TestGreedyExcessIndependentOfM(t *testing.T) {
+	// BCSV06: Greedy[2]'s excess does not grow with m.
+	n := 1 << 9
+	var small, large stats.Running
+	for seed := uint64(0); seed < 5; seed++ {
+		rs, err := Greedy(model.Problem{M: int64(n) * 16, N: n}, 2, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Greedy(model.Problem{M: int64(n) * 4096, N: n}, 2, Config{Seed: seed + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small.Add(float64(rs.Excess()))
+		large.Add(float64(rl.Excess()))
+	}
+	if large.Mean() > small.Mean()+3 {
+		t.Fatalf("Greedy[2] excess grew with m: %.1f -> %.1f", small.Mean(), large.Mean())
+	}
+}
+
+func TestGreedyRejectsBadDegree(t *testing.T) {
+	if _, err := Greedy(model.Problem{M: 10, N: 2}, 0, Config{}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestBatchedMatchesGreedyAtBatchOne(t *testing.T) {
+	// batch=1 is the sequential process; distributions must agree
+	// (not bitwise — different RNG consumption — but statistically).
+	p := model.Problem{M: 50000, N: 500}
+	var seq, bat stats.Running
+	for seed := uint64(0); seed < 8; seed++ {
+		a, err := Greedy(p, 2, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Batched(p, 2, 1, Config{Seed: seed, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Check(); err != nil {
+			t.Fatal(err)
+		}
+		seq.Add(float64(a.Excess()))
+		bat.Add(float64(b.Excess()))
+	}
+	if math.Abs(seq.Mean()-bat.Mean()) > 2 {
+		t.Fatalf("batch=1 excess %.1f vs sequential %.1f", bat.Mean(), seq.Mean())
+	}
+}
+
+func TestBatchedStalenessHurts(t *testing.T) {
+	// One giant batch = fully parallel one round: the stale snapshot makes
+	// 2-choice no better than ~random, so excess grows vs small batches.
+	p := model.Problem{M: 1 << 18, N: 1 << 9}
+	var smallB, bigB stats.Running
+	for seed := uint64(0); seed < 5; seed++ {
+		s, err := Batched(p, 2, 1024, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Batched(p, 2, p.M, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallB.Add(float64(s.Excess()))
+		bigB.Add(float64(g.Excess()))
+	}
+	if bigB.Mean() <= smallB.Mean() {
+		t.Fatalf("staleness did not hurt: batch=m excess %.1f <= batch=1024 excess %.1f",
+			bigB.Mean(), smallB.Mean())
+	}
+}
+
+func TestBatchedConservesAcrossWorkers(t *testing.T) {
+	p := model.Problem{M: 100000, N: 100}
+	for _, w := range []int{1, 4} {
+		res, err := Batched(p, 2, 10000, Config{Seed: 3, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+	}
+}
+
+func TestBatchedValidation(t *testing.T) {
+	p := model.Problem{M: 10, N: 2}
+	if _, err := Batched(p, 0, 1, Config{}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Batched(p, 2, 0, Config{}); err == nil {
+		t.Fatal("batch=0 accepted")
+	}
+}
+
+func TestFixedThresholdCompletes(t *testing.T) {
+	p := model.Problem{M: 50000, N: 500}
+	res, err := FixedThreshold(p, 2, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Excess() > 2 {
+		t.Fatalf("excess %d above slack 2", res.Excess())
+	}
+}
+
+func TestFixedThresholdRoundsGrowWithN(t *testing.T) {
+	// E11 shape: rounds grow with n (Ω(log n)) at fixed ratio, unlike
+	// Aheavy whose rounds depend only on m/n.
+	ratio := int64(64)
+	var r1, r2 float64
+	for i, n := range []int{1 << 7, 1 << 11} {
+		var rounds stats.Running
+		for seed := uint64(0); seed < 5; seed++ {
+			res, err := FixedThreshold(model.Problem{M: int64(n) * ratio, N: n}, 1, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds.Add(float64(res.Rounds))
+		}
+		if i == 0 {
+			r1 = rounds.Mean()
+		} else {
+			r2 = rounds.Mean()
+		}
+	}
+	if r2 <= r1 {
+		t.Fatalf("fixed-threshold rounds did not grow with n: %.1f -> %.1f", r1, r2)
+	}
+}
+
+func TestFixedThresholdNegativeSlack(t *testing.T) {
+	if _, err := FixedThreshold(model.Problem{M: 10, N: 2}, -1, Config{}); err == nil {
+		t.Fatal("negative slack accepted")
+	}
+}
+
+func TestDeterministicExactBalance(t *testing.T) {
+	for _, tc := range []struct {
+		m int64
+		n int
+	}{{100, 10}, {101, 10}, {7, 3}, {1000, 7}, {5, 5}, {3, 8}} {
+		p := model.Problem{M: tc.m, N: tc.n}
+		res, err := Deterministic(p, Config{Seed: uint64(tc.m)})
+		if err != nil {
+			t.Fatalf("m=%d n=%d: %v", tc.m, tc.n, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("m=%d n=%d: %v", tc.m, tc.n, err)
+		}
+		if res.MaxLoad() > p.CeilAvg() {
+			t.Fatalf("m=%d n=%d: max load %d above ceil(m/n)=%d",
+				tc.m, tc.n, res.MaxLoad(), p.CeilAvg())
+		}
+		if res.Rounds > tc.n {
+			t.Fatalf("m=%d n=%d: %d rounds exceeds n", tc.m, tc.n, res.Rounds)
+		}
+	}
+}
+
+func TestDeterministicGuaranteeAcrossSeeds(t *testing.T) {
+	// The guarantee is deterministic: every seed (i.e., every probe-order
+	// assignment) must complete within n rounds at max load ceil(m/n).
+	p := model.Problem{M: 333, N: 16}
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := Deterministic(p, Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MaxLoad() > p.CeilAvg() || res.Rounds > p.N {
+			t.Fatalf("seed %d: load %d rounds %d", seed, res.MaxLoad(), res.Rounds)
+		}
+	}
+}
+
+func TestAllBaselinesInvalidProblem(t *testing.T) {
+	bad := model.Problem{M: 1, N: 0}
+	if _, err := OneShot(bad, Config{}); err == nil {
+		t.Error("OneShot accepted invalid problem")
+	}
+	if _, err := Greedy(bad, 2, Config{}); err == nil {
+		t.Error("Greedy accepted invalid problem")
+	}
+	if _, err := Batched(bad, 2, 10, Config{}); err == nil {
+		t.Error("Batched accepted invalid problem")
+	}
+	if _, err := Deterministic(bad, Config{}); err == nil {
+		t.Error("Deterministic accepted invalid problem")
+	}
+}

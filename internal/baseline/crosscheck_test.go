@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// TestOneShotMatchesFirstMomentPrediction cross-checks the simulated
+// one-shot max load against the closed-form first-moment threshold from
+// package dist — two fully independent computations of the same quantity.
+func TestOneShotMatchesFirstMomentPrediction(t *testing.T) {
+	for _, tc := range []model.Problem{
+		{M: 1 << 18, N: 1 << 9},
+		{M: 1 << 22, N: 1 << 11},
+		{M: 1 << 16, N: 1 << 12},
+	} {
+		pred := float64(dist.OneShotMaxLoadPrediction(tc.M, tc.N))
+		var maxes stats.Running
+		for seed := uint64(0); seed < 15; seed++ {
+			res, err := OneShot(tc, Config{Seed: seed*3 + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxes.Add(float64(res.MaxLoad()))
+		}
+		if math.Abs(maxes.Mean()-pred) > 0.06*pred {
+			t.Fatalf("m=%d n=%d: simulated mean max %.1f vs closed-form %.0f",
+				tc.M, tc.N, maxes.Mean(), pred)
+		}
+	}
+}
+
+// TestGreedySpectrumTighterThanOneShot compares occupancy spectra: the
+// two-choice process concentrates loads on far fewer distinct values.
+func TestGreedySpectrumTighterThanOneShot(t *testing.T) {
+	p := model.Problem{M: 1 << 18, N: 1 << 9}
+	g, err := Greedy(p, 2, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := OneShot(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := dist.Spectrum(g.Loads)
+	so := dist.Spectrum(o.Loads)
+	if sg.Support()*4 > so.Support() {
+		t.Fatalf("greedy support %d not clearly tighter than one-shot %d",
+			sg.Support(), so.Support())
+	}
+}

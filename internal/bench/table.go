@@ -1,0 +1,181 @@
+// Package bench is the experiment harness: a registry of the seventeen
+// experiments (E1–E17) listed in DESIGN.md, each regenerating one
+// table of the reproduction — the paper's theorem-level claims measured on
+// the implemented algorithms. The cmd/pba-bench binary renders every table;
+// bench_test.go at the repository root exposes each experiment as a
+// testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of formatted cells plus
+// free-form notes (the paper-vs-measured verdict).
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; the cell count must match Columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("bench: row has %d cells, table %q has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a verdict/annotation line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (columns header + rows; notes become
+// trailing comment lines).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Config scales an experiment run.
+type Config struct {
+	// Seeds is the number of independent runs per configuration (w.h.p.
+	// claims are checked over the worst seed). 0 means 10.
+	Seeds int
+	// N is the default bin count for single-n sweeps. 0 means 1024.
+	N int
+	// Quick shrinks the heaviest experiments for CI-speed runs.
+	Quick bool
+	// Workers for the parallel engines (0 = GOMAXPROCS).
+	Workers int
+	// BaseSeed offsets all run seeds, for independent replications.
+	BaseSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		c.Seeds = 10
+	}
+	if c.N == 0 {
+		c.N = 1024
+	}
+	return c
+}
+
+func (c Config) seed(i int) uint64 { return c.BaseSeed + uint64(i)*0x9E3779B97F4A7C15 + 1 }
+
+// Experiment couples an ID to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// Registry lists every experiment in DESIGN.md order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Aheavy maximal load (Theorem 1/6)", E1AheavyLoad},
+		{"E2", "Aheavy round count (Theorem 1/6)", E2AheavyRounds},
+		{"E3", "Aheavy message complexity (Theorem 6)", E3Messages},
+		{"E4", "Phase-1 trajectory vs estimate (Claim 2)", E4Trajectory},
+		{"E5", "One-shot random allocation excess (baseline)", E5OneShot},
+		{"E6", "Sequential and batched d-choice (BCSV06 baseline)", E6Greedy},
+		{"E7", "Alight substrate (Theorem 5 / LW16)", E7Alight},
+		{"E8", "Asymmetric algorithm (Theorem 3)", E8Asymmetric},
+		{"E9", "One-round rejection lower bound (Theorem 7)", E9Rejection},
+		{"E10", "Round lower bound vs Aheavy (Theorem 2)", E10RoundsLB},
+		{"E11", "Naive fixed threshold needs Ω(log n) rounds (§1.1)", E11FixedThreshold},
+		{"E12", "Degree simulation (Lemmas 2–3)", E12Simulation},
+		{"E13", "Ablation: threshold slack exponent β", E13SlackAblation},
+		{"E14", "Ablation: phase-1 degree", E14Degree},
+		{"E15", "Deterministic n-round algorithm (§3 note)", E15Deterministic},
+		{"E16", "Extension: weighted balls", E16Weighted},
+		{"E17", "Extension: fault tolerance", E17Faults},
+	}
+}
+
+// Find returns the experiment with the given ID (case-insensitive).
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

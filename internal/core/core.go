@@ -1,0 +1,367 @@
+// Package core implements Aheavy, the paper's main contribution: a parallel,
+// symmetric threshold algorithm that allocates m balls into n bins with
+// maximal load m/n + O(1) in O(log log(m/n) + log* n) rounds w.h.p.
+// (Theorem 1 / Theorem 6).
+//
+// The algorithm has two phases:
+//
+//   - Phase 1 (threshold rounds): in round i every unallocated ball sends a
+//     request to one uniformly random bin; all bins accept requests up to the
+//     common cumulative threshold T_i = m/n − (m̃_i/n)^(2/3), where m̃_0 = m
+//     and m̃_{i+1} = m̃_i^(2/3)·n^(1/3) is the bins' (deterministic) estimate
+//     of the remaining balls. The deliberately *undershooting* threshold is
+//     the paper's key idea: it keeps all bins equally loaded, so rejected
+//     balls never search blindly among full bins. The phase ends when
+//     m̃_i ≤ O(n), after O(log log(m/n)) rounds.
+//
+//   - Phase 2 (Alight): the O(n) leftover balls are placed by the
+//     lightly-loaded-case algorithm of Lenzen & Wattenhofer (package light)
+//     with every real bin simulating O(1) virtual bins, adding O(1) load
+//     per real bin in log*(n) + O(1) rounds.
+//
+// Two interchangeable implementations are provided: Run (agent-based, exact
+// message accounting, executed on the sim engine) and RunFast (count-based;
+// exploits ball exchangeability to scale to ~10^8 balls). Both produce
+// distributionally identical allocations; tests cross-validate them.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/light"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Params tunes Aheavy. The zero value selects the paper's parameters.
+type Params struct {
+	// Beta is the threshold slack exponent; the paper uses 2/3. Must lie in
+	// (0, 1). Experiment E13 ablates it.
+	Beta float64
+	// StopFactor ends phase 1 once m̃_i <= StopFactor·n; the paper's proof
+	// uses 2. Must be >= 1.
+	StopFactor float64
+	// Degree is the number of bins each unallocated ball contacts per
+	// phase-1 round; the paper's algorithm uses 1 (experiment E14 ablates
+	// it). Only Run honours Degree; RunFast requires Degree == 1.
+	Degree int
+	// LightCap is the per-virtual-bin load cap of phase 2 (2 in LW16).
+	LightCap int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Beta == 0 {
+		p.Beta = 2.0 / 3.0
+	}
+	if p.StopFactor == 0 {
+		p.StopFactor = 2
+	}
+	if p.Degree == 0 {
+		p.Degree = 1
+	}
+	if p.LightCap == 0 {
+		p.LightCap = 2
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("core: Beta must be in (0,1), got %g", p.Beta)
+	}
+	if p.StopFactor < 1 {
+		return fmt.Errorf("core: StopFactor must be >= 1, got %g", p.StopFactor)
+	}
+	if p.Degree < 1 {
+		return fmt.Errorf("core: Degree must be >= 1, got %d", p.Degree)
+	}
+	if p.LightCap < 1 {
+		return fmt.Errorf("core: LightCap must be >= 1, got %d", p.LightCap)
+	}
+	return nil
+}
+
+// Config holds run-level knobs shared by Run and RunFast.
+type Config struct {
+	Seed     uint64
+	Workers  int
+	TieBreak sim.TieBreak
+	Trace    bool
+	Params   Params
+}
+
+// Schedule computes the cumulative phase-1 thresholds T_0 < T_1 < ... and
+// the bins' remaining-ball estimates m̃_0, m̃_1, ... (with m̃_0 = m). The
+// schedule ends when m̃_i <= StopFactor·n or when the floor'd threshold
+// stops increasing (no further progress is possible). Both slices have one
+// entry per phase-1 round; estimates additionally carries the final
+// estimate, so len(estimates) == len(thresholds)+1.
+func Schedule(p model.Problem, params Params) (thresholds []int64, estimates []float64) {
+	params = params.withDefaults()
+	mu := p.AvgLoad()
+	ns := float64(p.N)
+	mt := float64(p.M)
+	estimates = append(estimates, mt)
+	prev := int64(0)
+	for mt > params.StopFactor*ns && len(thresholds) < 512 {
+		ti := int64(math.Floor(mu - math.Pow(mt/ns, params.Beta)))
+		if ti <= prev {
+			break
+		}
+		thresholds = append(thresholds, ti)
+		prev = ti
+		mt = ns * math.Pow(mt/ns, params.Beta)
+		estimates = append(estimates, mt)
+	}
+	return thresholds, estimates
+}
+
+// PredictedRemaining returns the paper's closed-form prediction for the
+// number of unallocated balls after round i of phase 1 (Claim 2):
+// m̃_i = n·(m/n)^(beta^i).
+func PredictedRemaining(p model.Problem, beta float64, i int) float64 {
+	if beta == 0 {
+		beta = 2.0 / 3.0
+	}
+	return float64(p.N) * math.Pow(p.AvgLoad(), math.Pow(beta, float64(i)))
+}
+
+// phase1 implements sim.Protocol for the threshold rounds.
+type phase1 struct {
+	thresholds []int64
+	degree     int
+}
+
+func (h *phase1) Targets(round int, b *sim.Ball, n int, buf []int) []int {
+	for i := 0; i < h.degree; i++ {
+		buf = append(buf, b.R.Intn(n))
+	}
+	return buf
+}
+
+func (h *phase1) Hold(int) bool { return false }
+
+func (h *phase1) Capacity(round int, _ int, load int64) int64 {
+	return h.thresholds[round] - load
+}
+
+func (h *phase1) Payload(int, int, int64) int64 { return 0 }
+
+func (h *phase1) Choose(_ int, _ *sim.Ball, accepts []sim.Accept) int { return 0 }
+
+func (h *phase1) Place(a sim.Accept) int { return a.From }
+
+func (h *phase1) Done(round int, _ int64) bool { return round >= len(h.thresholds) }
+
+// Run executes Aheavy agent-based on the sim engine and returns the complete
+// allocation.
+func Run(p model.Problem, cfg Config) (*model.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	thresholds, _ := Schedule(p, params)
+
+	var (
+		res *model.Result
+		err error
+	)
+	if len(thresholds) > 0 {
+		proto := &phase1{thresholds: thresholds, degree: params.Degree}
+		eng := sim.New(p, proto, sim.Config{
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+			TieBreak:  cfg.TieBreak,
+			Trace:     cfg.Trace,
+			MaxRounds: len(thresholds) + 1,
+		})
+		res, err = eng.Run()
+		if err != nil {
+			return res, fmt.Errorf("core: phase 1: %w", err)
+		}
+	} else {
+		// Degenerate heavily-loaded ratio: everything goes to phase 2.
+		res = &model.Result{Problem: p, Loads: make([]int64, p.N), Unallocated: p.M}
+	}
+
+	return finishWithLight(p, res, params, cfg)
+}
+
+// finishWithLight runs phase 2 on the leftover balls and merges results.
+func finishWithLight(p model.Problem, phase1Res *model.Result, params Params, cfg Config) (*model.Result, error) {
+	leftover := phase1Res.Unallocated
+	if leftover == 0 {
+		return phase1Res, nil
+	}
+	// Each real bin simulates g virtual bins; g is a constant for any fixed
+	// leftover/n ratio (and the ratio is O(1) w.h.p. by Claim 4).
+	g := virtualFactor(leftover, p.N, params.LightCap)
+	nv := g * p.N
+	lightRes, err := light.Run(model.Problem{M: leftover, N: nv}, light.Config{
+		Cap:      params.LightCap,
+		Seed:     rng.Mix64(cfg.Seed ^ 0xD1B54A32D192ED03),
+		Workers:  cfg.Workers,
+		TieBreak: cfg.TieBreak,
+		Trace:    cfg.Trace,
+	})
+	if err != nil {
+		return phase1Res, fmt.Errorf("core: phase 2: %w", err)
+	}
+	// Virtual bin v belongs to real bin v mod n.
+	for v, l := range lightRes.Loads {
+		phase1Res.Loads[v%p.N] += l
+	}
+	phase1Res.Unallocated = 0
+	phase1Res.Rounds += lightRes.Rounds
+	merged := phase1Res.Metrics
+	lm := lightRes.Metrics
+	// A ball surviving phase 1 already sent one request per phase-1 round.
+	lm.MaxBallSent += phase1Res.Metrics.MaxBallSent
+	// A real bin aggregates up to g virtual bins (upper bound).
+	lm.MaxBinReceived *= int64(g)
+	merged.Add(lm)
+	phase1Res.Metrics = merged
+	phase1Res.TraceRemaining = append(phase1Res.TraceRemaining, lightRes.TraceRemaining...)
+	return phase1Res, nil
+}
+
+// virtualFactor picks the number of virtual bins per real bin so that phase
+// 2 has at least 2x capacity headroom, with a floor of 4 (the paper's g(c)).
+func virtualFactor(leftover int64, n int, cap int64) int {
+	need := int(math.Ceil(2 * float64(leftover) / (float64(cap) * float64(n))))
+	if need < 4 {
+		return 4
+	}
+	return need
+}
+
+// RunFast executes Aheavy with a count-based phase 1 that scales to very
+// large m. Balls are exchangeable, so the per-round evolution depends only
+// on the multinomial request counts per bin; the fast path samples those
+// directly with per-worker RNG streams and sharded counters. Phase 2 (with
+// only O(n) balls) runs agent-based, identical to Run.
+func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if params.Degree != 1 {
+		return nil, fmt.Errorf("core: RunFast supports Degree == 1 only, got %d", params.Degree)
+	}
+	thresholds, _ := Schedule(p, params)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	streams := rng.New(rng.Mix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)).SplitN(workers)
+
+	n := p.N
+	loads := make([]int64, n)
+	received := make([]int64, n)
+	var metrics model.Metrics
+	var trace []int64
+
+	remaining := p.M
+	rounds := 0
+	for i := 0; i < len(thresholds) && remaining > 0; i++ {
+		if cfg.Trace {
+			trace = append(trace, remaining)
+		}
+		counts := sampleUniformCounts(remaining, n, streams, workers)
+		metrics.BallRequests += remaining
+		metrics.BinReplies += remaining
+		metrics.TotalMessages += 2 * remaining
+
+		var allocated int64
+		ti := thresholds[i]
+		for b := 0; b < n; b++ {
+			c := counts[b]
+			received[b] += c
+			free := ti - loads[b]
+			if free <= 0 {
+				continue
+			}
+			take := c
+			if take > free {
+				take = free
+			}
+			loads[b] += take
+			allocated += take
+		}
+		metrics.CommitMessages += allocated
+		metrics.TotalMessages += allocated
+		remaining -= allocated
+		rounds++
+	}
+
+	for _, v := range received {
+		if v > metrics.MaxBinReceived {
+			metrics.MaxBinReceived = v
+		}
+	}
+	// Exchangeability: every ball still unallocated after phase 1 sent
+	// exactly `rounds` requests; an allocated ball sent at most that.
+	metrics.MaxBallSent = int64(rounds)
+
+	res := &model.Result{
+		Problem:        p,
+		Loads:          loads,
+		Rounds:         rounds,
+		Metrics:        metrics,
+		Unallocated:    remaining,
+		TraceRemaining: trace,
+	}
+	return finishWithLight(p, res, params, cfg)
+}
+
+// sampleUniformCounts distributes `balls` uniform choices over n bins in
+// parallel and returns the per-bin counts (an exact multinomial sample).
+func sampleUniformCounts(balls int64, n int, streams []*rng.Rand, workers int) []int64 {
+	if balls < int64(n)*4 || balls > int64(n)*200 || workers == 1 {
+		// The conditional-binomial chain costs O(n) regardless of the ball
+		// count (each binomial draw is O(1) via BTRS), so it wins both for
+		// tiny rounds and for very heavy ones; per-ball parallel sampling
+		// only pays off in the middle regime.
+		out := make([]int64, n)
+		streams[0].Multinomial(balls, out)
+		return out
+	}
+	shards := make([][]int32, workers)
+	var wg sync.WaitGroup
+	per := balls / int64(workers)
+	for w := 0; w < workers; w++ {
+		quota := per
+		if w == workers-1 {
+			quota = balls - per*int64(workers-1)
+		}
+		wg.Add(1)
+		go func(w int, quota int64) {
+			defer wg.Done()
+			local := make([]int32, n)
+			r := streams[w]
+			for j := int64(0); j < quota; j++ {
+				local[r.Intn(n)]++
+			}
+			shards[w] = local
+		}(w, quota)
+	}
+	wg.Wait()
+	out := make([]int64, n)
+	for _, s := range shards {
+		for b, c := range s {
+			out[b] += int64(c)
+		}
+	}
+	return out
+}

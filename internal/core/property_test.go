@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// TestSchedulePropertyInvariants checks, over randomized instances and
+// slack exponents, that the threshold schedule is strictly increasing,
+// stays below the average load, and its estimates shrink monotonically
+// down to the stop region.
+func TestSchedulePropertyInvariants(t *testing.T) {
+	err := quick.Check(func(mRaw uint32, nRaw uint16, betaRaw uint8) bool {
+		n := int(nRaw%4096) + 2
+		m := int64(n)*4 + int64(mRaw%100_000_000)
+		beta := 0.4 + float64(betaRaw%50)/100 // [0.4, 0.9)
+		params := Params{Beta: beta}
+		ts, est := Schedule(model.Problem{M: m, N: n}, params)
+		if len(est) != len(ts)+1 || est[0] != float64(m) {
+			return false
+		}
+		mu := float64(m) / float64(n)
+		for i, ti := range ts {
+			if float64(ti) >= mu {
+				return false
+			}
+			if i > 0 && ti <= ts[i-1] {
+				return false
+			}
+		}
+		for i := 1; i < len(est); i++ {
+			if est[i] >= est[i-1] {
+				return false
+			}
+			// Exact recursion: est[i] = n·(est[i-1]/n)^beta.
+			want := float64(n) * math.Pow(est[i-1]/float64(n), beta)
+			if math.Abs(est[i]-want) > 1e-6*want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFastConservationProperty checks completeness of the fast path on
+// randomized instances, including degenerate shapes.
+func TestRunFastConservationProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, mRaw uint32, nRaw uint8) bool {
+		n := int(nRaw%128) + 1
+		m := int64(mRaw % 2_000_000)
+		res, err := RunFast(model.Problem{M: m, N: n}, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Check() == nil
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeftoverMatchesEstimateProperty: after phase 1 the unallocated count
+// should sit near the schedule's final estimate for heavy instances
+// (Claim 2 + Claim 4 give m_i1 = O(m̃_i1 + n)).
+func TestLeftoverMatchesEstimateProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, ratioRaw uint8) bool {
+		n := 512
+		ratio := int64(ratioRaw%200) + 56 // heavy enough for a schedule
+		p := model.Problem{M: int64(n) * ratio, N: n}
+		ts, est := Schedule(p, Params{})
+		if len(ts) == 0 {
+			return true // no phase 1; nothing to check
+		}
+		res, err := RunFast(p, Config{Seed: seed, Trace: true})
+		if err != nil {
+			return false
+		}
+		if res.Check() != nil {
+			return false
+		}
+		// TraceRemaining covers phase-1 rounds; compare the last phase-1
+		// remaining value against the final estimate.
+		if len(res.TraceRemaining) < len(ts) {
+			return true // phase 1 emptied early (tiny instances)
+		}
+		got := float64(res.TraceRemaining[len(ts)-1])
+		want := est[len(ts)-1]
+		return got <= 3*want+3*float64(n)
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package light
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestScheduleGrowth(t *testing.T) {
+	maxReq := 1 << 16
+	want := []int{1, 2, 4, 16, 65536, 65536}
+	for r, k := range want {
+		if got := Schedule(r, maxReq); got != k {
+			t.Errorf("Schedule(%d) = %d want %d", r, got, k)
+		}
+	}
+}
+
+func TestScheduleCaps(t *testing.T) {
+	for r := 0; r < 10; r++ {
+		if got := Schedule(r, 8); got > 8 {
+			t.Fatalf("Schedule(%d, 8) = %d exceeds cap", r, got)
+		}
+	}
+	if Schedule(3, 8) != 8 {
+		t.Fatalf("Schedule(3, 8) = %d want 8", Schedule(3, 8))
+	}
+}
+
+func TestRunBalancedInstance(t *testing.T) {
+	// n balls into n bins: the core LW16 setting.
+	for _, n := range []int{10, 100, 1000, 10000} {
+		p := model.Problem{M: int64(n), N: n}
+		res, err := Run(p, Config{Seed: uint64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.MaxLoad() > 2 {
+			t.Fatalf("n=%d: max load %d exceeds cap 2", n, res.MaxLoad())
+		}
+		if res.Rounds > ExpectedRounds(n)+4 {
+			t.Fatalf("n=%d: %d rounds, expected about %d", n, res.Rounds, ExpectedRounds(n))
+		}
+	}
+}
+
+func TestRunRoundsNearLogStar(t *testing.T) {
+	// Round counts should be tiny and essentially flat in n (log* growth).
+	var maxRounds int
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		p := model.Problem{M: int64(n), N: n}
+		res, err := Run(p, Config{Seed: 7})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Rounds > maxRounds {
+			maxRounds = res.Rounds
+		}
+	}
+	if maxRounds > 8 {
+		t.Fatalf("rounds grew to %d; expected log*-flat (<= 8)", maxRounds)
+	}
+}
+
+func TestRunMessagesLinear(t *testing.T) {
+	// Total messages should be O(n): check the constant stays small across
+	// a decade of sizes.
+	for _, n := range []int{1000, 10000, 100000} {
+		p := model.Problem{M: int64(n), N: n}
+		res, err := Run(p, Config{Seed: 3})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		perBall := float64(res.Metrics.BallRequests) / float64(n)
+		if perBall > 8 {
+			t.Fatalf("n=%d: %.1f requests per ball; expected O(1)", n, perBall)
+		}
+	}
+}
+
+func TestRunCustomCap(t *testing.T) {
+	p := model.Problem{M: 3000, N: 1000}
+	res, err := Run(p, Config{Seed: 5, Cap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad() > 4 {
+		t.Fatalf("max load %d exceeds cap 4", res.MaxLoad())
+	}
+}
+
+func TestRunInfeasibleInstance(t *testing.T) {
+	p := model.Problem{M: 2001, N: 1000}
+	if _, err := Run(p, Config{Seed: 1, Cap: 2}); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestRunTightFit(t *testing.T) {
+	// M == Cap*N exactly: every bin must end at exactly Cap.
+	p := model.Problem{M: 200, N: 100}
+	res, err := Run(p, Config{Seed: 9, Cap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Loads {
+		if l != 2 {
+			t.Fatalf("bin %d load %d; tight fit must fill all bins", i, l)
+		}
+	}
+}
+
+func TestRunFewBallsManyBins(t *testing.T) {
+	p := model.Problem{M: 10, N: 100000}
+	res, err := Run(p, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("tiny instance took %d rounds", res.Rounds)
+	}
+}
+
+func TestRunZeroBalls(t *testing.T) {
+	res, err := Run(model.Problem{M: 0, N: 10}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("zero balls took %d rounds", res.Rounds)
+	}
+}
+
+func TestRunInvalidProblem(t *testing.T) {
+	if _, err := Run(model.Problem{M: 1, N: 0}, Config{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestRunAdversarialTieBreak(t *testing.T) {
+	// The load cap must hold under adversarial tie-breaking too.
+	p := model.Problem{M: 5000, N: 5000}
+	res, err := Run(p, Config{Seed: 21, TieBreak: sim.TieAdversarialHighID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad() > 2 {
+		t.Fatalf("max load %d under adversarial tie-break", res.MaxLoad())
+	}
+}
+
+func TestRunManySeedsWHP(t *testing.T) {
+	// w.h.p. behaviour: across 30 seeds, every run meets cap and round
+	// bounds.
+	const n = 2000
+	var rounds stats.Running
+	for seed := uint64(0); seed < 30; seed++ {
+		res, err := Run(model.Problem{M: n, N: n}, Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MaxLoad() > 2 {
+			t.Fatalf("seed %d: max load %d", seed, res.MaxLoad())
+		}
+		rounds.Add(float64(res.Rounds))
+	}
+	if rounds.Max() > 8 {
+		t.Fatalf("worst-case rounds %.0f over 30 seeds", rounds.Max())
+	}
+}
+
+func TestExpectedRounds(t *testing.T) {
+	if ExpectedRounds(65536) != 4+2 {
+		t.Fatalf("ExpectedRounds(65536) = %d", ExpectedRounds(65536))
+	}
+	if ExpectedRounds(2) != 1+2 {
+		t.Fatalf("ExpectedRounds(2) = %d", ExpectedRounds(2))
+	}
+}

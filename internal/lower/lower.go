@@ -1,0 +1,267 @@
+// Package lower reproduces the lower-bound side of the paper (Section 4,
+// Theorems 2 and 7) empirically.
+//
+// Theorem 7 is the quantitative engine: if M ≥ Cn balls each contact one
+// uniform bin and bin i accepts up to L_i of them with ΣL_i = M + O(n),
+// then w.h.p. Ω(sqrt(Mn)/t) balls are rejected, where
+// t = Θ(min{log n, log(M/n)}). Crucially this holds for *any* capacity
+// vector — per-bin thresholds do not help. Iterating the bound yields the
+// Ω(log log(m/n)) round lower bound of Theorem 2: the remainder can shrink
+// at best like M_{i+1} ≈ sqrt(M_i·n), exactly the recursion Aheavy's upper
+// bound follows, so the algorithm's analysis is tight.
+//
+// This package provides: one-round rejection measurement under several
+// capacity profiles (uniform, two-class, linear ramp, random — all with the
+// same total), the S_i/I_k class decomposition used in the proof of
+// Theorem 7 (as a diagnostic), and the recursion tracker used by experiment
+// E10 to compare measured per-round remainders against the
+// sqrt(M_i·n)-recursion floor.
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// CapacityProfile names a way of distributing total capacity M + slack·n
+// over n bins. All profiles conserve the same total, so Theorem 7 applies
+// identically to each.
+type CapacityProfile int
+
+const (
+	// Uniform gives every bin M/n + slack (remainder spread one-per-bin).
+	Uniform CapacityProfile = iota
+	// TwoClass gives half the bins a low cap and half a high cap with the
+	// same total (low = 0.8x mean, high = 1.2x mean).
+	TwoClass
+	// Ramp ramps capacities linearly from 0.5x to 1.5x of the mean.
+	Ramp
+	// Random draws capacities as a symmetric multinomial split of the
+	// total (bin-exchangeable, dependent, same total).
+	Random
+)
+
+func (c CapacityProfile) String() string {
+	switch c {
+	case Uniform:
+		return "uniform"
+	case TwoClass:
+		return "two-class"
+	case Ramp:
+		return "ramp"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("profile(%d)", int(c))
+	}
+}
+
+// Capacities materializes a profile: n per-bin caps summing to exactly
+// M + slack·n. It panics on invalid arguments.
+func Capacities(profile CapacityProfile, m int64, n int, slack int64, seed uint64) []int64 {
+	if n <= 0 || m < 0 || slack < 0 {
+		panic("lower: invalid capacity arguments")
+	}
+	total := m + slack*int64(n)
+	caps := make([]int64, n)
+	switch profile {
+	case Uniform:
+		base := total / int64(n)
+		rem := total - base*int64(n)
+		for i := range caps {
+			caps[i] = base
+			if int64(i) < rem {
+				caps[i]++
+			}
+		}
+	case TwoClass:
+		mean := float64(total) / float64(n)
+		lo := int64(math.Floor(0.8 * mean))
+		half := n / 2
+		var used int64
+		for i := 0; i < half; i++ {
+			caps[i] = lo
+			used += lo
+		}
+		restBins := int64(n - half)
+		base := (total - used) / restBins
+		rem := (total - used) - base*restBins
+		for i := half; i < n; i++ {
+			caps[i] = base
+			if int64(i-half) < rem {
+				caps[i]++
+			}
+		}
+	case Ramp:
+		mean := float64(total) / float64(n)
+		var used int64
+		for i := 0; i < n-1; i++ {
+			f := 0.5 + float64(i)/float64(n-1)
+			if n == 1 {
+				f = 1
+			}
+			caps[i] = int64(f * mean)
+			used += caps[i]
+		}
+		caps[n-1] = total - used
+	case Random:
+		r := rng.New(seed)
+		r.Multinomial(total, caps)
+	default:
+		panic(fmt.Sprintf("lower: unknown profile %d", profile))
+	}
+	return caps
+}
+
+// RoundResult reports one round of the Theorem 7 experiment.
+type RoundResult struct {
+	M        int64 // balls thrown
+	N        int
+	Rejected int64 // balls over capacity
+	Accepted int64
+	MaxCount int64 // largest per-bin request count observed
+}
+
+// OneRound throws m balls into n bins uniformly (exact multinomial) and
+// counts rejections against caps. The capacity vector is not modified.
+func OneRound(m int64, caps []int64, seed uint64) RoundResult {
+	n := len(caps)
+	if n == 0 {
+		panic("lower: OneRound with no bins")
+	}
+	counts := make([]int64, n)
+	rng.New(seed).Multinomial(m, counts)
+	var rejected, maxCount int64
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if over := c - caps[i]; over > 0 {
+			rejected += over
+		}
+	}
+	return RoundResult{M: m, N: n, Rejected: rejected, Accepted: m - rejected, MaxCount: maxCount}
+}
+
+// TParam returns t = min(⌈log2 n⌉, ⌈log2(M/n)⌉ + 1) from Theorem 7.
+func TParam(m int64, n int) float64 {
+	t1 := math.Ceil(math.Log2(float64(n)))
+	t2 := math.Ceil(math.Log2(float64(m)/float64(n))) + 1
+	t := math.Min(t1, t2)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// PredictedRejections returns the Theorem 7 lower bound sqrt(Mn)/t
+// (without its constant).
+func PredictedRejections(m int64, n int) float64 {
+	return math.Sqrt(float64(m)*float64(n)) / TParam(m, n)
+}
+
+// Class is one I_k bucket from the proof of Theorem 7: the bins whose
+// surplus S_i = µ + 2·sqrt(µ) − L_i falls in [2^k, 2^(k+1)).
+type Class struct {
+	K    int     // class index; -1 denotes I_* (S_i in (0,1))
+	Size int     // number of bins in the class
+	SumS float64 // Σ S_i over the class
+}
+
+// Decompose computes the S_i class decomposition of a capacity vector, the
+// diagnostic at the heart of the Theorem 7 proof: it returns the classes
+// with nonzero membership, ordered by K ascending (I_* first).
+func Decompose(m int64, caps []int64) []Class {
+	n := len(caps)
+	mu := float64(m) / float64(n)
+	surplus := mu + 2*math.Sqrt(mu)
+	byK := map[int]*Class{}
+	for _, l := range caps {
+		s := surplus - float64(l)
+		if s <= 0 {
+			continue
+		}
+		k := -1 // I_*
+		if s >= 1 {
+			k = int(math.Floor(math.Log2(s)))
+		}
+		c := byK[k]
+		if c == nil {
+			c = &Class{K: k}
+			byK[k] = c
+		}
+		c.Size++
+		c.SumS += s
+	}
+	out := make([]Class, 0, len(byK))
+	minK, maxK := math.MaxInt32, math.MinInt32
+	for k := range byK {
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for k := minK; k <= maxK; k++ {
+		if c := byK[k]; c != nil {
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+// HeaviestClass returns the class with the largest SumS (the pigeonhole
+// step of the proof), or a zero Class when none qualifies.
+func HeaviestClass(classes []Class) Class {
+	var best Class
+	for _, c := range classes {
+		if c.SumS > best.SumS {
+			best = c
+		}
+	}
+	return best
+}
+
+// Recursion tracks the best-possible remainder sequence of Theorem 2:
+// M_0 = m and M_{i+1} = c·sqrt(M_i·n)/t_i, the fastest any uniform
+// threshold algorithm can shrink the unallocated count. Iterating until
+// M_i <= K·n yields the Ω(log log(m/n)) round bound.
+type Recursion struct {
+	M0     int64
+	N      int
+	C      float64 // constant in front of sqrt(Mn)/t; 0 means 0.25
+	values []float64
+}
+
+// Steps returns the remainder sequence down to (and including) the first
+// value <= target, capped at maxSteps entries.
+func (r *Recursion) Steps(target float64, maxSteps int) []float64 {
+	c := r.C
+	if c == 0 {
+		c = 0.25
+	}
+	vals := []float64{float64(r.M0)}
+	cur := float64(r.M0)
+	for len(vals) < maxSteps && cur > target {
+		next := c * math.Sqrt(cur*float64(r.N)) / TParam(int64(cur), r.N)
+		if next >= cur {
+			break // recursion has bottomed out
+		}
+		cur = next
+		vals = append(vals, cur)
+	}
+	r.values = vals
+	return vals
+}
+
+// LowerBoundRounds returns the number of recursion steps until the
+// remainder falls below K·n — the Theorem 2 round lower bound for the
+// instance (up to constants).
+func LowerBoundRounds(m int64, n int, k float64) int {
+	r := Recursion{M0: m, N: n}
+	steps := r.Steps(k*float64(n), 128)
+	return len(steps) - 1
+}

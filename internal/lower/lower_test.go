@@ -1,0 +1,228 @@
+package lower
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestCapacitiesConserveTotal(t *testing.T) {
+	for _, profile := range []CapacityProfile{Uniform, TwoClass, Ramp, Random} {
+		for _, tc := range []struct {
+			m     int64
+			n     int
+			slack int64
+		}{{1000, 10, 2}, {100000, 1000, 1}, {17, 3, 0}, {1 << 20, 1 << 8, 4}} {
+			caps := Capacities(profile, tc.m, tc.n, tc.slack, 7)
+			want := tc.m + tc.slack*int64(tc.n)
+			if got := stats.SumInt64(caps); got != want {
+				t.Fatalf("%v m=%d n=%d: total %d want %d", profile, tc.m, tc.n, got, want)
+			}
+			if len(caps) != tc.n {
+				t.Fatalf("%v: wrong length", profile)
+			}
+		}
+	}
+}
+
+func TestCapacitiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid args did not panic")
+		}
+	}()
+	Capacities(Uniform, -1, 10, 0, 1)
+}
+
+func TestProfileString(t *testing.T) {
+	for _, p := range []CapacityProfile{Uniform, TwoClass, Ramp, Random} {
+		if p.String() == "" {
+			t.Fatal("empty profile name")
+		}
+	}
+	if CapacityProfile(99).String() == "" {
+		t.Fatal("unknown profile has empty name")
+	}
+}
+
+func TestOneRoundAccounting(t *testing.T) {
+	caps := Capacities(Uniform, 100000, 100, 2, 1)
+	res := OneRound(100000, caps, 42)
+	if res.Accepted+res.Rejected != 100000 {
+		t.Fatalf("accounting broken: %d + %d", res.Accepted, res.Rejected)
+	}
+	if res.Rejected <= 0 {
+		t.Fatal("expected rejections with tight caps")
+	}
+	if res.MaxCount < 1000 {
+		t.Fatalf("max count %d below the mean", res.MaxCount)
+	}
+}
+
+func TestOneRoundNoRejectionsWithHugeCaps(t *testing.T) {
+	caps := make([]int64, 10)
+	for i := range caps {
+		caps[i] = 1 << 40
+	}
+	res := OneRound(1000, caps, 3)
+	if res.Rejected != 0 {
+		t.Fatalf("rejected %d with huge caps", res.Rejected)
+	}
+}
+
+func TestTheorem7LowerBoundHolds(t *testing.T) {
+	// The heart of E9: for every capacity profile with total M + 2n, the
+	// measured rejections must be at least a constant fraction of
+	// sqrt(Mn)/t across seeds.
+	m := int64(1 << 22)
+	n := 1 << 10
+	pred := PredictedRejections(m, n)
+	for _, profile := range []CapacityProfile{Uniform, TwoClass, Ramp, Random} {
+		var rej stats.Running
+		for seed := uint64(0); seed < 10; seed++ {
+			caps := Capacities(profile, m, n, 2, seed)
+			res := OneRound(m, caps, seed*13+1)
+			rej.Add(float64(res.Rejected))
+		}
+		// Constant is generous: the theorem's constant is small, but the
+		// measured value should be the same order of magnitude.
+		if rej.Mean() < pred/10 {
+			t.Fatalf("%v: mean rejections %.0f below prediction scale %.0f",
+				profile, rej.Mean(), pred)
+		}
+	}
+}
+
+func TestRejectionScalesWithSqrtM(t *testing.T) {
+	// Doubling M must scale rejections like sqrt(M) (for uniform caps and
+	// fixed n): fit the exponent over a decade.
+	n := 1 << 10
+	var xs, ys []float64
+	for _, m := range []int64{1 << 20, 1 << 22, 1 << 24, 1 << 26} {
+		var rej stats.Running
+		for seed := uint64(0); seed < 8; seed++ {
+			caps := Capacities(Uniform, m, n, 2, seed)
+			rej.Add(float64(OneRound(m, caps, seed*7+5).Rejected))
+		}
+		xs = append(xs, float64(m))
+		ys = append(ys, rej.Mean())
+	}
+	_, alpha, r2 := stats.PowerFit(xs, ys)
+	if math.Abs(alpha-0.5) > 0.1 {
+		t.Fatalf("rejection exponent %.3f (r2=%.3f); Theorem 7 predicts 0.5", alpha, r2)
+	}
+}
+
+func TestTParam(t *testing.T) {
+	// t = min(ceil(log2 n), ceil(log2(M/n))+1).
+	if got := TParam(1<<20, 1<<10); got != 10 {
+		t.Fatalf("TParam = %g want 10 (log2 n)", got)
+	}
+	if got := TParam(1<<12, 1<<10); got != 3 {
+		t.Fatalf("TParam = %g want 3 (log2(M/n)+1)", got)
+	}
+	if got := TParam(2, 2); got < 1 {
+		t.Fatalf("TParam = %g below 1", got)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	// Uniform caps at the mean: every bin has surplus 2*sqrt(mu), all in
+	// the same class.
+	m := int64(10000)
+	n := 100
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = 100 // = mu
+	}
+	classes := Decompose(m, caps)
+	if len(classes) != 1 {
+		t.Fatalf("expected a single class, got %d", len(classes))
+	}
+	// S = 2*sqrt(100) = 20 -> k = 4 ([16,32)).
+	if classes[0].K != 4 || classes[0].Size != n {
+		t.Fatalf("class %+v", classes[0])
+	}
+	if math.Abs(classes[0].SumS-float64(n)*20) > 1e-6 {
+		t.Fatalf("SumS = %g", classes[0].SumS)
+	}
+}
+
+func TestDecomposeSkipsSaturatedBins(t *testing.T) {
+	// Bins with caps far above mu + 2 sqrt(mu) contribute no class.
+	caps := []int64{1000, 1000, 10} // mu = 670
+	classes := Decompose(2010, caps)
+	total := 0
+	for _, c := range classes {
+		total += c.Size
+	}
+	if total != 1 {
+		t.Fatalf("expected only the tight bin classified, got %d bins", total)
+	}
+}
+
+func TestDecomposeIStar(t *testing.T) {
+	// S in (0,1) lands in I_* (K = -1).
+	m := int64(100)
+	caps := []int64{120, 120} // mu = 50, surplus = 50 + 14.14 = 64.14... caps 120 -> S<0
+	classes := Decompose(m, caps)
+	if len(classes) != 0 {
+		t.Fatalf("expected no classes, got %v", classes)
+	}
+	caps = []int64{64, 64} // S = 0.142 -> I_*
+	classes = Decompose(m, caps)
+	if len(classes) != 1 || classes[0].K != -1 {
+		t.Fatalf("expected I_*, got %v", classes)
+	}
+}
+
+func TestHeaviestClass(t *testing.T) {
+	classes := []Class{{K: 1, SumS: 5}, {K: 3, SumS: 50}, {K: 2, SumS: 10}}
+	if HeaviestClass(classes).K != 3 {
+		t.Fatal("wrong heaviest class")
+	}
+	if HeaviestClass(nil).SumS != 0 {
+		t.Fatal("empty classes should give zero class")
+	}
+}
+
+func TestRecursionMatchesLogLog(t *testing.T) {
+	// The Theorem 2 recursion must need ~log log(m/n) steps to reach O(n).
+	n := 1 << 10
+	var rounds []float64
+	var loglogs []float64
+	for _, logRatio := range []int{8, 16, 32} {
+		m := int64(n) << uint(logRatio)
+		r := LowerBoundRounds(m, n, 4)
+		rounds = append(rounds, float64(r))
+		loglogs = append(loglogs, math.Log2(float64(logRatio)))
+	}
+	// Rounds should grow roughly linearly in log log(m/n).
+	_, slope, _ := stats.LinearFit(loglogs, rounds)
+	if slope < 0.5 || slope > 4 {
+		t.Fatalf("recursion rounds vs loglog slope %.2f; want ~1-2 (rounds=%v)", slope, rounds)
+	}
+}
+
+func TestRecursionMonotone(t *testing.T) {
+	r := Recursion{M0: 1 << 30, N: 1 << 10}
+	steps := r.Steps(float64(1<<12), 64)
+	for i := 1; i < len(steps); i++ {
+		if steps[i] >= steps[i-1] {
+			t.Fatalf("recursion not decreasing at %d: %v", i, steps[:i+1])
+		}
+	}
+	if steps[len(steps)-1] > float64(1<<12)*1.01 && len(steps) < 64 {
+		t.Fatal("recursion stopped above target")
+	}
+}
+
+func TestOneRoundPanicsOnNoBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OneRound with no bins did not panic")
+		}
+	}()
+	OneRound(10, nil, 1)
+}

@@ -1,0 +1,212 @@
+package rng
+
+import "math"
+
+// Binomial samples from Binomial(n, p) exactly.
+//
+// Three regimes are used:
+//
+//   - trivial: p <= 0, p >= 1, or n == 0;
+//   - inversion (BINV): n*min(p,1-p) < 30, cumulative search from 0 — exact
+//     and fast when the mean is small;
+//   - transformed rejection (BTRS, Hörmann 1993): large means — exact and
+//     O(1) expected time regardless of n*p.
+//
+// The sampler exploits the symmetry Binomial(n, p) = n − Binomial(n, 1−p)
+// so the core routines only see q = min(p, 1−p) <= 1/2.
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	if n < 0 {
+		panic("rng: Binomial called with n < 0")
+	}
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	q := p
+	flipped := false
+	if q > 0.5 {
+		q = 1 - q
+		flipped = true
+	}
+	var k int64
+	if float64(n)*q < 30 {
+		k = r.binomialInversion(n, q)
+	} else {
+		k = r.binomialBTRS(n, q)
+	}
+	if flipped {
+		return n - k
+	}
+	return k
+}
+
+// binomialInversion samples Binomial(n, q) for small n*q by inverting the
+// CDF with the recurrence pmf(k+1) = pmf(k) * (n-k)/(k+1) * q/(1-q).
+// Expected cost is O(n*q) pmf steps. To protect against the (very rare)
+// event that accumulated floating-point error makes the CDF top out below
+// the drawn uniform, the draw is retried with a fresh uniform.
+func (r *Rand) binomialInversion(n int64, q float64) int64 {
+	s := q / (1 - q)
+	// pmf(0) = (1-q)^n; computed in log space to avoid underflow for large n.
+	logP0 := float64(n) * math.Log1p(-q)
+	p0 := math.Exp(logP0)
+	for {
+		u := r.Float64()
+		k := int64(0)
+		pk := p0
+		for u > pk && k < n {
+			u -= pk
+			k++
+			pk *= s * float64(n-k+1) / float64(k)
+		}
+		if u <= pk || k == n {
+			return k
+		}
+		// Numeric fallthrough (prob < 1e-300 territory): retry.
+	}
+}
+
+// binomialBTRS samples Binomial(n, q), q <= 1/2, n*q >= 10, using the
+// transformed-rejection algorithm with squeeze (BTRS) of Hörmann (1993),
+// "The generation of binomial random variates". The algorithm draws a
+// candidate from a shifted/scaled logistic-like transformation of a uniform
+// and accepts it against the exact pmf computed via Stirling corrections,
+// so the output distribution is exact.
+func (r *Rand) binomialBTRS(n int64, q float64) int64 {
+	nf := float64(n)
+	spq := math.Sqrt(nf * q * (1 - q))
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*q
+	c := nf*q + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(q / (1 - q))
+	m := math.Floor((nf + 1) * q) // mode
+	h := logFactorial(m) + logFactorial(nf-m)
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		// Inside the squeeze region the hat is tight and the candidate is
+		// guaranteed in range; accept immediately (happens ~86% of draws).
+		if us >= 0.07 && v <= vr {
+			return int64(kf)
+		}
+		if kf < 0 || kf > nf {
+			continue
+		}
+		lv := math.Log(v * alpha / (a/(us*us) + b))
+		if lv <= h-logFactorial(kf)-logFactorial(nf-kf)+(kf-m)*lpq {
+			return int64(kf)
+		}
+	}
+}
+
+// logFactorial returns log(x!) for non-negative integral x passed as a
+// float64. Small values use a table; larger values use the Stirling series
+// with enough correction terms for full double precision in this use.
+func logFactorial(x float64) float64 {
+	if x < 0 {
+		panic("rng: logFactorial of negative value")
+	}
+	if x < float64(len(logFactTable)) {
+		return logFactTable[int(x)]
+	}
+	// Stirling series: ln x! = x ln x - x + 0.5 ln(2 pi x)
+	//   + 1/(12x) - 1/(360x^3) + 1/(1260x^5)
+	inv := 1 / x
+	inv2 := inv * inv
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) +
+		inv*(1.0/12.0-inv2*(1.0/360.0-inv2/1260.0))
+}
+
+var logFactTable = func() [128]float64 {
+	var t [128]float64
+	acc := 0.0
+	for i := 2; i < len(t); i++ {
+		acc += math.Log(float64(i))
+		t[i] = acc
+	}
+	return t
+}()
+
+// Multinomial distributes total indistinguishable balls across len(out) bins
+// with equal probability per bin, writing the counts into out. It uses the
+// conditional-binomial chain, so the result is an exact multinomial sample.
+// The contents of out are overwritten.
+func (r *Rand) Multinomial(total int64, out []int64) {
+	n := len(out)
+	if n == 0 {
+		if total != 0 {
+			panic("rng: Multinomial into zero bins with nonzero total")
+		}
+		return
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	remaining := total
+	for i := 0; i < n-1 && remaining > 0; i++ {
+		x := r.Binomial(remaining, 1/float64(n-i))
+		out[i] = x
+		remaining -= x
+	}
+	out[n-1] += remaining
+}
+
+// MultinomialWeighted distributes total balls across len(weights) bins with
+// probability proportional to weights[i], writing counts into out (which
+// must have the same length). Weights must be non-negative with a positive
+// sum.
+func (r *Rand) MultinomialWeighted(total int64, weights []float64, out []int64) {
+	if len(weights) != len(out) {
+		panic("rng: MultinomialWeighted length mismatch")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: MultinomialWeighted negative or NaN weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: MultinomialWeighted requires positive total weight")
+	}
+	remaining := total
+	remW := sum
+	for i := 0; i < len(out); i++ {
+		out[i] = 0
+		if remaining == 0 {
+			continue
+		}
+		if i == len(out)-1 || weights[i] >= remW {
+			out[i] = remaining
+			remaining = 0
+			continue
+		}
+		x := r.Binomial(remaining, weights[i]/remW)
+		out[i] = x
+		remaining -= x
+		remW -= weights[i]
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials (support {0, 1, 2, ...}). It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int64(math.Log(u) / math.Log1p(-p))
+}

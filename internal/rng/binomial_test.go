@@ -1,0 +1,343 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(1)
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+	if v := r.Binomial(100, 0); v != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", v)
+	}
+	if v := r.Binomial(100, 1); v != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", v)
+	}
+	if v := r.Binomial(100, -0.2); v != 0 {
+		t.Fatalf("Binomial(100, -0.2) = %d", v)
+	}
+	if v := r.Binomial(100, 1.7); v != 100 {
+		t.Fatalf("Binomial(100, 1.7) = %d", v)
+	}
+}
+
+func TestBinomialPanicsOnNegativeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, .5) did not panic")
+		}
+	}()
+	New(1).Binomial(-1, 0.5)
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(2)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{1, 0.5}, {10, 0.01}, {10, 0.99}, {1000, 0.5},
+		{1000000, 0.0001}, {1000000, 0.5}, {5, 0.3},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 500; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d, %g) = %d out of range", tc.n, tc.p, v)
+			}
+		}
+	}
+}
+
+// TestBinomialMoments checks sample mean and variance against n*p and
+// n*p*(1-p) across both sampler regimes (inversion and BTRS).
+func TestBinomialMoments(t *testing.T) {
+	r := New(3)
+	cases := []struct {
+		n     int64
+		p     float64
+		draws int
+	}{
+		{50, 0.1, 40000},     // inversion regime (np = 5)
+		{100, 0.25, 40000},   // inversion regime (np = 25)
+		{1000, 0.2, 40000},   // BTRS regime (np = 200)
+		{100000, 0.5, 20000}, // BTRS regime, symmetric
+		{100000, 0.9, 20000}, // flipped to q = 0.1
+	}
+	for _, tc := range cases {
+		mean, m2 := 0.0, 0.0
+		for i := 1; i <= tc.draws; i++ {
+			x := float64(r.Binomial(tc.n, tc.p))
+			d := x - mean
+			mean += d / float64(i)
+			m2 += d * (x - mean)
+		}
+		variance := m2 / float64(tc.draws-1)
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		// Tolerances: 6 standard errors.
+		seMean := math.Sqrt(wantVar / float64(tc.draws))
+		if math.Abs(mean-wantMean) > 6*seMean+1e-9 {
+			t.Errorf("Binomial(%d,%g): mean %.2f want %.2f (±%.2f)",
+				tc.n, tc.p, mean, wantMean, 6*seMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Binomial(%d,%g): var %.2f want %.2f",
+				tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialChiSquare compares the empirical distribution against the exact
+// pmf for a moderate case spanning the BTRS regime boundary.
+func TestBinomialChiSquare(t *testing.T) {
+	r := New(4)
+	const n, p, draws = 400, 0.25, 200000 // np = 100 -> BTRS
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	lo := int(mean - 5*sd)
+	hi := int(mean + 5*sd)
+	counts := make([]int, hi-lo+2) // last slot = outside window
+	for i := 0; i < draws; i++ {
+		v := int(r.Binomial(n, p))
+		if v < lo || v > hi {
+			counts[len(counts)-1]++
+		} else {
+			counts[v-lo]++
+		}
+	}
+	// Exact pmf via log factorials.
+	chi2, dof := 0.0, 0
+	lp, lq := math.Log(p), math.Log(1-p)
+	for k := lo; k <= hi; k++ {
+		lpmf := logFactorial(float64(n)) - logFactorial(float64(k)) -
+			logFactorial(float64(n-k)) + float64(k)*lp + float64(n-k)*lq
+		exp := math.Exp(lpmf) * draws
+		if exp < 10 {
+			continue // skip sparse cells
+		}
+		d := float64(counts[k-lo]) - exp
+		chi2 += d * d / exp
+		dof++
+	}
+	// Generous bound: chi2 should be near dof; allow dof + 5*sqrt(2*dof).
+	limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+	if chi2 > limit {
+		t.Fatalf("chi2 = %.1f over %d cells exceeds %.1f", chi2, dof, limit)
+	}
+}
+
+func TestBinomialInversionMatchesBTRSMoments(t *testing.T) {
+	// Around np = 30 either regime may trigger depending on p; verify both
+	// give consistent means at the boundary.
+	const draws = 60000
+	for _, np := range []float64{25, 30, 35} {
+		n := int64(1000)
+		p := np / float64(n)
+		r := New(uint64(np))
+		sum := int64(0)
+		for i := 0; i < draws; i++ {
+			sum += r.Binomial(n, p)
+		}
+		got := float64(sum) / draws
+		se := math.Sqrt(np * (1 - p) / draws)
+		if math.Abs(got-np) > 6*se {
+			t.Errorf("boundary np=%g: mean %.3f", np, got)
+		}
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	err := quick.Check(func(seed uint64, totalRaw uint16, nRaw uint8) bool {
+		total := int64(totalRaw)
+		n := int(nRaw%64) + 1
+		out := make([]int64, n)
+		// Pre-poison out to verify it is fully overwritten.
+		for i := range out {
+			out[i] = -999
+		}
+		New(seed).Multinomial(total, out)
+		sum := int64(0)
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultinomialMarginals(t *testing.T) {
+	// Each bin's marginal is Binomial(total, 1/n); check the mean per bin.
+	r := New(8)
+	const total, n, reps = 1000, 10, 5000
+	sums := make([]int64, n)
+	out := make([]int64, n)
+	for i := 0; i < reps; i++ {
+		r.Multinomial(total, out)
+		for j, v := range out {
+			sums[j] += v
+		}
+	}
+	want := float64(total) / n
+	for j, s := range sums {
+		got := float64(s) / reps
+		se := math.Sqrt(want * (1 - 1.0/n) / reps)
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("bin %d marginal mean %.2f want %.2f", j, got, want)
+		}
+	}
+}
+
+func TestMultinomialZeroBins(t *testing.T) {
+	New(1).Multinomial(0, nil) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Multinomial(5, nil) did not panic")
+		}
+	}()
+	New(1).Multinomial(5, nil)
+}
+
+func TestMultinomialWeighted(t *testing.T) {
+	r := New(9)
+	weights := []float64{1, 2, 3, 4}
+	const total, reps = 1000, 4000
+	sums := make([]int64, len(weights))
+	out := make([]int64, len(weights))
+	for i := 0; i < reps; i++ {
+		r.MultinomialWeighted(total, weights, out)
+		var check int64
+		for j, v := range out {
+			sums[j] += v
+			check += v
+		}
+		if check != total {
+			t.Fatalf("weighted multinomial total %d != %d", check, total)
+		}
+	}
+	for j, w := range weights {
+		want := float64(total) * w / 10
+		got := float64(sums[j]) / reps
+		if math.Abs(got-want) > 0.02*want+3 {
+			t.Errorf("weighted bin %d mean %.1f want %.1f", j, got, want)
+		}
+	}
+}
+
+func TestMultinomialWeightedZeroWeight(t *testing.T) {
+	r := New(10)
+	weights := []float64{0, 1, 0, 1}
+	out := make([]int64, 4)
+	for i := 0; i < 100; i++ {
+		r.MultinomialWeighted(100, weights, out)
+		if out[0] != 0 || out[2] != 0 {
+			t.Fatalf("zero-weight bin received balls: %v", out)
+		}
+		if out[1]+out[3] != 100 {
+			t.Fatalf("conservation violated: %v", out)
+		}
+	}
+}
+
+func TestMultinomialWeightedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() {
+			New(1).MultinomialWeighted(5, []float64{1, 2}, make([]int64, 3))
+		},
+		"negative weight": func() {
+			New(1).MultinomialWeighted(5, []float64{1, -1}, make([]int64, 2))
+		},
+		"zero sum": func() {
+			New(1).MultinomialWeighted(5, []float64{0, 0}, make([]int64, 2))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(12)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		const draws = 100000
+		sum := int64(0)
+		for i := 0; i < draws; i++ {
+			v := r.Geometric(p)
+			if v < 0 {
+				t.Fatalf("Geometric(%g) negative: %d", p, v)
+			}
+			sum += v
+		}
+		want := (1 - p) / p
+		got := float64(sum) / draws
+		if math.Abs(got-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%g) mean %.3f want %.3f", p, got, want)
+		}
+	}
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d", v)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestLogFactorial(t *testing.T) {
+	// Compare against direct summation for a range spanning the table and
+	// the Stirling branch.
+	acc := 0.0
+	for x := 1; x <= 2000; x++ {
+		acc += math.Log(float64(x))
+		got := logFactorial(float64(x))
+		if math.Abs(got-acc) > 1e-9*math.Max(1, acc) {
+			t.Fatalf("logFactorial(%d) = %.12f want %.12f", x, got, acc)
+		}
+	}
+	if logFactorial(0) != 0 {
+		t.Fatal("logFactorial(0) != 0")
+	}
+}
+
+func BenchmarkBinomialSmallMean(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1000000, 1e-5) // np = 10, inversion
+	}
+}
+
+func BenchmarkBinomialLargeMean(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1000000, 0.3) // BTRS
+	}
+}
+
+func BenchmarkMultinomial1e4Bins(b *testing.B) {
+	r := New(1)
+	out := make([]int64, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Multinomial(1000000, out)
+	}
+}

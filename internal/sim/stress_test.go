@@ -1,0 +1,166 @@
+package sim
+
+// Randomized stress tests: the engine must preserve its invariants for
+// arbitrary (well-formed) protocols, capacities, degrees, and hold
+// patterns. Protocols here are generated from quick-check seeds.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// fuzzProto is a randomized but well-formed protocol: per-round degree in
+// [1,3], per-round-per-bin capacities drawn from a seeded table, optional
+// hold pattern, uniform targets.
+type fuzzProto struct {
+	seed    uint64
+	degree  int
+	holdMod int // hold rounds where round%holdMod != holdMod-1 (0 = never hold)
+	capBase int64
+}
+
+func (f *fuzzProto) Targets(round int, b *Ball, n int, buf []int) []int {
+	for i := 0; i < f.degree; i++ {
+		buf = append(buf, b.R.Intn(n))
+	}
+	return buf
+}
+
+func (f *fuzzProto) Hold(round int) bool {
+	if f.holdMod <= 1 {
+		return false
+	}
+	return round%f.holdMod != f.holdMod-1
+}
+
+func (f *fuzzProto) Capacity(round int, bin int, load int64) int64 {
+	// Deterministic pseudo-random per (round, bin) capacity in
+	// [capBase, 2*capBase), as a *load cap* so termination is guaranteed
+	// once caps exceed m/n.
+	h := rng.Mix64(f.seed ^ uint64(round)*0x9E3779B97F4A7C15 ^ uint64(bin)*0xC2B2AE3D27D4EB4F)
+	cap := f.capBase + int64(h%uint64(f.capBase))
+	return cap - load
+}
+
+func (f *fuzzProto) Payload(round int, bin int, k int64) int64 { return k % 7 }
+
+func (f *fuzzProto) Choose(_ int, b *Ball, accepts []Accept) int {
+	return int(b.R.Intn(len(accepts)))
+}
+
+func (f *fuzzProto) Place(a Accept) int { return a.From }
+
+func (f *fuzzProto) Done(int, int64) bool { return false }
+
+func TestEngineInvariantsUnderRandomProtocols(t *testing.T) {
+	err := quick.Check(func(seed uint64, mRaw uint16, nRaw uint8, degRaw, holdRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		m := int64(mRaw%5000) + 1
+		proto := &fuzzProto{
+			seed:    seed,
+			degree:  int(degRaw%3) + 1,
+			holdMod: int(holdRaw % 4), // 0,1 = never hold; 2,3 = collecting
+			capBase: m/int64(n) + 2,   // total capacity >= m + 2n
+		}
+		res, err := New(model.Problem{M: m, N: n}, proto, Config{
+			Seed:      seed,
+			MaxRounds: 5000,
+		}).Run()
+		if err != nil {
+			return false
+		}
+		if res.Check() != nil {
+			return false
+		}
+		// Caps respected: load <= 2*capBase at every bin.
+		for _, l := range res.Loads {
+			if l > 2*proto.capBase {
+				return false
+			}
+		}
+		// Metrics sanity.
+		if res.Metrics.BallRequests < m || res.Metrics.BinReplies > res.Metrics.BallRequests {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineTieBreaksUnderRandomProtocols(t *testing.T) {
+	for _, tb := range []TieBreak{TieFirst, TieRandom, TieAdversarialHighID} {
+		proto := &fuzzProto{seed: 42, degree: 2, holdMod: 2, capBase: 12}
+		res, err := New(model.Problem{M: 1000, N: 100}, proto, Config{
+			Seed: 7, TieBreak: tb, MaxRounds: 5000,
+		}).Run()
+		if err != nil {
+			t.Fatalf("tiebreak %d: %v", tb, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("tiebreak %d: %v", tb, err)
+		}
+	}
+}
+
+func TestEngineObserverConsistency(t *testing.T) {
+	// Accepted totals reported via OnRound must equal the final allocation,
+	// and remaining must decrease by exactly the accepted count.
+	proto := &fuzzProto{seed: 9, degree: 1, holdMod: 0, capBase: 30}
+	p := model.Problem{M: 2000, N: 100}
+	var records []RoundRecord
+	res, err := New(p, proto, Config{
+		Seed:      3,
+		MaxRounds: 5000,
+		OnRound:   func(r RoundRecord) { records = append(records, r) },
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted int64
+	for i, r := range records {
+		accepted += r.Accepted
+		if i > 0 {
+			wantRemaining := records[i-1].Remaining - records[i-1].Accepted
+			if r.Remaining != wantRemaining {
+				t.Fatalf("round %d: remaining %d, want %d", r.Round, r.Remaining, wantRemaining)
+			}
+		}
+	}
+	if accepted != res.TotalAllocated() {
+		t.Fatalf("observer accepted %d != allocated %d", accepted, res.TotalAllocated())
+	}
+	if len(records) != res.Rounds {
+		t.Fatalf("observer saw %d rounds, result says %d", len(records), res.Rounds)
+	}
+}
+
+func TestEngineLargeDegreeSmallBins(t *testing.T) {
+	// Degree larger than the bin count: duplicate targets per ball are
+	// legal and must not double-place a ball.
+	proto := &fuzzProto{seed: 5, degree: 3, holdMod: 0, capBase: 600}
+	res, err := New(model.Problem{M: 1000, N: 2}, proto, Config{Seed: 1, MaxRounds: 1000}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineManyWorkersFewBalls(t *testing.T) {
+	// More workers than balls: shard boundaries must not panic or lose
+	// balls.
+	proto := &fuzzProto{seed: 5, degree: 1, holdMod: 0, capBase: 10}
+	res, err := New(model.Problem{M: 3, N: 2}, proto, Config{Seed: 1, Workers: 16, MaxRounds: 100}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

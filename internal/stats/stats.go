@@ -1,0 +1,343 @@
+// Package stats provides the measurement substrate for the experiment
+// harness: streaming moments, order statistics, histograms, confidence
+// intervals, and simple regression fits used to check growth-rate claims
+// (e.g. that excess load grows like sqrt((m/n)·log n) for one-shot random
+// allocation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming mean and variance using Welford's method,
+// together with min/max. The zero value is ready to use.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates x into the accumulator.
+func (w *Running) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Running) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Running) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Running) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Running) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 for an empty accumulator).
+func (w *Running) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 for an empty accumulator).
+func (w *Running) Max() float64 { return w.max }
+
+// SE returns the standard error of the mean.
+func (w *Running) SE() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (w *Running) CI95() float64 { return 1.96 * w.SE() }
+
+// Merge combines another accumulator into w (parallel reduction), using the
+// standard pairwise update for mean and M2.
+func (w *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// String summarizes the accumulator for table output.
+func (w *Running) String() string {
+	return fmt.Sprintf("mean=%.3f ±%.3f (n=%d, min=%.3f, max=%.3f)",
+		w.Mean(), w.CI95(), w.n, w.min, w.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of data using linear
+// interpolation between order statistics (type-7, the numpy default). The
+// input slice is not modified. It panics on empty data or q outside [0,1].
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile requires 0 <= q <= 1")
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// Quantiles returns multiple quantiles with a single sort.
+func Quantiles(data []float64, qs ...float64) []float64 {
+	if len(data) == 0 {
+		panic("stats: Quantiles of empty data")
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			panic("stats: Quantiles requires 0 <= q <= 1")
+		}
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of data (0 for empty input).
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range data {
+		sum += v
+	}
+	return sum / float64(len(data))
+}
+
+// Max returns the maximum of data. It panics on empty input.
+func Max(data []float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Max of empty data")
+	}
+	m := data[0]
+	for _, v := range data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxInt64 returns the maximum of an int64 slice. It panics on empty input.
+func MaxInt64(data []int64) int64 {
+	if len(data) == 0 {
+		panic("stats: MaxInt64 of empty data")
+	}
+	m := data[0]
+	for _, v := range data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinInt64 returns the minimum of an int64 slice. It panics on empty input.
+func MinInt64(data []int64) int64 {
+	if len(data) == 0 {
+		panic("stats: MinInt64 of empty data")
+	}
+	m := data[0]
+	for _, v := range data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SumInt64 returns the sum of an int64 slice.
+func SumInt64(data []int64) int64 {
+	var s int64
+	for _, v := range data {
+		s += v
+	}
+	return s
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi) with overflow
+// and underflow buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+	width   float64
+	total   int64
+	sum     float64
+}
+
+// NewHistogram creates a histogram with nb equal-width buckets spanning
+// [lo, hi). It panics if nb <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if nb <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nb), width: (hi - lo) / float64(nb)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.width)
+		if i >= len(h.Buckets) { // guard float rounding at the top edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of observations, including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// QuantileApprox returns an approximate q-quantile from bucket boundaries.
+func (h *Histogram) QuantileApprox(q float64) float64 {
+	if h.total == 0 {
+		panic("stats: QuantileApprox of empty histogram")
+	}
+	target := q * float64(h.total)
+	acc := float64(h.Under)
+	if acc >= target {
+		return h.Lo
+	}
+	for i, c := range h.Buckets {
+		acc += float64(c)
+		if acc >= target {
+			return h.Lo + float64(i+1)*h.width
+		}
+	}
+	return h.Hi
+}
+
+// LinearFit fits y ≈ a + b*x by ordinary least squares and returns (a, b, r2).
+// It panics if the slices differ in length or have fewer than 2 points.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit requires >= 2 equal-length points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2
+}
+
+// PowerFit fits y ≈ c * x^alpha by linear regression in log-log space,
+// returning (c, alpha, r2). All inputs must be positive.
+func PowerFit(xs, ys []float64) (c, alpha, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerFit requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	la, alpha, r2 := LinearFit(lx, ly)
+	return math.Exp(la), alpha, r2
+}
+
+// LogStar returns log*(n): the number of times log2 must be applied to n
+// before the result is <= 1. LogStar(n) = 0 for n <= 1.
+func LogStar(n float64) int {
+	count := 0
+	for n > 1 {
+		n = math.Log2(n)
+		count++
+	}
+	return count
+}
+
+// LogLog returns max(0, log2(log2(x))); convenient for round-count
+// comparisons against O(log log(m/n)) bounds.
+func LogLog(x float64) float64 {
+	if x <= 2 {
+		return 0
+	}
+	return math.Max(0, math.Log2(math.Log2(x)))
+}

@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningBasics(t *testing.T) {
+	var w Running
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 {
+		t.Fatal("zero-value Running not empty")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %g", w.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance 32/7.
+	if !almostEqual(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %g", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var w Running
+	w.Add(3.5)
+	if w.Var() != 0 || w.SE() != 0 || w.CI95() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	err := quick.Check(func(seed uint64, aLen, bLen uint8) bool {
+		r := rng.New(seed)
+		na, nb := int(aLen%40)+1, int(bLen%40)+1
+		var all, wa, wb Running
+		for i := 0; i < na; i++ {
+			v := r.Float64()*100 - 50
+			all.Add(v)
+			wa.Add(v)
+		}
+		for i := 0; i < nb; i++ {
+			v := r.Float64() * 10
+			all.Add(v)
+			wb.Add(v)
+		}
+		wa.Merge(&wb)
+		return wa.N() == all.N() &&
+			almostEqual(wa.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(wa.Var(), all.Var(), 1e-7) &&
+			wa.Min() == all.Min() && wa.Max() == all.Max()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(&b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merging empty changed accumulator")
+	}
+	b.Merge(&a)
+	if b.N() != 2 || b.Mean() != 1.5 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestQuantileBasics(t *testing.T) {
+	data := []float64{15, 20, 35, 40, 50}
+	if q := Quantile(data, 0); q != 15 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := Quantile(data, 1); q != 50 {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := Quantile(data, 0.5); q != 35 {
+		t.Fatalf("median = %g", q)
+	}
+	// Type-7 interpolation: 0.25 quantile of 5 points = x[1].
+	if q := Quantile(data, 0.25); q != 20 {
+		t.Fatalf("q25 = %g", q)
+	}
+	if q := Quantile(data, 0.4); !almostEqual(q, 29, 1e-12) {
+		t.Fatalf("q40 = %g want 29", q)
+	}
+	// Input must not be modified.
+	if data[0] != 15 || data[4] != 50 {
+		t.Fatal("Quantile modified input")
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if q := Quantile([]float64{7}, 0.3); q != 7 {
+		t.Fatalf("singleton quantile = %g", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Quantile(nil, 0.5) },
+		"q<0":      func() { Quantile([]float64{1}, -0.1) },
+		"q>1":      func() { Quantile([]float64{1}, 1.1) },
+		"qs bad":   func() { Quantiles([]float64{1}, 2.0) },
+		"qs empty": func() { Quantiles(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%50) + 1
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.Float64() * 1000
+		}
+		qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+		multi := Quantiles(data, qs...)
+		for i, q := range qs {
+			if multi[i] != Quantile(data, q) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMaxHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Max([]float64{3, 1, 2}) != 3 {
+		t.Fatal("Max wrong")
+	}
+	if MaxInt64([]int64{-5, -2, -9}) != -2 {
+		t.Fatal("MaxInt64 wrong")
+	}
+	if MinInt64([]int64{5, 2, 9}) != 2 {
+		t.Fatal("MinInt64 wrong")
+	}
+	if SumInt64([]int64{1, 2, 3}) != 6 {
+		t.Fatal("SumInt64 wrong")
+	}
+	if SumInt64(nil) != 0 {
+		t.Fatal("SumInt64(nil) != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)   // underflow
+	h.Add(10)   // overflow (hi is exclusive)
+	h.Add(11.5) // overflow
+	if h.Total() != 13 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	for i, c := range h.Buckets {
+		if c != 1 {
+			t.Fatalf("bucket %d count %d", i, c)
+		}
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	// A value just below Hi must land in the last bucket, not panic.
+	h.Add(math.Nextafter(1, 0))
+	if h.Buckets[2] != 1 {
+		t.Fatalf("edge value not in last bucket: %v", h.Buckets)
+	}
+}
+
+func TestHistogramQuantileApprox(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.QuantileApprox(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("approx median %g", med)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(1,0,5) did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if !almostEqual(a, 1, 1e-9) || !almostEqual(b, 2, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Fatalf("fit (%g, %g, %g)", a, b, r2)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !almostEqual(a, 4, 1e-9) || !almostEqual(b, 0, 1e-9) || r2 != 1 {
+		t.Fatalf("constant fit (%g, %g, %g)", a, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"short":      func() { LinearFit([]float64{1}, []float64{1}) },
+		"mismatch":   func() { LinearFit([]float64{1, 2}, []float64{1}) },
+		"constant x": func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * math.Pow(x, 0.66)
+	}
+	c, alpha, r2 := PowerFit(xs, ys)
+	if !almostEqual(c, 3.5, 1e-6) || !almostEqual(alpha, 0.66, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Fatalf("power fit (%g, %g, %g)", c, alpha, r2)
+	}
+}
+
+func TestPowerFitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PowerFit with zero did not panic")
+		}
+	}()
+	PowerFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[float64]int{
+		0: 0, 1: 0, 2: 1, 4: 2, 16: 3, 65536: 4, 1e6: 5,
+	}
+	for n, want := range cases {
+		if got := LogStar(n); got != want {
+			t.Errorf("LogStar(%g) = %d want %d", n, got, want)
+		}
+	}
+	// log*(2^65536) = 5; approximate with a huge float.
+	if got := LogStar(math.MaxFloat64); got != 5 {
+		t.Errorf("LogStar(MaxFloat64) = %d want 5", got)
+	}
+}
+
+func TestLogLog(t *testing.T) {
+	if LogLog(1) != 0 || LogLog(2) != 0 {
+		t.Fatal("LogLog small values should be 0")
+	}
+	if !almostEqual(LogLog(16), 2, 1e-12) {
+		t.Fatalf("LogLog(16) = %g", LogLog(16))
+	}
+	if !almostEqual(LogLog(65536), 4, 1e-12) {
+		t.Fatalf("LogLog(65536) = %g", LogLog(65536))
+	}
+}
+
+func TestRunningString(t *testing.T) {
+	var w Running
+	w.Add(1)
+	w.Add(3)
+	s := w.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace collects per-round instrumentation from engine runs and
+// renders it for analysis: round-by-round remaining/accepted/max-load
+// series, CSV and JSONL export, and convergence summaries used by the
+// trajectory experiments and the examples.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Collector accumulates RoundRecords; its Observe method plugs into
+// sim.Config.OnRound. Not safe for concurrent engines (one collector per
+// run).
+type Collector struct {
+	Records []sim.RoundRecord
+}
+
+// Observe appends a record (use as sim.Config{OnRound: c.Observe}).
+func (c *Collector) Observe(r sim.RoundRecord) {
+	c.Records = append(c.Records, r)
+}
+
+// Rounds returns the number of observed rounds.
+func (c *Collector) Rounds() int { return len(c.Records) }
+
+// TotalAccepted sums accepted balls across rounds.
+func (c *Collector) TotalAccepted() int64 {
+	var s int64
+	for _, r := range c.Records {
+		s += r.Accepted
+	}
+	return s
+}
+
+// TotalRequests sums requests across rounds.
+func (c *Collector) TotalRequests() int64 {
+	var s int64
+	for _, r := range c.Records {
+		s += r.Requests
+	}
+	return s
+}
+
+// HalfLife returns the first round at which the remaining-ball count
+// dropped to at most half of the initial count, or -1 if it never did.
+func (c *Collector) HalfLife() int {
+	if len(c.Records) == 0 {
+		return -1
+	}
+	half := c.Records[0].Remaining / 2
+	for _, r := range c.Records {
+		if r.Remaining <= half {
+			return r.Round
+		}
+	}
+	return -1
+}
+
+// DecayRates returns remaining[i+1]/remaining[i] per round — the
+// geometric progress signature (Aheavy's is doubly exponential: the rates
+// themselves shrink).
+func (c *Collector) DecayRates() []float64 {
+	if len(c.Records) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(c.Records)-1)
+	for i := 1; i < len(c.Records); i++ {
+		prev := c.Records[i-1].Remaining
+		if prev == 0 {
+			break
+		}
+		out = append(out, float64(c.Records[i].Remaining)/float64(prev))
+	}
+	return out
+}
+
+// WriteCSV writes the records as CSV with a header row.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "round,remaining,requests,accepted,max_load\n"); err != nil {
+		return err
+	}
+	for _, r := range c.Records {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n",
+			r.Round, r.Remaining, r.Requests, r.Accepted, r.MaxLoad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes one JSON object per record.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.Records {
+		if err := enc.Encode(map[string]int64{
+			"round":     int64(r.Round),
+			"remaining": r.Remaining,
+			"requests":  r.Requests,
+			"accepted":  r.Accepted,
+			"max_load":  r.MaxLoad,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line-per-round text view.
+func (c *Collector) Summary(w io.Writer) error {
+	for _, r := range c.Records {
+		pct := 0.0
+		if r.Remaining > 0 {
+			pct = 100 * float64(r.Accepted) / float64(r.Remaining)
+		}
+		if _, err := fmt.Fprintf(w,
+			"round %2d: remaining %12d  accepted %12d (%5.1f%%)  max load %d\n",
+			r.Round, r.Remaining, r.Accepted, pct, r.MaxLoad); err != nil {
+			return err
+		}
+	}
+	return nil
+}

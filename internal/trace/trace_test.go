@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/threshold"
+)
+
+// runCollected executes a simple threshold run with a collector attached.
+func runCollected(t *testing.T, p model.Problem, cap int64) *Collector {
+	t.Helper()
+	c := &Collector{}
+	alg := threshold.Algorithm{Degree: 1, PhaseLen: 1, Policy: threshold.Fixed(cap)}
+	proto := algProto{alg: alg, caps: make([]int64, p.N)}
+	eng := sim.New(p, &proto, sim.Config{Seed: 7, OnRound: c.Observe})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// algProto inlines a minimal fixed-cap protocol to avoid exporting
+// threshold internals; mirrors threshold.protocol for Fixed policies.
+type algProto struct {
+	alg  threshold.Algorithm
+	caps []int64
+}
+
+func (p *algProto) RoundStart(round int, loads []int64, remaining int64) {
+	p.alg.Policy.Thresholds(round, loads, remaining, p.caps)
+}
+func (p *algProto) Targets(_ int, b *sim.Ball, n int, buf []int) []int {
+	return append(buf, b.R.Intn(n))
+}
+func (p *algProto) Hold(int) bool                                 { return false }
+func (p *algProto) Capacity(_ int, bin int, load int64) int64     { return p.caps[bin] - load }
+func (p *algProto) Payload(int, int, int64) int64                 { return 0 }
+func (p *algProto) Choose(_ int, _ *sim.Ball, _ []sim.Accept) int { return 0 }
+func (p *algProto) Place(a sim.Accept) int                        { return a.From }
+func (p *algProto) Done(int, int64) bool                          { return false }
+
+func TestCollectorBasics(t *testing.T) {
+	p := model.Problem{M: 5000, N: 50}
+	c := runCollected(t, p, 110)
+	if c.Rounds() == 0 {
+		t.Fatal("no rounds observed")
+	}
+	if c.TotalAccepted() != p.M {
+		t.Fatalf("accepted %d != m", c.TotalAccepted())
+	}
+	if c.TotalRequests() < p.M {
+		t.Fatalf("requests %d below m", c.TotalRequests())
+	}
+	if c.Records[0].Remaining != p.M {
+		t.Fatalf("first record remaining %d", c.Records[0].Remaining)
+	}
+	// Max load never decreases and never exceeds the cap.
+	var prev int64
+	for _, r := range c.Records {
+		if r.MaxLoad < prev {
+			t.Fatal("max load decreased")
+		}
+		if r.MaxLoad > 110 {
+			t.Fatalf("max load %d above cap", r.MaxLoad)
+		}
+		prev = r.MaxLoad
+	}
+}
+
+func TestHalfLife(t *testing.T) {
+	p := model.Problem{M: 10000, N: 100}
+	c := runCollected(t, p, 110)
+	hl := c.HalfLife()
+	if hl < 0 || hl > 3 {
+		t.Fatalf("half-life %d; generous caps should halve fast", hl)
+	}
+	empty := &Collector{}
+	if empty.HalfLife() != -1 {
+		t.Fatal("empty collector half-life")
+	}
+}
+
+func TestDecayRates(t *testing.T) {
+	p := model.Problem{M: 20000, N: 100}
+	c := runCollected(t, p, 210)
+	rates := c.DecayRates()
+	if len(rates) == 0 {
+		t.Fatal("no decay rates")
+	}
+	for i, r := range rates {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %d = %g out of [0,1]", i, r)
+		}
+	}
+	if (&Collector{}).DecayRates() != nil {
+		t.Fatal("empty collector rates")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := &Collector{Records: []sim.RoundRecord{
+		{Round: 0, Remaining: 10, Requests: 10, Accepted: 7, MaxLoad: 3},
+		{Round: 1, Remaining: 3, Requests: 3, Accepted: 3, MaxLoad: 4},
+	}}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[1] != "0,10,10,7,3" {
+		t.Fatalf("csv row %q", lines[1])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	c := &Collector{Records: []sim.RoundRecord{{Round: 2, Remaining: 5, Requests: 5, Accepted: 5, MaxLoad: 9}}}
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["round"] != 2 || obj["max_load"] != 9 {
+		t.Fatalf("jsonl wrong: %v", obj)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := model.Problem{M: 1000, N: 10}
+	c := runCollected(t, p, 110)
+	var buf bytes.Buffer
+	if err := c.Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "round  0") {
+		t.Fatalf("summary missing round 0:\n%s", buf.String())
+	}
+}
+
+func TestAcceptedNeverExceedsRemaining(t *testing.T) {
+	p := model.Problem{M: 30000, N: 300}
+	c := runCollected(t, p, 105)
+	for _, r := range c.Records {
+		if r.Accepted > r.Remaining {
+			t.Fatalf("round %d accepted %d > remaining %d", r.Round, r.Accepted, r.Remaining)
+		}
+		if r.Requests > r.Remaining {
+			t.Fatalf("round %d requests %d > remaining %d (degree 1)", r.Round, r.Requests, r.Remaining)
+		}
+	}
+}

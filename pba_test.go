@@ -1,0 +1,105 @@
+package pba
+
+import (
+	"testing"
+)
+
+// TestPublicAPISurface exercises every exported entry point end to end —
+// the integration test a downstream user's first day looks like.
+func TestPublicAPISurface(t *testing.T) {
+	p := Problem{M: 50000, N: 100}
+	o := Options{Seed: 42}
+
+	type entry struct {
+		name string
+		run  func() (*Result, error)
+	}
+	entries := []entry{
+		{"Aheavy", func() (*Result, error) { return Aheavy(p, o) }},
+		{"AheavyAgent", func() (*Result, error) { return AheavyAgent(p, o) }},
+		{"AheavyWithParams", func() (*Result, error) {
+			return AheavyWithParams(p, o, AheavyParams{Beta: 0.5})
+		}},
+		{"Asymmetric", func() (*Result, error) { return Asymmetric(p, o) }},
+		{"OneShot", func() (*Result, error) { return OneShot(p, o) }},
+		{"Greedy", func() (*Result, error) { return Greedy(p, 2, o) }},
+		{"Batched", func() (*Result, error) { return Batched(p, 2, 1000, o) }},
+		{"FixedThreshold", func() (*Result, error) { return FixedThreshold(p, 2, o) }},
+		{"Deterministic", func() (*Result, error) { return Deterministic(p, o) }},
+	}
+	for _, e := range entries {
+		res, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if res.MaxLoad() < p.CeilAvg() {
+			t.Fatalf("%s: max load %d below ceil average", e.name, res.MaxLoad())
+		}
+	}
+
+	// Alight wants m <= 2n.
+	lightRes, err := Alight(Problem{M: 150, N: 100}, o)
+	if err != nil {
+		t.Fatalf("Alight: %v", err)
+	}
+	if err := lightRes.Check(); err != nil {
+		t.Fatalf("Alight: %v", err)
+	}
+	if lightRes.MaxLoad() > 2 {
+		t.Fatalf("Alight max load %d", lightRes.MaxLoad())
+	}
+}
+
+func TestHeadlineComparison(t *testing.T) {
+	// The paper in one test: Aheavy's excess is O(1) where OneShot's grows
+	// with sqrt(m/n · log n).
+	p := Problem{M: 1 << 22, N: 1 << 10} // m/n = 4096
+	a, err := Aheavy(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OneShot(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Excess() > 10 {
+		t.Fatalf("Aheavy excess %d; want O(1)", a.Excess())
+	}
+	if s.Excess() < 5*a.Excess() {
+		t.Fatalf("OneShot excess %d not clearly above Aheavy %d", s.Excess(), a.Excess())
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	p := Problem{M: 100000, N: 100}
+	res, err := Aheavy(p, Options{Seed: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TraceRemaining) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+	if res.TraceRemaining[0] != p.M {
+		t.Fatalf("trace[0] = %d", res.TraceRemaining[0])
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	p := Problem{M: 200000, N: 256}
+	a, err := Aheavy(p, Options{Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aheavy(p, Options{Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatal("same seed produced different allocations")
+		}
+	}
+}
