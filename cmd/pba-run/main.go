@@ -5,12 +5,15 @@
 //
 //	pba-run -alg aheavy -m 1000000 -n 1000
 //	pba-run -alg asym -m 65536 -n 256 -seed 7
-//	pba-run -alg greedy -d 2 -m 100000 -n 100
+//	pba-run -alg greedy:2 -m 100000 -n 100
+//	pba-run -alg greedy -d 3 -m 100000 -n 100   # flags fill in parameters
 //	pba-run -alg aheavy -m 1e7 -n 1e4 -trace
 //
-// Algorithms: aheavy (agent-based), aheavy-fast (count-based), asym,
-// light, oneshot, greedy (-d), batched (-d, -batch), fixed (-slack),
-// deterministic.
+// Algorithms are resolved through the internal/sweep registry: aheavy
+// [:beta], aheavy-fast[:beta], asym, alight, oneshot, greedy:d,
+// batched:d[:b], fixed:slack, det, adaptive:slack (plus legacy aliases
+// greedy2, light, deterministic). Bare family names take their parameters
+// from the -d, -batch, -slack, and -beta flags.
 package main
 
 import (
@@ -20,12 +23,9 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/asym"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/light"
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func parseSize(s string) (int64, error) {
@@ -40,20 +40,73 @@ func parseSize(s string) (int64, error) {
 	return int64(f), nil
 }
 
+// paramFlags are the flags that fill in a bare family name's parameters;
+// combining them with an already-parameterized -alg is rejected rather
+// than silently ignored.
+var paramFlags = map[string]bool{"d": true, "batch": true, "slack": true, "beta": true}
+
+// algName merges the legacy parameter flags into a registry name: a bare
+// family name picks up -d, -batch, -slack, and -beta; a parameterized name
+// (anything containing ':') is passed through untouched.
+func algName(alg string, d int, batch, slack int64, beta float64) (string, error) {
+	// Expand aliases first: greedy2 means greedy:2, so it conflicts with
+	// -d just like the explicit spelling does.
+	name := sweep.Canonicalize(alg)
+	if strings.Contains(name, ":") {
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			if paramFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return "", fmt.Errorf("-alg %q carries its own parameters; drop %s or use the bare family name",
+				alg, strings.Join(conflict, ", "))
+		}
+		return name, nil
+	}
+	switch name {
+	case "greedy":
+		return fmt.Sprintf("greedy:%d", d), nil
+	case "batched":
+		if batch != 0 { // pass invalid values through so the registry rejects them
+			return fmt.Sprintf("batched:%d:%d", d, batch), nil
+		}
+		return fmt.Sprintf("batched:%d", d), nil
+	case "fixed":
+		return fmt.Sprintf("fixed:%d", slack), nil
+	case "adaptive":
+		return fmt.Sprintf("adaptive:%d", slack), nil
+	case "aheavy", "aheavy-fast":
+		if beta != 0 {
+			return fmt.Sprintf("%s:%g", name, beta), nil
+		}
+	}
+	return name, nil
+}
+
 func main() {
 	var (
-		alg     = flag.String("alg", "aheavy-fast", "algorithm to run")
+		alg     = flag.String("alg", "aheavy-fast", "algorithm (registry name)")
 		mStr    = flag.String("m", "1000000", "number of balls")
 		nStr    = flag.String("n", "1000", "number of bins")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		d       = flag.Int("d", 2, "choices for greedy/batched")
 		batch   = flag.Int64("batch", 0, "batch size for batched (default n)")
-		slack   = flag.Int64("slack", 2, "slack for fixed threshold")
+		slack   = flag.Int64("slack", 2, "slack for fixed/adaptive threshold")
 		beta    = flag.Float64("beta", 0, "Aheavy slack exponent (0 = paper's 2/3)")
 		trace   = flag.Bool("trace", false, "print per-round remaining-ball trace")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list registry algorithms and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, line := range sweep.Describe() {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	m, err := parseSize(*mStr)
 	if err != nil {
@@ -64,35 +117,16 @@ func main() {
 		fatal("bad -n: %v", err)
 	}
 	p := model.Problem{M: m, N: int(nn)}
-	if *batch == 0 {
-		*batch = int64(p.N)
-	}
 
-	var res *model.Result
-	switch strings.ToLower(*alg) {
-	case "aheavy":
-		res, err = core.Run(p, core.Config{Seed: *seed, Workers: *workers, Trace: *trace,
-			Params: core.Params{Beta: *beta}})
-	case "aheavy-fast":
-		res, err = core.RunFast(p, core.Config{Seed: *seed, Workers: *workers, Trace: *trace,
-			Params: core.Params{Beta: *beta}})
-	case "asym":
-		res, err = asym.Run(p, asym.Config{Seed: *seed, Workers: *workers, Trace: *trace})
-	case "light":
-		res, err = light.Run(p, light.Config{Seed: *seed, Workers: *workers, Trace: *trace})
-	case "oneshot":
-		res, err = baseline.OneShot(p, baseline.Config{Seed: *seed})
-	case "greedy":
-		res, err = baseline.Greedy(p, *d, baseline.Config{Seed: *seed})
-	case "batched":
-		res, err = baseline.Batched(p, *d, *batch, baseline.Config{Seed: *seed, Workers: *workers})
-	case "fixed":
-		res, err = baseline.FixedThreshold(p, *slack, baseline.Config{Seed: *seed, Workers: *workers, Trace: *trace})
-	case "deterministic":
-		res, err = baseline.Deterministic(p, baseline.Config{Seed: *seed, Workers: *workers})
-	default:
-		fatal("unknown algorithm %q", *alg)
+	name, err := algName(*alg, *d, *batch, *slack, *beta)
+	if err != nil {
+		fatal("%v", err)
 	}
+	algorithm, err := sweep.Resolve(name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := algorithm.Run(p, sweep.Options{Seed: *seed, Workers: *workers, Trace: *trace})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -105,7 +139,7 @@ func main() {
 		loads[i] = float64(l)
 	}
 	qs := stats.Quantiles(loads, 0, 0.5, 0.99, 1)
-	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("algorithm      %s\n", algorithm.Name)
 	fmt.Printf("instance       m=%d n=%d (m/n = %.1f)\n", p.M, p.N, p.AvgLoad())
 	fmt.Printf("rounds         %d\n", res.Rounds)
 	fmt.Printf("max load       %d (avg ceil %d, excess %d)\n", res.MaxLoad(), p.CeilAvg(), res.Excess())

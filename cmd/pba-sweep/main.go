@@ -1,10 +1,27 @@
-// Command pba-sweep runs an algorithm over a geometric m/n sweep and emits
-// one CSV row per (ratio, seed) pair — the raw data behind the E-series
-// tables, convenient for external plotting.
+// Command pba-sweep runs algorithms over a geometric m/n grid through the
+// internal/sweep engine and emits one CSV row per (algorithm, n, ratio,
+// seed) — the raw data behind the E-series tables, convenient for external
+// plotting. With -json the full manifest (spec, per-cell aggregates,
+// fingerprints) is persisted incrementally, and -resume continues an
+// interrupted sweep, re-running only the missing cells.
 //
 // Usage:
 //
 //	pba-sweep -alg aheavy-fast -n 1024 -ratios 16,256,4096 -seeds 10 > sweep.csv
+//	pba-sweep -alg aheavy-fast,oneshot,greedy:2 -n 256,1024 -seeds 5 -json sweep.json
+//	pba-sweep -json sweep.json -resume ...            # continue after an interrupt
+//
+// Algorithm names are registry names (see internal/sweep): aheavy[:beta],
+// aheavy-fast[:beta], asym, alight, oneshot, greedy:d, batched:d[:b],
+// fixed:slack, det, adaptive:slack — plus the legacy aliases greedy2,
+// light, and deterministic. The CSV alg column reports the canonical
+// spelling (greedy2 prints as greedy:2).
+//
+// -workers parallelizes over grid cells; the worker count inside each
+// algorithm run is part of the spec (-alg-workers, default 1) so that a
+// sweep's results and manifest fingerprint are bit-identical regardless of
+// -workers, machine, or interruption. Raise -alg-workers explicitly for
+// single-cell sweeps of very large instances.
 package main
 
 import (
@@ -14,65 +31,149 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/asym"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/model"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		alg      = flag.String("alg", "aheavy-fast", "aheavy | aheavy-fast | asym | oneshot | greedy2 | fixed")
-		n        = flag.Int("n", 1024, "bin count")
+		alg      = flag.String("alg", "aheavy-fast", "comma-separated registry algorithm names")
+		nStr     = flag.String("n", "1024", "comma-separated bin counts")
 		ratioStr = flag.String("ratios", "16,64,256,1024,4096,16384", "comma-separated m/n values")
-		seeds    = flag.Int("seeds", 10, "seeds per ratio")
-		workers  = flag.Int("workers", 0, "parallel workers")
+		seeds    = flag.Int("seeds", 10, "seeds per cell")
+		baseSeed = flag.Uint64("seed", 0, "base seed offset")
+		workers  = flag.Int("workers", 0, "parallel cells (0 = GOMAXPROCS)")
+		algWork  = flag.Int("alg-workers", 1, "workers inside each algorithm run (kept in the spec so results are scheduling-independent)")
+		jsonPath = flag.String("json", "", "persist the sweep manifest to this file (incrementally)")
+		resume   = flag.Bool("resume", false, "resume the manifest at -json, skipping completed cells")
+		verbose  = flag.Bool("v", false, "log per-cell progress to stderr")
 	)
 	flag.Parse()
 
-	var ratios []int64
-	for _, s := range strings.Split(*ratioStr, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pba-sweep: bad ratio %q: %v\n", s, err)
-			os.Exit(2)
-		}
-		ratios = append(ratios, v)
+	ns, err := parseInts(*nStr)
+	if err != nil {
+		fatal(2, "bad -n: %v", err)
+	}
+	ratios, err := parseInt64s(*ratioStr)
+	if err != nil {
+		fatal(2, "bad -ratios: %v", err)
+	}
+	if *resume && *jsonPath == "" {
+		fatal(2, "-resume requires -json")
 	}
 
-	run := func(p model.Problem, seed uint64) (*model.Result, error) {
-		switch strings.ToLower(*alg) {
-		case "aheavy":
-			return core.Run(p, core.Config{Seed: seed, Workers: *workers})
-		case "aheavy-fast":
-			return core.RunFast(p, core.Config{Seed: seed, Workers: *workers})
-		case "asym":
-			return asym.Run(p, asym.Config{Seed: seed, Workers: *workers})
-		case "oneshot":
-			return baseline.OneShot(p, baseline.Config{Seed: seed})
-		case "greedy2":
-			return baseline.Greedy(p, 2, baseline.Config{Seed: seed})
-		case "fixed":
-			return baseline.FixedThreshold(p, 2, baseline.Config{Seed: seed, Workers: *workers})
-		default:
-			return nil, fmt.Errorf("unknown algorithm %q", *alg)
-		}
+	eng := &sweep.Engine{
+		Spec: sweep.Spec{
+			Algorithms: strings.Split(*alg, ","),
+			Ns:         ns,
+			Ratios:     ratios,
+			Seeds:      *seeds,
+			BaseSeed:   *baseSeed,
+			AlgWorkers: *algWork,
+		},
+		Workers:      *workers,
+		ManifestPath: *jsonPath,
+		Resume:       *resume,
 	}
-
-	fmt.Println("alg,n,ratio,m,seed,max_load,excess,rounds,ball_requests,max_bin_received,max_ball_sent")
-	for _, ratio := range ratios {
-		p := model.Problem{M: int64(*n) * ratio, N: *n}
-		for s := 0; s < *seeds; s++ {
-			seed := uint64(s)*0x9E3779B97F4A7C15 + 1
-			res, err := run(p, seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pba-sweep: ratio %d seed %d: %v\n", ratio, s, err)
-				os.Exit(1)
+	// Without a manifest there is no resume safety net, so stream rows to
+	// stdout as cells complete (in cell order, like the historical
+	// sequential sweep): an interrupted run keeps the rows already done.
+	// With -json the manifest holds partial results, cells can be resumed
+	// (and skipped cells bypass Progress), so the CSV is written at the
+	// end from the manifest instead.
+	var str *streamer
+	streaming := *jsonPath == ""
+	if streaming {
+		if err := sweep.WriteCSVHeader(os.Stdout); err != nil {
+			fatal(1, "writing CSV: %v", err)
+		}
+		str = &streamer{cells: make(map[int]*sweep.CellResult)}
+	}
+	eng.Progress = func(res *sweep.CellResult, done, total int) {
+		if str != nil {
+			str.add(res)
+		}
+		if *verbose {
+			status := "ok"
+			if res.Err != "" {
+				status = "FAIL: " + res.Err
 			}
-			fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-				*alg, *n, ratio, p.M, s,
-				res.MaxLoad(), res.Excess(), res.Rounds,
-				res.Metrics.BallRequests, res.Metrics.MaxBinReceived, res.Metrics.MaxBallSent)
+			fmt.Fprintf(os.Stderr, "pba-sweep: [%d/%d] %s (%.0f ms) %s\n",
+				done, total, res.Key(), res.ElapsedMS, status)
 		}
 	}
+
+	out, err := eng.Run()
+	if err != nil {
+		// The engine finishes every cell it can even when some fail; emit
+		// the completed cells' rows before exiting nonzero so a long sweep
+		// with one bad cell doesn't lose its results.
+		if out != nil && !streaming {
+			if werr := sweep.WriteCSV(os.Stdout, out.Manifest); werr != nil {
+				fmt.Fprintf(os.Stderr, "pba-sweep: writing CSV: %v\n", werr)
+			}
+		}
+		fatal(1, "%v", err)
+	}
+	if !streaming {
+		if err := sweep.WriteCSV(os.Stdout, out.Manifest); err != nil {
+			fatal(1, "writing CSV: %v", err)
+		}
+	}
+	if *verbose || out.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "pba-sweep: %d cells run, %d resumed, fingerprint %.12s, %.1fs\n",
+			out.Ran, out.Skipped, out.Manifest.ResultFingerprint, out.Elapsed.Seconds())
+	}
+}
+
+// streamer emits completed cells' CSV rows in cell-index order as soon as
+// the contiguous prefix is done. The engine serializes Progress calls, so
+// no extra locking is needed.
+type streamer struct {
+	cells map[int]*sweep.CellResult
+	next  int
+}
+
+func (s *streamer) add(res *sweep.CellResult) {
+	s.cells[res.Index] = res
+	for {
+		c, ok := s.cells[s.next]
+		if !ok {
+			return
+		}
+		if err := sweep.WriteCellCSV(os.Stdout, c); err != nil {
+			fmt.Fprintf(os.Stderr, "pba-sweep: writing CSV: %v\n", err)
+			return
+		}
+		delete(s.cells, s.next)
+		s.next++
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pba-sweep: "+format+"\n", args...)
+	os.Exit(code)
 }

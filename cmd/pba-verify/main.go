@@ -18,12 +18,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/asym"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/light"
 	"repro/internal/lower"
 	"repro/internal/model"
+	"repro/internal/sweep"
 )
 
 type check struct {
@@ -60,9 +57,10 @@ func main() {
 
 const n = 1 << 10
 
-func runHeavy(ratio int64, seed uint64) (*model.Result, error) {
-	p := model.Problem{M: int64(n) * ratio, N: n}
-	res, err := core.RunFast(p, core.Config{Seed: seed})
+// run resolves an algorithm through the sweep registry — the same dispatch
+// path pba-run and pba-sweep use — and invariant-checks the result.
+func run(alg string, p model.Problem, seed uint64) (*model.Result, error) {
+	res, err := sweep.Run(alg, p, sweep.Options{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +68,10 @@ func runHeavy(ratio int64, seed uint64) (*model.Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+func runHeavy(ratio int64, seed uint64) (*model.Result, error) {
+	return run("aheavy-fast", model.Problem{M: int64(n) * ratio, N: n}, seed)
 }
 
 func checkExcessFlat() error {
@@ -122,11 +124,8 @@ func checkMessages() error {
 func checkAsym() error {
 	for _, ratio := range []int64{4, 256} {
 		p := model.Problem{M: int64(n) * ratio, N: n}
-		res, err := asym.Run(p, asym.Config{Seed: 3})
+		res, err := run("asym", p, 3)
 		if err != nil {
-			return err
-		}
-		if err := res.Check(); err != nil {
 			return err
 		}
 		if res.Rounds > 7 {
@@ -153,11 +152,11 @@ func checkRejectionFloor() error {
 
 func checkFixedFoil() error {
 	p := model.Problem{M: int64(n) * 64, N: n}
-	fixed, err := baseline.FixedThreshold(p, 1, baseline.Config{Seed: 5})
+	fixed, err := run("fixed:1", p, 5)
 	if err != nil {
 		return err
 	}
-	heavy, err := core.RunFast(p, core.Config{Seed: 5})
+	heavy, err := run("aheavy-fast", p, 5)
 	if err != nil {
 		return err
 	}
@@ -169,7 +168,7 @@ func checkFixedFoil() error {
 
 func checkAlight() error {
 	for _, sz := range []int{1 << 10, 1 << 16} {
-		res, err := light.Run(model.Problem{M: int64(sz), N: sz}, light.Config{Seed: 9})
+		res, err := run("alight", model.Problem{M: int64(sz), N: sz}, 9)
 		if err != nil {
 			return err
 		}
@@ -185,7 +184,7 @@ func checkAlight() error {
 
 func checkDeterministic() error {
 	p := model.Problem{M: 10007, N: 64}
-	res, err := baseline.Deterministic(p, baseline.Config{Seed: 13})
+	res, err := run("det", p, 13)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+// Package dist provides the distribution-comparison toolkit used by the
+// statistical cross-validation tests: two-sample Kolmogorov–Smirnov
+// distances with asymptotic acceptance thresholds, occupancy spectra of
+// load vectors, and total-variation distance between spectra.
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)| between the empirical CDFs of a and b.
+// It panics on empty input. The inputs are not modified.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("dist: KSDistance of empty sample")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		// Advance past every copy of the smaller value in both samples
+		// before measuring: the CDFs only both settle after the ties.
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if gap := math.Abs(fa - fb); gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// OneShotMaxLoadPrediction returns the first-moment estimate of the
+// expected maximum bin load when m balls are thrown uniformly at random
+// into n bins: the smallest k with n·P(Poisson(m/n) >= k) <= 1. For
+// m >= n log n this matches the Θ(m/n + sqrt((m/n)·log n)) regime the
+// paper cites for one-shot allocation.
+func OneShotMaxLoadPrediction(m int64, n int) int64 {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	mu := float64(m) / float64(n)
+	lo := int64(math.Ceil(mu))
+	hi := lo + int64(12*math.Sqrt(mu)) + 40
+	// Poisson pmf over [lo, hi], computed in log space so large means
+	// neither under- nor overflow. Mass above hi (~12 standard deviations)
+	// is negligible against the 1/n target.
+	pmf := make([]float64, hi-lo+1)
+	for i := range pmf {
+		k := float64(lo + int64(i))
+		lg, _ := math.Lgamma(k + 1)
+		pmf[i] = math.Exp(-mu + k*math.Log(mu) - lg)
+	}
+	target := 1 / float64(n)
+	var tail float64
+	for i := len(pmf) - 1; i >= 0; i-- {
+		tail += pmf[i]
+		if tail > target {
+			return lo + int64(i) + 1
+		}
+	}
+	return lo
+}
+
+// KSThreshold returns the asymptotic critical value of the two-sample KS
+// statistic at significance level alpha: c(α)·sqrt((n1+n2)/(n1·n2)) with
+// c(α) = sqrt(ln(2/α)/2). Samples with KSDistance above the threshold
+// reject the null hypothesis of a common distribution at level alpha.
+func KSThreshold(n1, n2 int, alpha float64) float64 {
+	if n1 <= 0 || n2 <= 0 {
+		panic("dist: KSThreshold requires positive sample sizes")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic("dist: KSThreshold requires 0 < alpha < 1")
+	}
+	c := math.Sqrt(math.Log(2/alpha) / 2)
+	return c * math.Sqrt(float64(n1+n2)/(float64(n1)*float64(n2)))
+}
+
+// PMF is a probability mass function over integer values (e.g. bin loads).
+type PMF map[int64]float64
+
+// Spectrum returns the occupancy spectrum of a load vector: the empirical
+// distribution of load values over bins. An allocation where "all bins are
+// equally loaded" has a spectrum supported on one or two values.
+func Spectrum(loads []int64) PMF {
+	p := make(PMF, 8)
+	if len(loads) == 0 {
+		return p
+	}
+	w := 1 / float64(len(loads))
+	for _, v := range loads {
+		p[v] += w
+	}
+	return p
+}
+
+// Support returns the number of distinct values carrying positive mass.
+func (p PMF) Support() int {
+	n := 0
+	for _, w := range p {
+		if w > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalVariation returns the total-variation distance between two PMFs:
+// half the L1 distance, in [0, 1].
+func TotalVariation(p, q PMF) float64 {
+	var sum float64
+	for v, pw := range p {
+		sum += math.Abs(pw - q[v])
+	}
+	for v, qw := range q {
+		if _, ok := p[v]; !ok {
+			sum += qw
+		}
+	}
+	return sum / 2
+}

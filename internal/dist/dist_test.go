@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("identical samples: distance %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("disjoint samples: distance %v, want 1", d)
+	}
+}
+
+func TestKSDistanceHalfShift(t *testing.T) {
+	// b is a's upper half: the CDF gap peaks at 1/2.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if d := KSDistance(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("distance %v, want 0.5", d)
+	}
+}
+
+func TestKSDistanceSymmetric(t *testing.T) {
+	a := []float64{0.3, 1.7, 2.2, 9}
+	b := []float64{0.5, 1.1, 4.4}
+	if d1, d2 := KSDistance(a, b), KSDistance(b, a); d1 != d2 {
+		t.Fatalf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestKSThresholdMonotone(t *testing.T) {
+	// Stricter alpha -> larger critical value; more samples -> smaller.
+	if KSThreshold(50, 50, 0.001) <= KSThreshold(50, 50, 0.05) {
+		t.Fatal("threshold should grow as alpha shrinks")
+	}
+	if KSThreshold(500, 500, 0.01) >= KSThreshold(50, 50, 0.01) {
+		t.Fatal("threshold should shrink as samples grow")
+	}
+}
+
+func TestSpectrum(t *testing.T) {
+	s := Spectrum([]int64{2, 2, 3, 3, 3, 7})
+	if got := s.Support(); got != 3 {
+		t.Fatalf("support %d, want 3", got)
+	}
+	if w := s[3]; math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("mass at 3 is %v, want 0.5", w)
+	}
+	var total float64
+	for _, w := range s {
+		total += w
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("total mass %v, want 1", total)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := Spectrum([]int64{1, 1, 2, 2})
+	q := Spectrum([]int64{3, 3, 4, 4})
+	if tv := TotalVariation(p, q); tv != 1 {
+		t.Fatalf("disjoint PMFs: TV %v, want 1", tv)
+	}
+	if tv := TotalVariation(p, p); tv != 0 {
+		t.Fatalf("identical PMFs: TV %v, want 0", tv)
+	}
+	r := Spectrum([]int64{1, 1, 2, 4})
+	tv := TotalVariation(p, r)
+	if tv <= 0 || tv >= 1 {
+		t.Fatalf("partial overlap: TV %v, want in (0,1)", tv)
+	}
+	if tv2 := TotalVariation(r, p); math.Abs(tv-tv2) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", tv, tv2)
+	}
+}

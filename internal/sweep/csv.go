@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// CSVHeader is the exact column list pba-sweep has always emitted; one row
+// per (cell, seed) pair follows.
+const CSVHeader = "alg,n,ratio,m,seed,max_load,excess,rounds,ball_requests,max_bin_received,max_ball_sent"
+
+// WriteCSVHeader writes the header line.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, CSVHeader)
+	return err
+}
+
+// WriteCellCSV writes one cell's per-seed rows; pending or failed cells
+// write nothing. It enables streaming output: emitting cells one at a
+// time in index order is byte-identical to WriteCSV over the final
+// manifest.
+func WriteCellCSV(w io.Writer, c *CellResult) error {
+	if !c.Done() {
+		return nil
+	}
+	p := c.Problem()
+	for _, r := range c.Runs {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			c.Alg, c.N, c.Ratio, p.M, r.Seed,
+			r.MaxLoad, r.Excess, r.Rounds,
+			r.Metrics.BallRequests, r.Metrics.MaxBinReceived, r.Metrics.MaxBallSent)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders every completed cell's per-seed rows in cell order —
+// for a single-algorithm, single-n spec this is the historical pba-sweep
+// output format, row for row.
+func WriteCSV(w io.Writer, m *Manifest) error {
+	bw := bufio.NewWriter(w)
+	if err := WriteCSVHeader(bw); err != nil {
+		return err
+	}
+	for _, c := range m.Cells {
+		if err := WriteCellCSV(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestVersion is bumped on incompatible manifest layout changes; Load
+// rejects files written by a different version.
+const ManifestVersion = 1
+
+// Manifest statuses.
+const (
+	StatusRunning  = "running"
+	StatusComplete = "complete"
+	StatusFailed   = "failed"
+)
+
+// Manifest is the durable record of one sweep: the spec, every cell's
+// result, timing, status, and two fingerprints — the spec's (checked on
+// resume) and the results' (bit-identical across worker counts for the
+// same spec). It is persisted incrementally after every completed cell,
+// so an interrupted sweep resumes by re-running only the missing cells.
+type Manifest struct {
+	Version         int    `json:"version"`
+	Spec            Spec   `json:"spec"`
+	SpecFingerprint string `json:"spec_fingerprint"`
+	Status          string `json:"status"`
+
+	StartedAt      time.Time `json:"started_at,omitempty"`
+	UpdatedAt      time.Time `json:"updated_at,omitempty"`
+	ElapsedSeconds float64   `json:"elapsed_seconds,omitempty"`
+
+	// Cells is indexed by Cell.Index; nil entries are pending.
+	Cells []*CellResult `json:"cells"`
+
+	// ResultFingerprint hashes the deterministic content of every cell
+	// (cells, runs, aggregates — not timing); set once Status is complete.
+	ResultFingerprint string `json:"result_fingerprint,omitempty"`
+}
+
+// NewManifest creates an empty manifest for a normalized spec.
+func NewManifest(spec Spec) *Manifest {
+	return &Manifest{
+		Version:         ManifestVersion,
+		Spec:            spec,
+		SpecFingerprint: spec.Fingerprint(),
+		Status:          StatusRunning,
+		Cells:           make([]*CellResult, len(spec.Cells())),
+	}
+}
+
+// LoadManifest reads a manifest from path.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("sweep: manifest %s: version %d, want %d", path, m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// Save writes the manifest atomically (temp file + rename), so a crash
+// mid-write never leaves a torn manifest behind.
+func (m *Manifest) Save(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Pending returns the indexes of cells not yet successfully completed.
+func (m *Manifest) Pending() []int {
+	var idx []int
+	for i, c := range m.Cells {
+		if !c.Done() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Complete reports whether every cell finished successfully.
+func (m *Manifest) Complete() bool { return len(m.Pending()) == 0 }
+
+// ComputeResultFingerprint hashes the deterministic portion of every cell
+// result — identity, per-run rows, aggregates — in cell order. Timing
+// fields are excluded, so the fingerprint is identical for identical
+// sweeps regardless of machine speed or worker count.
+func (m *Manifest) ComputeResultFingerprint() string {
+	type cellFP struct {
+		Cell Cell       `json:"cell"`
+		Runs []Trial    `json:"runs"`
+		Agg  *Aggregate `json:"agg"`
+		Err  string     `json:"err,omitempty"`
+	}
+	fps := make([]cellFP, len(m.Cells))
+	for i, c := range m.Cells {
+		if c == nil {
+			continue
+		}
+		fps[i] = cellFP{Cell: c.Cell, Runs: c.Runs, Agg: c.Agg, Err: c.Err}
+	}
+	return fingerprintJSON(fps)
+}

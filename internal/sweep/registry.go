@@ -1,0 +1,368 @@
+// Package sweep is the experiment-orchestration engine: a registry of
+// every allocation algorithm under parameterized names, a declarative grid
+// Spec expanded into cells, a parallel runner with deterministic per-cell
+// seeding, per-cell aggregation through package stats, and resumable JSON
+// manifests with content fingerprints.
+//
+// The registry is the single dispatch point for the CLI layer: cmd/pba-run,
+// cmd/pba-sweep, and cmd/pba-verify all resolve algorithm names here
+// instead of hand-rolling switch statements. Names are lower-case families
+// with colon-separated parameters:
+//
+//	aheavy[:beta]        agent-based Aheavy (slack exponent beta, 0 = 2/3)
+//	aheavy-fast[:beta]   count-based Aheavy
+//	asym                 asymmetric algorithm (Theorem 3)
+//	alight               lightly loaded substrate (Theorem 5)
+//	oneshot              one-shot random allocation
+//	greedy:d             sequential d-choice
+//	batched:d[:b]        batched d-choice, batch size b (default n)
+//	fixed:slack          fixed-threshold foil (§1.1)
+//	det                  deterministic n-round fallback
+//	adaptive:slack       state-adaptive threshold allocator
+//
+// Legacy spellings remain as aliases: greedy2 (pba-sweep), light,
+// deterministic.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asym"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/light"
+	"repro/internal/model"
+	"repro/internal/threshold"
+)
+
+// Options carries the run-level knobs every registered runner accepts.
+type Options struct {
+	Seed    uint64
+	Workers int
+	Trace   bool
+}
+
+// Runner executes one algorithm on one instance.
+type Runner func(p model.Problem, opt Options) (*model.Result, error)
+
+// Algorithm is a resolved registry entry: a canonical name bound to a
+// fully parameterized runner.
+type Algorithm struct {
+	Name   string // canonical spelling, e.g. "greedy:2"
+	Family string // registry family, e.g. "greedy"
+	run    Runner
+}
+
+// Run executes the algorithm.
+func (a Algorithm) Run(p model.Problem, opt Options) (*model.Result, error) {
+	return a.run(p, opt)
+}
+
+// family is one registry row: a usage pattern plus a builder that turns
+// the colon-separated parameter list into a concrete Algorithm.
+type family struct {
+	usage string
+	desc  string
+	build func(args []string) (Algorithm, error)
+}
+
+// aliases maps legacy spellings onto canonical names before family lookup.
+var aliases = map[string]string{
+	"greedy2":       "greedy:2", // pba-sweep's historical spelling
+	"light":         "alight",
+	"deterministic": "det",
+}
+
+var families = map[string]family{
+	"aheavy": {
+		usage: "aheavy[:beta]",
+		desc:  "agent-based symmetric threshold algorithm (Theorem 1)",
+		build: func(args []string) (Algorithm, error) {
+			beta, name, err := betaArg("aheavy", args)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: name, Family: "aheavy", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return core.Run(p, core.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
+					Params: core.Params{Beta: beta}})
+			}}, nil
+		},
+	},
+	"aheavy-fast": {
+		usage: "aheavy-fast[:beta]",
+		desc:  "count-based Aheavy, scales to very large m",
+		build: func(args []string) (Algorithm, error) {
+			beta, name, err := betaArg("aheavy-fast", args)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: name, Family: "aheavy-fast", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return core.RunFast(p, core.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
+					Params: core.Params{Beta: beta}})
+			}}, nil
+		},
+	},
+	"asym": {
+		usage: "asym",
+		desc:  "asymmetric algorithm: constant rounds (Theorem 3)",
+		build: func(args []string) (Algorithm, error) {
+			if err := noArgs("asym", args); err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: "asym", Family: "asym", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return asym.Run(p, asym.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+	},
+	"alight": {
+		usage: "alight",
+		desc:  "lightly loaded substrate: load cap 2 (Theorem 5)",
+		build: func(args []string) (Algorithm, error) {
+			if err := noArgs("alight", args); err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: "alight", Family: "alight", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return light.Run(p, light.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+	},
+	"oneshot": {
+		usage: "oneshot",
+		desc:  "one-shot random allocation, no communication",
+		build: func(args []string) (Algorithm, error) {
+			if err := noArgs("oneshot", args); err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: "oneshot", Family: "oneshot", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return baseline.OneShot(p, baseline.Config{Seed: opt.Seed})
+			}}, nil
+		},
+	},
+	"greedy": {
+		usage: "greedy:d",
+		desc:  "sequential d-choice (BCSV06 baseline)",
+		build: func(args []string) (Algorithm, error) {
+			d, err := intArg("greedy", "d", args, 0, 2)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			if len(args) > 1 {
+				return Algorithm{}, fmt.Errorf("sweep: greedy takes one parameter (greedy:d), got %d", len(args))
+			}
+			if d < 1 {
+				return Algorithm{}, fmt.Errorf("sweep: greedy needs d >= 1, got %d", d)
+			}
+			return Algorithm{Name: fmt.Sprintf("greedy:%d", d), Family: "greedy", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return baseline.Greedy(p, d, baseline.Config{Seed: opt.Seed})
+			}}, nil
+		},
+	},
+	"batched": {
+		usage: "batched:d[:b]",
+		desc:  "batched d-choice with batch size b (default n)",
+		build: func(args []string) (Algorithm, error) {
+			if len(args) > 2 {
+				return Algorithm{}, fmt.Errorf("sweep: batched takes at most two parameters (batched:d:b), got %d", len(args))
+			}
+			d, err := intArg("batched", "d", args, 0, 2)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			if d < 1 {
+				return Algorithm{}, fmt.Errorf("sweep: batched needs d >= 1, got %d", d)
+			}
+			batch, err := int64Arg("batched", "b", args, 1, 0)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			if len(args) == 2 && batch < 1 {
+				return Algorithm{}, fmt.Errorf("sweep: batched needs batch >= 1, got %d", batch)
+			}
+			name := fmt.Sprintf("batched:%d", d)
+			if batch > 0 {
+				name = fmt.Sprintf("batched:%d:%d", d, batch)
+			}
+			return Algorithm{Name: name, Family: "batched", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				b := batch
+				if b == 0 {
+					b = int64(p.N)
+				}
+				return baseline.Batched(p, d, b, baseline.Config{Seed: opt.Seed, Workers: opt.Workers})
+			}}, nil
+		},
+	},
+	"fixed": {
+		usage: "fixed:slack",
+		desc:  "fixed-threshold foil: caps at ceil(m/n)+slack every round (§1.1)",
+		build: func(args []string) (Algorithm, error) {
+			if len(args) > 1 {
+				return Algorithm{}, fmt.Errorf("sweep: fixed takes one parameter (fixed:slack), got %d", len(args))
+			}
+			slack, err := int64Arg("fixed", "slack", args, 0, 2)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			if slack < 0 {
+				return Algorithm{}, fmt.Errorf("sweep: fixed needs slack >= 0, got %d", slack)
+			}
+			return Algorithm{Name: fmt.Sprintf("fixed:%d", slack), Family: "fixed", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return baseline.FixedThreshold(p, slack, baseline.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+	},
+	"det": {
+		usage: "det",
+		desc:  "deterministic fallback: exact balance within n rounds (§3)",
+		build: func(args []string) (Algorithm, error) {
+			if err := noArgs("det", args); err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: "det", Family: "det", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return baseline.Deterministic(p, baseline.Config{Seed: opt.Seed, Workers: opt.Workers})
+			}}, nil
+		},
+	},
+	"adaptive": {
+		usage: "adaptive:slack",
+		desc:  "state-adaptive threshold allocator (fault-tolerant variant's core)",
+		build: func(args []string) (Algorithm, error) {
+			if len(args) > 1 {
+				return Algorithm{}, fmt.Errorf("sweep: adaptive takes one parameter (adaptive:slack), got %d", len(args))
+			}
+			slack, err := int64Arg("adaptive", "slack", args, 0, 2)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			if slack < 0 {
+				return Algorithm{}, fmt.Errorf("sweep: adaptive needs slack >= 0, got %d", slack)
+			}
+			alg := threshold.Algorithm{Degree: 1, PhaseLen: 1, Policy: threshold.Greedy(slack)}
+			return Algorithm{Name: fmt.Sprintf("adaptive:%d", slack), Family: "adaptive", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return alg.Run(p, threshold.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+	},
+}
+
+// Canonicalize lower-cases, trims, and expands legacy aliases (greedy2 →
+// greedy:2) without resolving parameters. Callers that special-case
+// parameterized names (those containing ':') should canonicalize first so
+// aliases of parameterized names are not mistaken for bare families.
+func Canonicalize(name string) string {
+	spec := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := aliases[spec]; ok {
+		return canon
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if canon, ok := aliases[parts[0]]; ok {
+		parts[0] = canon
+		return strings.Join(parts, ":")
+	}
+	return spec
+}
+
+// Resolve parses an algorithm name (family plus colon-separated
+// parameters, aliases accepted, case-insensitive) into an Algorithm.
+func Resolve(name string) (Algorithm, error) {
+	parts := strings.Split(Canonicalize(name), ":")
+	fam, ok := families[parts[0]]
+	if !ok {
+		return Algorithm{}, fmt.Errorf("sweep: unknown algorithm %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return fam.build(parts[1:])
+}
+
+// MustResolve is Resolve for statically known names; it panics on error.
+func MustResolve(name string) Algorithm {
+	a, err := Resolve(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Run resolves name and executes it on p — the one-line entry point.
+func Run(name string, p model.Problem, opt Options) (*model.Result, error) {
+	a, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(p, opt)
+}
+
+// Names returns every registry family's usage pattern, sorted.
+func Names() []string {
+	out := make([]string, 0, len(families))
+	for _, f := range families {
+		out = append(out, f.usage)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns "usage — desc" lines for CLI help output, sorted.
+func Describe() []string {
+	out := make([]string, 0, len(families))
+	for _, f := range families {
+		out = append(out, fmt.Sprintf("%-20s %s", f.usage, f.desc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func noArgs(fam string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("sweep: %s takes no parameters, got %q", fam, strings.Join(args, ":"))
+	}
+	return nil
+}
+
+// intArg returns args[idx] parsed as int, or def when absent.
+func intArg(fam, param string, args []string, idx, def int) (int, error) {
+	if idx >= len(args) {
+		return def, nil
+	}
+	v, err := strconv.Atoi(args[idx])
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %s parameter %s: bad integer %q", fam, param, args[idx])
+	}
+	return v, nil
+}
+
+// int64Arg returns args[idx] parsed as int64, or def when absent. For
+// two-parameter families the value parameter sits at index 1.
+func int64Arg(fam, param string, args []string, idx int, def int64) (int64, error) {
+	if idx >= len(args) {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(args[idx], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %s parameter %s: bad integer %q", fam, param, args[idx])
+	}
+	return v, nil
+}
+
+// betaArg parses the optional slack-exponent parameter of the Aheavy
+// variants and renders the canonical name.
+func betaArg(fam string, args []string) (beta float64, name string, err error) {
+	if len(args) == 0 {
+		return 0, fam, nil
+	}
+	if len(args) > 1 {
+		return 0, "", fmt.Errorf("sweep: %s takes one optional parameter (%s:beta), got %d", fam, fam, len(args))
+	}
+	beta, err = strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("sweep: %s parameter beta: bad float %q", fam, args[0])
+	}
+	if beta < 0 || beta >= 1 {
+		return 0, "", fmt.Errorf("sweep: %s needs beta in [0, 1) (0 = paper's 2/3), got %v", fam, beta)
+	}
+	if beta == 0 {
+		return 0, fam, nil
+	}
+	return beta, fam + ":" + strconv.FormatFloat(beta, 'g', -1, 64), nil
+}

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/model"
+)
+
+func TestResolveCanonicalNames(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"aheavy", "aheavy"},
+		{"AHEAVY", "aheavy"},
+		{"aheavy:0.5", "aheavy:0.5"},
+		{"aheavy-fast", "aheavy-fast"},
+		{"asym", "asym"},
+		{"alight", "alight"},
+		{"light", "alight"},
+		{"oneshot", "oneshot"},
+		{"greedy", "greedy:2"},
+		{"greedy:3", "greedy:3"},
+		{"greedy2", "greedy:2"},
+		{"batched", "batched:2"},
+		{"batched:2:1024", "batched:2:1024"},
+		{"fixed", "fixed:2"},
+		{"fixed:1", "fixed:1"},
+		{"det", "det"},
+		{"deterministic", "det"},
+		{"adaptive", "adaptive:2"},
+		{"adaptive:5", "adaptive:5"},
+		{" greedy:4 ", "greedy:4"},
+	}
+	for _, tc := range cases {
+		a, err := Resolve(tc.in)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", tc.in, err)
+			continue
+		}
+		if a.Name != tc.want {
+			t.Errorf("Resolve(%q).Name = %q, want %q", tc.in, a.Name, tc.want)
+		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"greedy2", "greedy:2"},
+		{"GREEDY2", "greedy:2"},
+		{"light", "alight"},
+		{"deterministic", "det"},
+		{"greedy:3", "greedy:3"},
+		{" AHEAVY ", "aheavy"},
+		{"unknown:x", "unknown:x"}, // passthrough; Resolve rejects later
+	}
+	for _, tc := range cases {
+		if got := Canonicalize(tc.in); got != tc.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestResolveRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{
+		"", "nope", "greedy:x", "greedy:0", "greedy:2:3",
+		"batched:0", "batched:2:0", "batched:2:8:9",
+		"fixed:-1", "adaptive:-2", "aheavy:1.5", "aheavy:x",
+		"asym:3", "oneshot:1", "det:2", "alight:9",
+	} {
+		if _, err := Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := Resolve("zzz"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown-name error should list known families, got %v", err)
+	}
+}
+
+// TestEveryFamilyRuns executes each registry family on a small instance
+// and checks the allocation invariants — the registry equivalent of the
+// public API surface test.
+func TestEveryFamilyRuns(t *testing.T) {
+	heavy := model.Problem{M: 2000, N: 50}
+	light := model.Problem{M: 50, N: 50} // alight is the lightly loaded substrate
+	for _, name := range []string{
+		"aheavy", "aheavy-fast", "aheavy:0.5", "asym", "alight",
+		"oneshot", "greedy:2", "batched:2:500", "fixed:2", "det", "adaptive:4",
+	} {
+		p := heavy
+		if name == "alight" {
+			p = light
+		}
+		res, err := Run(name, p, Options{Seed: 7})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := res.Check(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRegistryMatchesDirectCall pins the registry's dispatch to the
+// underlying packages: same seed, same result.
+func TestRegistryMatchesDirectCall(t *testing.T) {
+	p := model.Problem{M: 5000, N: 64}
+	direct, err := baseline.Greedy(p, 2, baseline.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaReg, err := Run("greedy2", p, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Loads {
+		if direct.Loads[i] != viaReg.Loads[i] {
+			t.Fatalf("bin %d: registry %d != direct %d", i, viaReg.Loads[i], direct.Loads[i])
+		}
+	}
+}
+
+func TestMustResolvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustResolve of unknown name did not panic")
+		}
+	}()
+	MustResolve("not-an-algorithm")
+}
+
+func TestNamesAndDescribe(t *testing.T) {
+	names := Names()
+	if len(names) != len(families) {
+		t.Fatalf("Names() returned %d entries, registry has %d", len(names), len(families))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	if len(Describe()) != len(families) {
+		t.Fatal("Describe() incomplete")
+	}
+}

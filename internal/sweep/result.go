@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Run records one algorithm execution inside a cell: the per-seed row the
+// CSV output and the manifest both carry.
+type Trial struct {
+	// Seed is the seed index within the cell; SeedValue the uint64
+	// actually handed to the algorithm (kept so a single run can be
+	// reproduced with pba-run -seed).
+	Seed      int    `json:"seed"`
+	SeedValue uint64 `json:"seed_value"`
+
+	MaxLoad     int64 `json:"max_load"`
+	Excess      int64 `json:"excess"`
+	Rounds      int   `json:"rounds"`
+	Unallocated int64 `json:"unallocated,omitempty"`
+
+	Metrics model.Metrics `json:"metrics"`
+}
+
+// Summary condenses one metric over a cell's runs.
+type Summary struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(r *stats.Running) Summary {
+	return Summary{Mean: r.Mean(), CI95: r.CI95(), Min: r.Min(), Max: r.Max()}
+}
+
+// Aggregate is the per-cell statistical digest computed through
+// internal/stats: mean ± 95% CI and extremes of the headline metrics.
+type Aggregate struct {
+	Excess         Summary `json:"excess"`
+	Rounds         Summary `json:"rounds"`
+	MaxLoad        Summary `json:"max_load"`
+	BallRequests   Summary `json:"ball_requests"`
+	MaxBinReceived Summary `json:"max_bin_received"`
+	MaxBallSent    Summary `json:"max_ball_sent"`
+}
+
+func aggregate(runs []Trial) *Aggregate {
+	var excess, rounds, maxLoad, requests, binRecv, ballSent stats.Running
+	for _, r := range runs {
+		excess.Add(float64(r.Excess))
+		rounds.Add(float64(r.Rounds))
+		maxLoad.Add(float64(r.MaxLoad))
+		requests.Add(float64(r.Metrics.BallRequests))
+		binRecv.Add(float64(r.Metrics.MaxBinReceived))
+		ballSent.Add(float64(r.Metrics.MaxBallSent))
+	}
+	return &Aggregate{
+		Excess:         summarize(&excess),
+		Rounds:         summarize(&rounds),
+		MaxLoad:        summarize(&maxLoad),
+		BallRequests:   summarize(&requests),
+		MaxBinReceived: summarize(&binRecv),
+		MaxBallSent:    summarize(&ballSent),
+	}
+}
+
+// CellResult is a completed (or failed) cell: the raw per-seed runs plus
+// their aggregate. ElapsedMS is wall-clock bookkeeping and is excluded
+// from result fingerprints.
+type CellResult struct {
+	Cell
+	Runs      []Trial    `json:"runs,omitempty"`
+	Agg       *Aggregate `json:"agg,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
+	Err       string     `json:"error,omitempty"`
+}
+
+// Done reports whether the cell completed successfully; failed or pending
+// cells are (re-)run on resume.
+func (c *CellResult) Done() bool {
+	return c != nil && c.Err == "" && len(c.Runs) > 0
+}

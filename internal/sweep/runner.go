@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Engine runs a Spec's grid on a bounded worker pool. The pool size only
+// controls scheduling: every cell derives its seeds from the spec alone,
+// so the results (and the manifest's result fingerprint) are bit-identical
+// for any Workers value.
+type Engine struct {
+	Spec Spec
+	// Workers bounds the number of concurrently running cells
+	// (0 = GOMAXPROCS). Inner-algorithm parallelism is Spec.AlgWorkers.
+	Workers int
+	// ManifestPath, when set, persists the manifest there incrementally —
+	// after every completed cell — enabling resume.
+	ManifestPath string
+	// Resume loads an existing manifest from ManifestPath and re-runs only
+	// its pending or failed cells. The manifest's spec fingerprint must
+	// match; a missing file degrades to a fresh run.
+	Resume bool
+	// Progress, when set, is called after each cell completes (from the
+	// goroutine that ran it, serialized under the engine lock).
+	Progress func(res *CellResult, done, total int)
+}
+
+// Outcome reports what a Run did.
+type Outcome struct {
+	Manifest *Manifest
+	Ran      int // cells executed in this invocation
+	Skipped  int // cells already complete in the resumed manifest
+	Elapsed  time.Duration
+}
+
+// Run expands the grid, executes every pending cell, and returns the
+// completed manifest. Cell failures do not stop the sweep: remaining cells
+// still run (and persist), the manifest is marked failed, and an error
+// naming the first failure is returned.
+func (e *Engine) Run() (*Outcome, error) {
+	spec, err := e.Spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+
+	var man *Manifest
+	if e.Resume {
+		if e.ManifestPath == "" {
+			return nil, fmt.Errorf("sweep: resume requires a manifest path")
+		}
+		m, err := LoadManifest(e.ManifestPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume; fall through to a fresh manifest.
+		case err != nil:
+			return nil, err
+		case m.SpecFingerprint != spec.Fingerprint():
+			return nil, fmt.Errorf("sweep: manifest %s was written for a different spec (fingerprint %.12s, want %.12s)",
+				e.ManifestPath, m.SpecFingerprint, spec.Fingerprint())
+		default:
+			man = m
+		}
+	}
+	cells := spec.Cells()
+	if man == nil {
+		man = NewManifest(spec)
+		man.StartedAt = time.Now().UTC()
+	}
+	// A truncated manifest may carry fewer slots than the grid.
+	for len(man.Cells) < len(cells) {
+		man.Cells = append(man.Cells, nil)
+	}
+	man.Cells = man.Cells[:len(cells)]
+	man.Status = StatusRunning
+
+	pending := man.Pending()
+	skipped := len(cells) - len(pending)
+	start := time.Now()
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		saveErr error
+		done    = skipped
+		jobs    = make(chan int)
+	)
+	// flush persists the whole manifest under the engine lock: crash
+	// safety after every cell, at the cost of serializing workers on an
+	// O(manifest) marshal. Cells are coarse (Seeds full runs each), so
+	// the save is noise next to the compute at realistic grid sizes.
+	flush := func() {
+		if e.ManifestPath == "" || saveErr != nil {
+			return
+		}
+		man.UpdatedAt = time.Now().UTC()
+		saveErr = man.Save(e.ManifestPath)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res := runCell(spec, cells[idx])
+				mu.Lock()
+				man.Cells[idx] = res
+				done++
+				flush()
+				if e.Progress != nil {
+					e.Progress(res, done, len(cells))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, idx := range pending {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	man.ElapsedSeconds += elapsed.Seconds()
+	var firstFail *CellResult
+	for _, c := range man.Cells {
+		if c != nil && c.Err != "" && firstFail == nil {
+			firstFail = c
+		}
+	}
+	if firstFail == nil {
+		man.Status = StatusComplete
+		man.ResultFingerprint = man.ComputeResultFingerprint()
+	} else {
+		man.Status = StatusFailed
+		man.ResultFingerprint = ""
+	}
+	mu.Lock()
+	flush()
+	mu.Unlock()
+
+	out := &Outcome{Manifest: man, Ran: len(pending), Skipped: skipped, Elapsed: elapsed}
+	if saveErr != nil {
+		return out, fmt.Errorf("sweep: persisting manifest: %w", saveErr)
+	}
+	if firstFail != nil {
+		return out, fmt.Errorf("sweep: cell %s failed: %s", firstFail.Key(), firstFail.Err)
+	}
+	return out, nil
+}
+
+// runCell executes one cell: Seeds runs of the cell's algorithm on its
+// instance, invariant-checked and aggregated. Errors are captured in the
+// result rather than returned, so one bad cell cannot take down the sweep.
+func runCell(spec Spec, c Cell) *CellResult {
+	start := time.Now()
+	fail := func(err error) *CellResult {
+		return &CellResult{Cell: c, Err: err.Error(), ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	}
+	alg, err := Resolve(c.Alg)
+	if err != nil {
+		return fail(err)
+	}
+	workers := spec.AlgWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	runs := make([]Trial, 0, spec.Seeds)
+	for i := 0; i < spec.Seeds; i++ {
+		seed := spec.RunSeed(i)
+		res, err := alg.Run(c.Problem(), Options{Seed: seed, Workers: workers})
+		if err != nil {
+			return fail(fmt.Errorf("seed %d: %w", i, err))
+		}
+		if err := res.Check(); err != nil {
+			return fail(fmt.Errorf("seed %d: %w", i, err))
+		}
+		runs = append(runs, Trial{
+			Seed:        i,
+			SeedValue:   seed,
+			MaxLoad:     res.MaxLoad(),
+			Excess:      res.Excess(),
+			Rounds:      res.Rounds,
+			Unallocated: res.Unallocated,
+			Metrics:     res.Metrics,
+		})
+	}
+	return &CellResult{
+		Cell:      c,
+		Runs:      runs,
+		Agg:       aggregate(runs),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSpec is a small multi-algorithm grid that still exercises several
+// families and instance shapes.
+func testSpec() Spec {
+	return Spec{
+		Algorithms: []string{"aheavy-fast", "oneshot", "greedy:2"},
+		Ns:         []int{64, 128},
+		Ratios:     []int64{4, 16},
+		Seeds:      3,
+	}
+}
+
+func TestSpecNormalize(t *testing.T) {
+	s := Spec{Algorithms: []string{"greedy2", "light"}, Ns: []int{8}, Ratios: []int64{2}, Seeds: 1}
+	n, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Algorithms; got[0] != "greedy:2" || got[1] != "alight" {
+		t.Fatalf("normalized algorithms %v", got)
+	}
+	for _, bad := range []Spec{
+		{Ns: []int{8}, Ratios: []int64{2}, Seeds: 1},
+		{Algorithms: []string{"oneshot"}, Ratios: []int64{2}, Seeds: 1},
+		{Algorithms: []string{"oneshot"}, Ns: []int{8}, Seeds: 1},
+		{Algorithms: []string{"oneshot"}, Ns: []int{8}, Ratios: []int64{2}},
+		{Algorithms: []string{"oneshot"}, Ns: []int{0}, Ratios: []int64{2}, Seeds: 1},
+		{Algorithms: []string{"oneshot"}, Ns: []int{8}, Ratios: []int64{-1}, Seeds: 1},
+		{Algorithms: []string{"bogus"}, Ns: []int{8}, Ratios: []int64{2}, Seeds: 1},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	s := testSpec()
+	cells := s.Cells()
+	if len(cells) != 3*2*2 {
+		t.Fatalf("expanded %d cells, want 12", len(cells))
+	}
+	// Deterministic order: algorithm-major, then n, then ratio.
+	if cells[0].Key() != "aheavy-fast/n=64/r=4" {
+		t.Fatalf("first cell %s", cells[0].Key())
+	}
+	if cells[1].Ratio != 16 || cells[2].N != 128 {
+		t.Fatalf("unexpected order: %s then %s", cells[1].Key(), cells[2].Key())
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+		if p := c.Problem(); p.M != int64(c.N)*c.Ratio {
+			t.Fatalf("cell %s problem m=%d", c.Key(), p.M)
+		}
+	}
+}
+
+func TestSpecFingerprintSensitivity(t *testing.T) {
+	a := testSpec()
+	b := testSpec()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal specs fingerprint differently")
+	}
+	b.Seeds = 4
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different specs share a fingerprint")
+	}
+}
+
+// TestDeterminismAcrossWorkers is the tentpole guarantee: the same spec at
+// Workers=1 and Workers=8 yields identical cell results and an identical
+// manifest fingerprint.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Manifest {
+		out, err := (&Engine{Spec: testSpec(), Workers: workers}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Manifest
+	}
+	m1 := run(1)
+	m8 := run(8)
+	if m1.ResultFingerprint == "" || m1.ResultFingerprint != m8.ResultFingerprint {
+		t.Fatalf("fingerprints differ: %.12s vs %.12s", m1.ResultFingerprint, m8.ResultFingerprint)
+	}
+	for i := range m1.Cells {
+		a, b := m1.Cells[i], m8.Cells[i]
+		if !reflect.DeepEqual(a.Cell, b.Cell) || !reflect.DeepEqual(a.Runs, b.Runs) || !reflect.DeepEqual(a.Agg, b.Agg) {
+			t.Fatalf("cell %s differs across worker counts", a.Key())
+		}
+	}
+}
+
+// TestManifestResume interrupts a sweep (by truncating its manifest back
+// to a partial state) and checks that resuming completes only the missing
+// cells and converges on the full run's fingerprint.
+func TestManifestResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+
+	full, err := (&Engine{Spec: testSpec(), Workers: 4, ManifestPath: path}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Manifest.ResultFingerprint
+	if want == "" {
+		t.Fatal("completed manifest has no result fingerprint")
+	}
+
+	// Simulate the interruption: keep only the first 5 cells' results, as
+	// an incremental save after cell 5 would have left them.
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < len(m.Cells); i++ {
+		m.Cells[i] = nil
+	}
+	m.Status = StatusRunning
+	m.ResultFingerprint = ""
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var reran []string
+	out, err := (&Engine{
+		Spec: testSpec(), Workers: 2, ManifestPath: path, Resume: true,
+		Progress: func(res *CellResult, done, total int) { reran = append(reran, res.Key()) },
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped != 5 || out.Ran != len(m.Cells)-5 {
+		t.Fatalf("resume ran %d, skipped %d; want %d and 5", out.Ran, out.Skipped, len(m.Cells)-5)
+	}
+	for _, key := range reran {
+		for _, c := range full.Manifest.Cells[:5] {
+			if key == c.Key() {
+				t.Fatalf("resume re-ran completed cell %s", key)
+			}
+		}
+	}
+	if got := out.Manifest.ResultFingerprint; got != want {
+		t.Fatalf("resumed fingerprint %.12s != full run %.12s", got, want)
+	}
+
+	// The persisted manifest matches the in-memory one.
+	final, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusComplete || final.ResultFingerprint != want {
+		t.Fatalf("persisted manifest status=%s fingerprint=%.12s", final.Status, final.ResultFingerprint)
+	}
+}
+
+func TestResumeRejectsMismatchedSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	small := Spec{Algorithms: []string{"oneshot"}, Ns: []int{32}, Ratios: []int64{4}, Seeds: 2}
+	if _, err := (&Engine{Spec: small, ManifestPath: path}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	other := small
+	other.Seeds = 3
+	_, err := (&Engine{Spec: other, ManifestPath: path, Resume: true}).Run()
+	if err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("resume with mismatched spec: %v", err)
+	}
+}
+
+func TestResumeWithoutManifestStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.json")
+	out, err := (&Engine{
+		Spec:         Spec{Algorithms: []string{"oneshot"}, Ns: []int{16}, Ratios: []int64{2}, Seeds: 1},
+		ManifestPath: path, Resume: true,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped != 0 || out.Ran != 1 {
+		t.Fatalf("fresh resume ran %d skipped %d", out.Ran, out.Skipped)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("manifest not persisted: %v", err)
+	}
+}
+
+// TestFailedCellIsRecordedAndRetried checks that a failing cell poisons
+// neither the sweep nor the manifest, and that resume retries it.
+func TestFailedCellIsRecordedAndRetried(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fail.json")
+	// alight refuses m > n (the substrate is for the lightly loaded case),
+	// so ratio 4 fails while oneshot succeeds.
+	spec := Spec{Algorithms: []string{"alight", "oneshot"}, Ns: []int{32}, Ratios: []int64{4}, Seeds: 1}
+	out, err := (&Engine{Spec: spec, ManifestPath: path}).Run()
+	if err == nil {
+		t.Skip("alight accepted m > n; failure path not exercisable here")
+	}
+	man := out.Manifest
+	if man.Status != StatusFailed || man.ResultFingerprint != "" {
+		t.Fatalf("status %s fingerprint %q", man.Status, man.ResultFingerprint)
+	}
+	var failed, succeeded int
+	for _, c := range man.Cells {
+		if c.Done() {
+			succeeded++
+		} else if c != nil && c.Err != "" {
+			failed++
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Fatalf("failed=%d succeeded=%d; want both nonzero", failed, succeeded)
+	}
+	// Resume retries exactly the failed cells.
+	out2, err := (&Engine{Spec: spec, ManifestPath: path, Resume: true}).Run()
+	if err == nil {
+		t.Fatal("deterministic failure vanished on resume")
+	}
+	if out2.Ran != failed || out2.Skipped != succeeded {
+		t.Fatalf("resume ran %d skipped %d; want %d and %d", out2.Ran, out2.Skipped, failed, succeeded)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	out, err := (&Engine{Spec: testSpec(), Workers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, out.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("header %q", lines[0])
+	}
+	wantRows := 12 * 3 // cells × seeds
+	if len(lines)-1 != wantRows {
+		t.Fatalf("%d data rows, want %d", len(lines)-1, wantRows)
+	}
+	wantCols := len(strings.Split(CSVHeader, ","))
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != wantCols {
+			t.Fatalf("row %q has %d columns, want %d", l, got, wantCols)
+		}
+	}
+	// Rows appear in cell order; the first block is the first cell's seeds.
+	if !strings.HasPrefix(lines[1], "aheavy-fast,64,4,256,0,") {
+		t.Fatalf("first row %q", lines[1])
+	}
+}
+
+// TestStreamedCSVMatchesBatch checks the contract pba-sweep's streaming
+// mode relies on: emitting cells one at a time in index order is
+// byte-identical to WriteCSV over the final manifest.
+func TestStreamedCSVMatchesBatch(t *testing.T) {
+	out, err := (&Engine{Spec: testSpec(), Workers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch strings.Builder
+	if err := WriteCSV(&batch, out.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	var streamed strings.Builder
+	if err := WriteCSVHeader(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Manifest.Cells {
+		if err := WriteCellCSV(&streamed, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch.String() != streamed.String() {
+		t.Fatal("streamed CSV differs from batch CSV")
+	}
+}
+
+func TestRunSeedMatchesHistoricalSequence(t *testing.T) {
+	s := testSpec()
+	// pba-sweep's historical mapping: seed(i) = i*golden + 1.
+	if got := s.RunSeed(0); got != 1 {
+		t.Fatalf("RunSeed(0) = %d, want 1", got)
+	}
+	if got := s.RunSeed(1); got != 0x9E3779B97F4A7C15+1 {
+		t.Fatalf("RunSeed(1) = %#x", got)
+	}
+	s.BaseSeed = 10
+	if got := s.RunSeed(0); got != 11 {
+		t.Fatalf("RunSeed(0) with base 10 = %d", got)
+	}
+}
