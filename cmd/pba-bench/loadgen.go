@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// loadgen drives a running pba-serve instance with a churn workload:
+// every batch departs a churn fraction of the jobs it still holds, then
+// allocates a fresh batch, reporting per-epoch latency and balance. The
+// client-side departure choices derive from seed, so a loadgen run against
+// a fresh server is a reproducible (seed, event trace) pair end to end.
+func loadgen(base string, batches, batch int, churn float64, seed uint64) error {
+	if batches < 1 || batch < 1 {
+		return fmt.Errorf("loadgen needs batches >= 1 and batch >= 1")
+	}
+	if !(churn >= 0 && churn < 1) {
+		return fmt.Errorf("loadgen needs churn in [0, 1), got %v", churn)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	r := rng.New(rng.Mix64(seed ^ 0x1F83D9ABFB41BD6B))
+
+	type allocResp struct {
+		Epoch    int   `json:"epoch"`
+		IDBase   int64 `json:"id_base"`
+		Admitted int   `json:"admitted"`
+		Pending  int   `json:"pending"`
+		Rounds   int   `json:"rounds"`
+		MaxLoad  int64 `json:"max_load"`
+		Excess   int64 `json:"excess"`
+	}
+
+	post := func(path string, req, resp any) error {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		res, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(res.Body).Decode(&e)
+			return fmt.Errorf("%s: %s (%s)", path, res.Status, e.Error)
+		}
+		return json.NewDecoder(res.Body).Decode(resp)
+	}
+
+	fmt.Printf("loadgen: %d batches x %d jobs, churn %.2f -> %s\n", batches, batch, churn, base)
+	fmt.Printf("%-8s %-10s %-10s %-8s %-10s %-8s %-10s\n",
+		"epoch", "released", "admitted", "rounds", "max_load", "excess", "latency")
+
+	var live []int64
+	for i := 0; i < batches; i++ {
+		released := 0
+		if churn > 0 && len(live) > 0 {
+			k := int(churn * float64(len(live)))
+			for j := 0; j < k; j++ {
+				x := j + r.Intn(len(live)-j)
+				live[j], live[x] = live[x], live[j]
+			}
+			var rel struct {
+				Released int `json:"released"`
+			}
+			if err := post("/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
+				return err
+			}
+			released = rel.Released
+			live = live[k:]
+		}
+		start := time.Now()
+		var ar allocResp
+		if err := post("/allocate", map[string]any{"count": batch, "terse": true}, &ar); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		for id := ar.IDBase; id < ar.IDBase+int64(ar.Admitted); id++ {
+			live = append(live, id)
+		}
+		fmt.Printf("%-8d %-10d %-10d %-8d %-10d %-8d %-10s\n",
+			ar.Epoch, released, ar.Admitted, ar.Rounds, ar.MaxLoad, ar.Excess,
+			elapsed.Round(time.Microsecond))
+	}
+
+	res, err := client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final /stats:\n%s\n", out)
+	return nil
+}

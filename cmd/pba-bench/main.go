@@ -9,6 +9,14 @@
 //	pba-bench -e E9           # one experiment
 //	pba-bench -quick -seeds 3 # fast pass
 //	pba-bench -csv -out dir   # also write one CSV per experiment
+//
+// With -serve it becomes a load generator for a running pba-serve
+// instance instead: each batch departs a -churn fraction of its live jobs
+// and allocates -batch fresh ones, printing per-epoch latency and balance
+// plus the server's final /stats.
+//
+//	pba-serve -n 512 &
+//	pba-bench -serve http://127.0.0.1:8380 -batches 20 -batch 5000 -churn 0.2
 package main
 
 import (
@@ -32,8 +40,21 @@ func main() {
 		outDir   = flag.String("out", ".", "directory for CSV output")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		baseSeed = flag.Uint64("seed", 0, "base seed offset")
+
+		serveURL = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
+		batches  = flag.Int("batches", 10, "loadgen: number of allocate batches (epochs)")
+		batch    = flag.Int("batch", 1000, "loadgen: jobs per batch")
+		churn    = flag.Float64("churn", 0.2, "loadgen: fraction of live jobs released before each batch")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := loadgen(*serveURL, *batches, *batch, *churn, *baseSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "pba-bench: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		Seeds:    *seeds,

@@ -1,0 +1,162 @@
+// Command pba-serve exposes the streaming churn allocator
+// (internal/online) as an HTTP/JSON service: a placement oracle a fleet
+// scheduler can call to spread jobs over servers with the paper's O(1)
+// excess guarantee, under continuous arrivals and departures.
+//
+// Usage:
+//
+//	pba-serve -n 512 -alg aheavy -seed 1 -addr 127.0.0.1:8380
+//
+// Endpoints:
+//
+//	POST /allocate {"count": k}        admit k balls, run one epoch; the
+//	                                   response carries id_base (IDs are
+//	                                   id_base..id_base+admitted-1) and,
+//	                                   unless "terse" is true, the per-ball
+//	                                   placements
+//	POST /release  {"ids": [..]}       depart balls, freeing capacity
+//	GET  /stats                        live snapshot: loads extremes,
+//	                                   excess, rounds, messages, and the
+//	                                   deterministic state fingerprint
+//
+// The service is deterministic: a fixed (seed, request sequence) produces
+// bit-identical placements at any -workers. A load generator lives in
+// pba-bench (-serve); see DESIGN.md for the endpoint reference.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/online"
+)
+
+// maxBatch bounds one /allocate epoch; far above realistic batch sizes,
+// low enough that a bad request cannot wedge the server in one epoch.
+const maxBatch = 1 << 22
+
+type server struct {
+	alloc   *online.Allocator
+	verbose bool
+}
+
+type allocateRequest struct {
+	Count int  `json:"count"`
+	Terse bool `json:"terse,omitempty"` // omit per-ball placements in the response
+}
+
+type releaseRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+type releaseResponse struct {
+	Released int `json:"released"`
+}
+
+func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req allocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Count < 0 || req.Count > maxBatch {
+		httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", maxBatch, req.Count)
+		return
+	}
+	rep, err := s.alloc.Allocate(req.Count)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "allocate: %v", err)
+		return
+	}
+	if req.Terse {
+		rep.Placements = nil
+	}
+	if s.verbose {
+		log.Printf("epoch %d: admitted %d, pending %d, rounds %d, max load %d (excess %d)",
+			rep.Epoch, rep.Admitted, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
+	}
+	writeJSON(w, rep)
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	released := s.alloc.Release(req.IDs)
+	if s.verbose {
+		log.Printf("released %d of %d", released, len(req.IDs))
+	}
+	writeJSON(w, releaseResponse{Released: released})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.alloc.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pba-serve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
+		n       = flag.Int("n", 512, "number of bins (servers)")
+		alg     = flag.String("alg", "aheavy", "per-epoch algorithm: aheavy[:beta], adaptive[:slack], greedy[:d], oneshot")
+		seed    = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence) reproduces placements")
+		workers = flag.Int("workers", 0, "per-epoch parallelism (0 = GOMAXPROCS); never affects results")
+		verbose = flag.Bool("v", false, "log per-epoch progress to stderr")
+	)
+	flag.Parse()
+
+	alloc, err := online.New(online.Config{N: *n, Alg: *alg, Seed: *seed, Workers: *workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
+		os.Exit(2)
+	}
+	s := &server{alloc: alloc, verbose: *verbose}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/allocate", s.handleAllocate)
+	mux.HandleFunc("/release", s.handleRelease)
+	mux.HandleFunc("/stats", s.handleStats)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout first so scripts (and the smoke
+	// test) can scrape the port when -addr uses :0.
+	fmt.Printf("pba-serve: listening on %s (n=%d alg=%s seed=%d)\n", ln.Addr(), *n, alloc.Alg(), *seed)
+	if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,169 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer launches pba-serve on a free port and returns its base URL.
+func startServer(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading server banner: %v", err)
+	}
+	m := addrRE.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("no listen address in banner %q", line)
+	}
+	return "http://" + m[1]
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getStats(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
+	base := startServer(t, bin, "-n", "32", "-alg", "aheavy", "-seed", "7")
+
+	var rep struct {
+		Epoch      int   `json:"epoch"`
+		IDBase     int64 `json:"id_base"`
+		Admitted   int   `json:"admitted"`
+		Pending    int   `json:"pending"`
+		Placements []struct {
+			ID  int64 `json:"id"`
+			Bin int32 `json:"bin"`
+		} `json:"placements"`
+	}
+	if code := postJSON(t, base+"/allocate", `{"count": 500}`, &rep); code != http.StatusOK {
+		t.Fatalf("/allocate: HTTP %d", code)
+	}
+	if rep.Admitted != 500 || len(rep.Placements) != 500 || rep.Pending != 0 {
+		t.Fatalf("unexpected allocate response: %+v", rep)
+	}
+
+	var rel struct {
+		Released int `json:"released"`
+	}
+	ids := make([]string, 100)
+	for i := range ids {
+		ids[i] = fmt.Sprint(rep.Placements[i].ID)
+	}
+	if code := postJSON(t, base+"/release", `{"ids": [`+strings.Join(ids, ",")+`]}`, &rel); code != http.StatusOK {
+		t.Fatalf("/release: HTTP %d", code)
+	}
+	if rel.Released != 100 {
+		t.Fatalf("released %d, want 100", rel.Released)
+	}
+
+	stats := getStats(t, base)
+	if stats["live"].(float64) != 400 || stats["placed"].(float64) != 400 {
+		t.Fatalf("stats after churn: %v", stats)
+	}
+
+	// Protocol errors: wrong method, bad JSON, out-of-range count.
+	resp, err := http.Get(base + "/allocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /allocate: HTTP %d, want 405", resp.StatusCode)
+	}
+	if code := postJSON(t, base+"/allocate", `{bad`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: HTTP %d, want 400", code)
+	}
+	if code := postJSON(t, base+"/allocate", `{"count": -1}`, nil); code != http.StatusBadRequest {
+		t.Errorf("negative count: HTTP %d, want 400", code)
+	}
+}
+
+// TestDeterministicAcrossProcesses is the service-level determinism
+// contract: two freshly started servers with the same seed fed the same
+// request sequence report identical state fingerprints.
+func TestDeterministicAcrossProcesses(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
+	var fps []string
+	for _, workers := range []string{"1", "4"} {
+		base := startServer(t, bin, "-n", "16", "-seed", "99", "-workers", workers)
+		var rep struct {
+			IDBase   int64 `json:"id_base"`
+			Admitted int   `json:"admitted"`
+		}
+		postJSON(t, base+"/allocate", `{"count": 300, "terse": true}`, &rep)
+		ids := make([]string, 0, 50)
+		for id := rep.IDBase; id < rep.IDBase+50; id++ {
+			ids = append(ids, fmt.Sprint(id))
+		}
+		postJSON(t, base+"/release", `{"ids": [`+strings.Join(ids, ",")+`]}`, nil)
+		postJSON(t, base+"/allocate", `{"count": 200, "terse": true}`, nil)
+		fps = append(fps, getStats(t, base)["fingerprint"].(string))
+	}
+	if fps[0] != fps[1] || fps[0] == "" {
+		t.Fatalf("fingerprints differ across worker counts: %v", fps)
+	}
+}
+
+// TestLoadgenDrivesServer wires the two halves together: pba-bench -serve
+// against a live pba-serve, checking the generator completes and the
+// server ends balanced.
+func TestLoadgenDrivesServer(t *testing.T) {
+	serveBin := cmdtest.Build(t, "repro/cmd/pba-serve")
+	benchBin := cmdtest.Build(t, "repro/cmd/pba-bench")
+	base := startServer(t, serveBin, "-n", "32")
+
+	out := cmdtest.MustRun(t, benchBin, "-serve", base, "-batches", "4", "-batch", "1000", "-churn", "0.25")
+	if !strings.Contains(out, "final /stats") || !strings.Contains(out, `"pending": 0`) {
+		t.Fatalf("loadgen output unexpected:\n%s", out)
+	}
+}

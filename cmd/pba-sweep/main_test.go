@@ -1,0 +1,60 @@
+package main_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+	"repro/internal/sweep"
+)
+
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-sweep")
+
+	out := cmdtest.MustRun(t, bin, "-alg", "oneshot,online:aheavy:0.1", "-n", "16", "-ratios", "4", "-seeds", "2")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != sweep.CSVHeader {
+		t.Fatalf("header %q, want %q", lines[0], sweep.CSVHeader)
+	}
+	if len(lines) != 1+2*2 {
+		t.Fatalf("got %d CSV rows, want 4:\n%s", len(lines)-1, out)
+	}
+	for _, line := range lines[1:] {
+		if n := len(strings.Split(line, ",")); n != len(strings.Split(sweep.CSVHeader, ",")) {
+			t.Errorf("row has %d fields: %q", n, line)
+		}
+	}
+	if !strings.Contains(out, "online:aheavy:0.1:8,16,4,") {
+		t.Errorf("canonical online alg missing from rows:\n%s", out)
+	}
+}
+
+// TestSmokeManifestResume exercises the acceptance path: -alg
+// online:aheavy:0.1 -json produces a resumable manifest, and a -resume
+// invocation re-runs nothing while reproducing the identical CSV.
+func TestSmokeManifestResume(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-sweep")
+	manifest := filepath.Join(t.TempDir(), "sweep.json")
+	args := []string{"-alg", "online:aheavy:0.1", "-n", "16", "-ratios", "4,8", "-seeds", "2", "-json", manifest}
+
+	first := cmdtest.MustRun(t, bin, args...)
+	man, err := sweep.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Complete() || man.Status != sweep.StatusComplete || man.ResultFingerprint == "" {
+		t.Fatalf("manifest not complete: status %q, fingerprint %q", man.Status, man.ResultFingerprint)
+	}
+
+	stdout, stderr, code := cmdtest.Run(t, bin, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, stderr)
+	}
+	if stdout != first {
+		t.Error("resumed CSV differs from the original run")
+	}
+	if !strings.Contains(stderr, "0 cells run, 2 resumed") {
+		t.Errorf("resume should skip every cell, stderr: %q", stderr)
+	}
+}

@@ -15,8 +15,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lower"
 	"repro/internal/model"
@@ -29,6 +31,8 @@ type check struct {
 }
 
 func main() {
+	only := flag.String("checks", "", "comma-separated check IDs to run (e.g. C1,C8); empty = all")
+	flag.Parse()
 	checks := []check{
 		{"C1", "Aheavy excess O(1) across m/n in {2^6, 2^10, 2^14}", checkExcessFlat},
 		{"C2", "Aheavy rounds track loglog(m/n)", checkRoundsLogLog},
@@ -38,6 +42,28 @@ func main() {
 		{"C6", "fixed threshold pays >= 2x Aheavy's rounds", checkFixedFoil},
 		{"C7", "Alight: load <= 2, log*-flat rounds", checkAlight},
 		{"C8", "deterministic fallback: exact balance in <= n rounds", checkDeterministic},
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.ToUpper(strings.TrimSpace(id)); id != "" {
+				want[id] = true
+			}
+		}
+		var sel []check
+		for _, c := range checks {
+			if want[c.id] {
+				sel = append(sel, c)
+				delete(want, c.id)
+			}
+		}
+		if len(want) > 0 {
+			for id := range want {
+				fmt.Fprintf(os.Stderr, "pba-verify: unknown check %q\n", id)
+			}
+			os.Exit(2)
+		}
+		checks = sel
 	}
 	failed := 0
 	for _, c := range checks {

@@ -1,0 +1,23 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-verify")
+
+	// One fast claim end to end; the full suite runs in CI via pba-verify
+	// itself, not in the unit-test tier.
+	out := cmdtest.MustRun(t, bin, "-checks", "C8")
+	if !strings.Contains(out, "PASS C8") || !strings.Contains(out, "all 1 checks passed") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+
+	if _, _, code := cmdtest.Run(t, bin, "-checks", "C99"); code == 0 {
+		t.Error("unknown check ID exited 0")
+	}
+}

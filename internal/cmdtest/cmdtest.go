@@ -1,0 +1,79 @@
+// Package cmdtest builds and executes the repo's command binaries for
+// smoke tests: every cmd/* package compiles, runs on a tiny instance, and
+// exits 0 with parseable output, so flag and output-format regressions
+// fail in CI instead of in users' shells.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Build compiles the command package (e.g. "repro/cmd/pba-run") into the
+// test's temp dir and returns the binary path. Requires the go tool,
+// which the tests and CI environments always have.
+func Build(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// Run executes the binary and returns stdout, stderr, and the exit code.
+func Run(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se strings.Builder
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %s: %v", bin, strings.Join(args, " "), err)
+		}
+		code = ee.ExitCode()
+	}
+	return so.String(), se.String(), code
+}
+
+// MustRun is Run asserting exit 0; it returns stdout.
+func MustRun(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	stdout, stderr, code := Run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("%s %s: exit %d\nstdout:\n%s\nstderr:\n%s",
+			bin, strings.Join(args, " "), code, stdout, stderr)
+	}
+	return stdout
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("cmdtest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -70,7 +70,7 @@ func (p Params) withDefaults() Params {
 }
 
 func (p Params) validate() error {
-	if p.Beta <= 0 || p.Beta >= 1 {
+	if !(p.Beta > 0 && p.Beta < 1) { // positive form rejects NaN
 		return fmt.Errorf("core: Beta must be in (0,1), got %g", p.Beta)
 	}
 	if p.StopFactor < 1 {
@@ -92,6 +92,42 @@ type Config struct {
 	TieBreak sim.TieBreak
 	Trace    bool
 	Params   Params
+	// BaseLoads, if non-nil, gives pre-existing per-bin loads (length N,
+	// entries >= 0) that the threshold schedule and bin capacities account
+	// for: the run places M *additional* balls so that base+new loads stay
+	// balanced, and Result.Loads reports only the newly placed balls. The
+	// slice is read, never written. Used by the online/churn layer
+	// (internal/online) to re-run the protocol per epoch over residual load.
+	//
+	// With BaseLoads set, phase 2 is the base-aware adaptive cleanup (a
+	// state-adaptive member of the paper's threshold family) instead of the
+	// Alight substrate: Alight assumes empty bins, which contradicts
+	// residual load — without this, batches of M <= StopFactor·n balls
+	// would place residual-blind, exactly what the churn layer must avoid.
+	BaseLoads []int64
+	// RecordPlacements asks the agent-based path (Run) to record every
+	// ball's final bin in Result.Placements. RunFast rejects it: the
+	// count-based path treats balls as exchangeable and has no identities.
+	RecordPlacements bool
+}
+
+// validateBase checks a BaseLoads slice against the instance and returns
+// its total.
+func validateBase(base []int64, n int) (int64, error) {
+	if base == nil {
+		return 0, nil
+	}
+	if len(base) != n {
+		return 0, fmt.Errorf("core: BaseLoads has %d entries, want %d", len(base), n)
+	}
+	var total int64
+	for i, l := range base {
+		if l < 0 {
+			return 0, fmt.Errorf("core: BaseLoads[%d] = %d is negative", i, l)
+		}
+		total += l
+	}
+	return total, nil
 }
 
 // Schedule computes the cumulative phase-1 thresholds T_0 < T_1 < ... and
@@ -101,8 +137,16 @@ type Config struct {
 // entry per phase-1 round; estimates additionally carries the final
 // estimate, so len(estimates) == len(thresholds)+1.
 func Schedule(p model.Problem, params Params) (thresholds []int64, estimates []float64) {
+	return ScheduleOffset(p, 0, params)
+}
+
+// ScheduleOffset is Schedule for a system already holding baseTotal balls:
+// thresholds target the combined average (baseTotal+M)/n, while the
+// remaining-ball estimates track only the M balls being placed. With
+// baseTotal == 0 it is exactly Schedule.
+func ScheduleOffset(p model.Problem, baseTotal int64, params Params) (thresholds []int64, estimates []float64) {
 	params = params.withDefaults()
-	mu := p.AvgLoad()
+	mu := (float64(baseTotal) + float64(p.M)) / float64(p.N)
 	ns := float64(p.N)
 	mt := float64(p.M)
 	estimates = append(estimates, mt)
@@ -134,6 +178,7 @@ func PredictedRemaining(p model.Problem, beta float64, i int) float64 {
 type phase1 struct {
 	thresholds []int64
 	degree     int
+	base       []int64 // pre-existing per-bin loads (nil = none)
 }
 
 func (h *phase1) Targets(round int, b *sim.Ball, n int, buf []int) []int {
@@ -145,8 +190,12 @@ func (h *phase1) Targets(round int, b *sim.Ball, n int, buf []int) []int {
 
 func (h *phase1) Hold(int) bool { return false }
 
-func (h *phase1) Capacity(round int, _ int, load int64) int64 {
-	return h.thresholds[round] - load
+func (h *phase1) Capacity(round int, bin int, load int64) int64 {
+	t := h.thresholds[round]
+	if h.base != nil {
+		t -= h.base[bin]
+	}
+	return t - load
 }
 
 func (h *phase1) Payload(int, int, int64) int64 { return 0 }
@@ -167,20 +216,22 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
-	thresholds, _ := Schedule(p, params)
+	baseTotal, err := validateBase(cfg.BaseLoads, p.N)
+	if err != nil {
+		return nil, err
+	}
+	thresholds, _ := ScheduleOffset(p, baseTotal, params)
 
-	var (
-		res *model.Result
-		err error
-	)
+	var res *model.Result
 	if len(thresholds) > 0 {
-		proto := &phase1{thresholds: thresholds, degree: params.Degree}
+		proto := &phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
 		eng := sim.New(p, proto, sim.Config{
-			Seed:      cfg.Seed,
-			Workers:   cfg.Workers,
-			TieBreak:  cfg.TieBreak,
-			Trace:     cfg.Trace,
-			MaxRounds: len(thresholds) + 1,
+			Seed:             cfg.Seed,
+			Workers:          cfg.Workers,
+			TieBreak:         cfg.TieBreak,
+			Trace:            cfg.Trace,
+			RecordPlacements: cfg.RecordPlacements,
+			MaxRounds:        len(thresholds) + 1,
 		})
 		res, err = eng.Run()
 		if err != nil {
@@ -189,9 +240,24 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 	} else {
 		// Degenerate heavily-loaded ratio: everything goes to phase 2.
 		res = &model.Result{Problem: p, Loads: make([]int64, p.N), Unallocated: p.M}
+		if cfg.RecordPlacements {
+			res.Placements = make([]int32, p.M)
+			for i := range res.Placements {
+				res.Placements[i] = -1
+			}
+		}
 	}
 
-	return finishWithLight(p, res, params, cfg)
+	return finish(p, res, params, cfg)
+}
+
+// finish dispatches phase 2: the Alight substrate for the batch case, the
+// base-aware adaptive cleanup when residual loads are in play.
+func finish(p model.Problem, phase1Res *model.Result, params Params, cfg Config) (*model.Result, error) {
+	if cfg.BaseLoads != nil {
+		return finishWithCleanup(p, phase1Res, cfg)
+	}
+	return finishWithLight(p, phase1Res, params, cfg)
 }
 
 // finishWithLight runs phase 2 on the leftover balls and merges results.
@@ -205,11 +271,12 @@ func finishWithLight(p model.Problem, phase1Res *model.Result, params Params, cf
 	g := virtualFactor(leftover, p.N, params.LightCap)
 	nv := g * p.N
 	lightRes, err := light.Run(model.Problem{M: leftover, N: nv}, light.Config{
-		Cap:      params.LightCap,
-		Seed:     rng.Mix64(cfg.Seed ^ 0xD1B54A32D192ED03),
-		Workers:  cfg.Workers,
-		TieBreak: cfg.TieBreak,
-		Trace:    cfg.Trace,
+		Cap:              params.LightCap,
+		Seed:             rng.Mix64(cfg.Seed ^ 0xD1B54A32D192ED03),
+		Workers:          cfg.Workers,
+		TieBreak:         cfg.TieBreak,
+		Trace:            cfg.Trace,
+		RecordPlacements: phase1Res.Placements != nil,
 	})
 	if err != nil {
 		return phase1Res, fmt.Errorf("core: phase 2: %w", err)
@@ -217,6 +284,20 @@ func finishWithLight(p model.Problem, phase1Res *model.Result, params Params, cf
 	// Virtual bin v belongs to real bin v mod n.
 	for v, l := range lightRes.Loads {
 		phase1Res.Loads[v%p.N] += l
+	}
+	if phase1Res.Placements != nil {
+		// Phase-2 ball j is the j-th phase-1 survivor in ball-index order
+		// (any fixed order works: survivors are fresh exchangeable agents in
+		// the phase-2 engine).
+		j := 0
+		for i, b := range phase1Res.Placements {
+			if b < 0 {
+				if v := lightRes.Placements[j]; v >= 0 {
+					phase1Res.Placements[i] = v % int32(p.N)
+				}
+				j++
+			}
+		}
 	}
 	phase1Res.Unallocated = 0
 	phase1Res.Rounds += lightRes.Rounds
@@ -258,7 +339,14 @@ func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 	if params.Degree != 1 {
 		return nil, fmt.Errorf("core: RunFast supports Degree == 1 only, got %d", params.Degree)
 	}
-	thresholds, _ := Schedule(p, params)
+	if cfg.RecordPlacements {
+		return nil, fmt.Errorf("core: RunFast cannot record placements (balls are exchangeable); use Run")
+	}
+	baseTotal, err := validateBase(cfg.BaseLoads, p.N)
+	if err != nil {
+		return nil, err
+	}
+	thresholds, _ := ScheduleOffset(p, baseTotal, params)
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -289,6 +377,9 @@ func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 			c := counts[b]
 			received[b] += c
 			free := ti - loads[b]
+			if cfg.BaseLoads != nil {
+				free -= cfg.BaseLoads[b]
+			}
 			if free <= 0 {
 				continue
 			}
@@ -322,7 +413,90 @@ func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 		Unallocated:    remaining,
 		TraceRemaining: trace,
 	}
-	return finishWithLight(p, res, params, cfg)
+	return finish(p, res, params, cfg)
+}
+
+// cleanup is the phase-2 protocol for the residual-load case: a
+// state-adaptive uniform threshold (a member of the paper's Section 4
+// family) over *total* load, with slack growing by one per round so that
+// termination is guaranteed once the slack covers the most overfull bin.
+type cleanup struct {
+	base    []int64 // base + phase-1 loads, per bin
+	ceilAvg int64   // ceil(total system load / n)
+}
+
+func (c *cleanup) Targets(_ int, b *sim.Ball, n int, buf []int) []int {
+	return append(buf, b.R.Intn(n))
+}
+func (c *cleanup) Hold(int) bool { return false }
+func (c *cleanup) Capacity(round int, bin int, load int64) int64 {
+	return c.ceilAvg + 1 + int64(round) - c.base[bin] - load
+}
+func (c *cleanup) Payload(int, int, int64) int64           { return 0 }
+func (c *cleanup) Choose(int, *sim.Ball, []sim.Accept) int { return 0 }
+func (c *cleanup) Place(a sim.Accept) int                  { return a.From }
+func (c *cleanup) Done(int, int64) bool                    { return false }
+
+// finishWithCleanup places the leftover balls base-aware: capacities are
+// derived from base + phase-1 load, so bins emptied by departures absorb
+// proportionally more — the property the online/churn layer depends on,
+// and which the Alight substrate (built for empty bins) cannot provide.
+func finishWithCleanup(p model.Problem, phase1Res *model.Result, cfg Config) (*model.Result, error) {
+	leftover := phase1Res.Unallocated
+	if leftover == 0 {
+		return phase1Res, nil
+	}
+	n := p.N
+	totals := make([]int64, n)
+	var total, maxTotal int64
+	for i := range totals {
+		totals[i] = cfg.BaseLoads[i] + phase1Res.Loads[i]
+		total += totals[i]
+		if totals[i] > maxTotal {
+			maxTotal = totals[i]
+		}
+	}
+	total += leftover
+	ceilAvg := (total + int64(n) - 1) / int64(n)
+	// Once round > maxTotal - ceilAvg every bin has spare capacity; the
+	// +128 margin covers the randomized tail with room to spare.
+	maxRounds := 128
+	if over := maxTotal - ceilAvg; over > 0 {
+		maxRounds += int(over)
+	}
+	res, err := sim.New(model.Problem{M: leftover, N: n}, &cleanup{base: totals, ceilAvg: ceilAvg}, sim.Config{
+		Seed:             rng.Mix64(cfg.Seed ^ 0xE07AB8F2C4D59A17),
+		Workers:          cfg.Workers,
+		TieBreak:         cfg.TieBreak,
+		Trace:            cfg.Trace,
+		RecordPlacements: phase1Res.Placements != nil,
+		MaxRounds:        maxRounds,
+	}).Run()
+	if err != nil {
+		return phase1Res, fmt.Errorf("core: phase 2 (cleanup): %w", err)
+	}
+	for b, l := range res.Loads {
+		phase1Res.Loads[b] += l
+	}
+	if phase1Res.Placements != nil {
+		j := 0
+		for i, b := range phase1Res.Placements {
+			if b < 0 {
+				phase1Res.Placements[i] = res.Placements[j]
+				j++
+			}
+		}
+	}
+	phase1Res.Unallocated = 0
+	phase1Res.Rounds += res.Rounds
+	merged := phase1Res.Metrics
+	cm := res.Metrics
+	// A leftover ball's requests span both phases.
+	cm.MaxBallSent += phase1Res.Metrics.MaxBallSent
+	merged.Add(cm)
+	phase1Res.Metrics = merged
+	phase1Res.TraceRemaining = append(phase1Res.TraceRemaining, res.TraceRemaining...)
+	return phase1Res, nil
 }
 
 // sampleUniformCounts distributes `balls` uniform choices over n bins in

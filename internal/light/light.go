@@ -38,6 +38,9 @@ type Config struct {
 	Workers     int
 	TieBreak    sim.TieBreak
 	Trace       bool
+	// RecordPlacements records every ball's final (virtual) bin in
+	// Result.Placements; see sim.Config.RecordPlacements.
+	RecordPlacements bool
 }
 
 // DefaultMaxRequests bounds the adaptive request schedule; 2^16 is the next
@@ -111,10 +114,11 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 	}
 	proto := &protocol{cap: cfg.Cap, maxReq: cfg.MaxRequests}
 	eng := sim.New(p, proto, sim.Config{
-		Seed:     cfg.Seed,
-		Workers:  cfg.Workers,
-		TieBreak: cfg.TieBreak,
-		Trace:    cfg.Trace,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		TieBreak:         cfg.TieBreak,
+		Trace:            cfg.Trace,
+		RecordPlacements: cfg.RecordPlacements,
 		// log*-round algorithm; a generous fixed budget that still catches
 		// runaway behaviour in tests.
 		MaxRounds: 64 + int(math.Log2(float64(p.N)+2)),

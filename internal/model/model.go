@@ -61,6 +61,14 @@ type Result struct {
 	// the *start* of each round (TraceRemaining[0] == M). Used by the
 	// trajectory experiments (Claim 2).
 	TraceRemaining []int64
+
+	// Placements, if non-nil, maps every ball index to its final bin (-1
+	// for balls left unallocated). Recorded only when a run is configured
+	// to track per-ball identities (agent-based engine with
+	// RecordPlacements); the count-based fast paths treat balls as
+	// exchangeable and cannot provide it. The online/churn layer relies on
+	// it to credit departures back to the right bin.
+	Placements []int32
 }
 
 // MaxLoad returns the maximal bin load.
@@ -202,6 +210,31 @@ func (r *Result) check(allowPartial bool) error {
 	}
 	if !allowPartial && r.Unallocated != 0 {
 		return fmt.Errorf("%w: %d balls deliberately unplaced", ErrUnallocated, r.Unallocated)
+	}
+	if r.Placements != nil {
+		if int64(len(r.Placements)) != r.Problem.M {
+			return fmt.Errorf("model: placement vector has %d entries, want %d", len(r.Placements), r.Problem.M)
+		}
+		hist := make([]int64, r.Problem.N)
+		var unplaced int64
+		for i, b := range r.Placements {
+			switch {
+			case b < 0:
+				unplaced++
+			case int(b) >= r.Problem.N:
+				return fmt.Errorf("model: ball %d placed in nonexistent bin %d", i, b)
+			default:
+				hist[b]++
+			}
+		}
+		if unplaced != r.Unallocated {
+			return fmt.Errorf("model: %d balls without a placement, but Unallocated = %d", unplaced, r.Unallocated)
+		}
+		for b, h := range hist {
+			if h != r.Loads[b] {
+				return fmt.Errorf("model: bin %d holds %d placements but load %d", b, h, r.Loads[b])
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// DefaultEpochs is the arrival-epoch count a Scenario uses when Epochs is
+// left zero — enough epochs for churn effects to reach steady state while
+// keeping a sweep cell cheap.
+const DefaultEpochs = 8
+
+// Scenario is a synthetic churn workload: Balls total arrivals spread
+// evenly over Epochs epochs, with a ChurnRate fraction of the live balls
+// departing (uniformly at random) before every epoch after the first. The
+// departure trace is derived deterministically from the allocator seed, so
+// a scenario is one fixed (seed, event trace) in the determinism contract.
+//
+// Scenarios are what the sweep registry's online:alg:churn[:epochs] names
+// run: the grid's m becomes Balls, so churn workloads sweep over the same
+// (n, ratio, seeds) axes as the batch algorithms.
+type Scenario struct {
+	Balls     int64
+	Epochs    int     // 0 = DefaultEpochs
+	ChurnRate float64 // fraction of live balls departing per epoch, in [0, 1)
+}
+
+// Run plays the scenario against a fresh Allocator and returns the final
+// live state as a model.Result: Problem.M is the number of balls still
+// live (arrivals minus departures), Rounds and Metrics accumulate over all
+// epochs.
+func (s Scenario) Run(cfg Config) (*model.Result, error) {
+	epochs := s.Epochs
+	if epochs == 0 {
+		epochs = DefaultEpochs
+	}
+	if epochs < 0 {
+		return nil, fmt.Errorf("online: scenario needs Epochs >= 1, got %d", epochs)
+	}
+	if s.Balls < 0 {
+		return nil, fmt.Errorf("online: scenario needs Balls >= 0, got %d", s.Balls)
+	}
+	if !(s.ChurnRate >= 0 && s.ChurnRate < 1) { // positive form rejects NaN
+		return nil, fmt.Errorf("online: scenario needs ChurnRate in [0, 1), got %g", s.ChurnRate)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The departure stream is split from the allocator's seed domain so
+	// arrival placement and departure sampling never share draws.
+	r := rng.New(rng.Mix64(cfg.Seed ^ 0x8F462907F470AE55))
+
+	live := make([]int64, 0, s.Balls)
+	per, rem := s.Balls/int64(epochs), s.Balls%int64(epochs)
+	for e := 0; e < epochs; e++ {
+		if e > 0 && s.ChurnRate > 0 && len(live) > 0 {
+			k := int(s.ChurnRate * float64(len(live)))
+			// Partial Fisher–Yates: move k uniform picks to the prefix.
+			for j := 0; j < k; j++ {
+				i := j + r.Intn(len(live)-j)
+				live[j], live[i] = live[i], live[j]
+			}
+			a.Release(live[:k])
+			live = live[k:]
+		}
+		arr := per
+		if int64(e) < rem {
+			arr++
+		}
+		rep, err := a.Allocate(int(arr))
+		if err != nil {
+			return nil, err
+		}
+		live = append(live, rep.IDs()...)
+	}
+	return a.Result(), nil
+}

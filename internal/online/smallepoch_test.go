@@ -1,0 +1,32 @@
+package online
+
+import "testing"
+
+// Small epochs (M << n threshold regime): aheavy must still rebalance
+// onto emptied bins rather than degrade to random placement.
+func TestSmallEpochResidualAware(t *testing.T) {
+	for _, alg := range []string{"aheavy", "oneshot"} {
+		a, _ := New(Config{N: 64, Alg: alg, Seed: 5})
+		var live []int64
+		var worst int64
+		for e := 0; e < 30; e++ {
+			if len(live) > 0 {
+				k := len(live) / 3
+				a.Release(live[:k])
+				live = live[k:]
+			}
+			rep, err := a.Allocate(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, rep.IDs()...)
+			if e > 5 && rep.Excess > worst {
+				worst = rep.Excess
+			}
+		}
+		t.Logf("%s worst steady-state excess: %d", alg, worst)
+		if alg == "aheavy" && worst > 3 {
+			t.Errorf("aheavy small-epoch excess %d: still residual-blind", worst)
+		}
+	}
+}

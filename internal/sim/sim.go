@@ -132,6 +132,9 @@ type Config struct {
 	MaxRounds int  // safety bound; 0 means DefaultMaxRounds
 	Trace     bool // record remaining-ball trajectory
 	TieBreak  TieBreak
+	// RecordPlacements records every ball's final bin in Result.Placements
+	// (-1 for balls left unallocated). Costs one int32 per ball.
+	RecordPlacements bool
 	// InitState, if non-nil, is called once per ball before the run to set
 	// Ball.State (used e.g. by the deterministic prober).
 	InitState func(b *Ball)
@@ -215,6 +218,13 @@ func (e *Engine) Run() (*model.Result, error) {
 	var held []request // requests collected during Hold rounds
 	var metrics model.Metrics
 	var trace []int64
+	var placements []int32
+	if e.cfg.RecordPlacements {
+		placements = make([]int32, m)
+		for i := range placements {
+			placements[i] = -1
+		}
+	}
 
 	res := &model.Result{Problem: e.p, Loads: loads}
 
@@ -261,7 +271,7 @@ func (e *Engine) Run() (*model.Result, error) {
 		metrics.TotalMessages += int64(len(reqs))
 
 		// Step 3: balls with accepts commit (parallel over accept groups).
-		commits := e.commitBalls(round, balls, accepts, loads, &metrics)
+		commits := e.commitBalls(round, balls, accepts, loads, placements, &metrics)
 
 		// Drop allocated balls from the active set.
 		if commits > 0 {
@@ -273,6 +283,7 @@ func (e *Engine) Run() (*model.Result, error) {
 	res.Rounds = round
 	res.Metrics = finishMetrics(metrics, ballSent, binReceived)
 	res.TraceRemaining = trace
+	res.Placements = placements
 	res.Unallocated = int64(len(active))
 	// A protocol-initiated stop (Done) with balls remaining is a valid
 	// partial result (multi-phase algorithms hand the remainder to their
@@ -495,7 +506,7 @@ func siftDownMin(s []int32, i int) {
 
 // commitBalls runs step 3: group accepts by ball, let each ball choose, and
 // apply placements. Returns the number of balls allocated this round.
-func (e *Engine) commitBalls(round int, balls []Ball, accepts []acceptRec, loads []int64, metrics *model.Metrics) int {
+func (e *Engine) commitBalls(round int, balls []Ball, accepts []acceptRec, loads []int64, placements []int32, metrics *model.Metrics) int {
 	if len(accepts) == 0 {
 		return 0
 	}
@@ -550,6 +561,11 @@ func (e *Engine) commitBalls(round int, balls []Ball, accepts []acceptRec, loads
 				}
 				place := e.proto.Place(accBuf[choice])
 				atomic.AddInt64(&loads[place], 1)
+				if placements != nil {
+					// Each ball commits at most once; its group belongs to
+					// exactly one worker, so this write is race-free.
+					placements[recs[0].ball] = int32(place)
+				}
 				b.State = allocatedFlag
 				localCommits++
 				// One commit/inform message per accepting bin (the chosen

@@ -1,0 +1,36 @@
+package sweep
+
+import "testing"
+
+// FuzzResolve throws arbitrary strings at the registry parser. Invariants:
+// never panic; any name that resolves has a canonical spelling that
+// resolves back to itself with the same family; Canonicalize is
+// idempotent.
+func FuzzResolve(f *testing.F) {
+	for _, s := range []string{
+		"aheavy", "aheavy:0.5", "aheavy-fast:0.9", "asym", "alight",
+		"oneshot", "greedy:2", "greedy2", "batched:2:1024", "fixed:3",
+		"det", "deterministic", "light", "adaptive:4",
+		"online:aheavy:0.1", "online:greedy:3:0.25:12", "online:adaptive:2:0.5",
+		"", ":", "::", "greedy:", "batched:2:", "online:aheavy:0.1:",
+		"online:aheavy:1e-3", "ONLINE:ONESHOT:0.99", "aheavy:0x1p-2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if c := Canonicalize(name); Canonicalize(c) != c {
+			t.Fatalf("Canonicalize not idempotent: %q -> %q -> %q", name, c, Canonicalize(c))
+		}
+		a, err := Resolve(name)
+		if err != nil {
+			return
+		}
+		b, err := Resolve(a.Name)
+		if err != nil {
+			t.Fatalf("canonical %q (from %q) does not resolve: %v", a.Name, name, err)
+		}
+		if b.Name != a.Name || b.Family != a.Family {
+			t.Fatalf("canonical %q re-resolves to %q (family %q vs %q)", a.Name, b.Name, a.Family, b.Family)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// go test ./internal/sweep -run Golden -update rewrites the goldens.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec crosses a batch baseline, a sequential baseline, and an
+// online churn scenario over two load factors — small enough to run in
+// well under a second, wide enough to cover all three runner shapes.
+func goldenSpec() Spec {
+	return Spec{
+		Algorithms: []string{"oneshot", "greedy:2", "online:aheavy:0.25"},
+		Ns:         []int{32},
+		Ratios:     []int64{4, 16},
+		Seeds:      3,
+		AlgWorkers: 1,
+		Label:      "golden determinism fixture",
+	}
+}
+
+func runGolden(t *testing.T, workers int) (*Manifest, []byte) {
+	t.Helper()
+	eng := &Engine{Spec: goldenSpec(), Workers: workers}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, out.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	return out.Manifest, csv.Bytes()
+}
+
+// normalizeManifest strips wall-clock fields (timestamps, elapsed times) —
+// everything else in a manifest is part of the determinism contract and
+// must be byte-identical run over run.
+func normalizeManifest(t *testing.T, m *Manifest) []byte {
+	t.Helper()
+	c := *m
+	c.StartedAt, c.UpdatedAt = time.Time{}, time.Time{}
+	c.ElapsedSeconds = 0
+	c.Cells = make([]*CellResult, len(m.Cells))
+	for i, cr := range m.Cells {
+		if cr == nil {
+			continue
+		}
+		cp := *cr
+		cp.ElapsedMS = 0
+		c.Cells[i] = &cp
+	}
+	b, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden (%d vs %d bytes); run with -update after intended changes",
+			path, len(got), len(want))
+	}
+}
+
+// TestSweepGoldenArtifacts pins the sweep's CSV and manifest bytes to
+// committed goldens: any unintended change to seeding, cell order, float
+// formatting, aggregation, or the algorithms themselves fails here.
+func TestSweepGoldenArtifacts(t *testing.T) {
+	man, csv := runGolden(t, 1)
+	compareGolden(t, filepath.Join("testdata", "golden_sweep.csv"), csv)
+	compareGolden(t, filepath.Join("testdata", "golden_manifest.json"), normalizeManifest(t, man))
+}
+
+// TestSweepGoldenWorkerIndependence is the scheduling half of the
+// contract: the same spec run with 1, 4, and 8 cell workers produces
+// byte-identical CSV, normalized manifest, and result fingerprint — so the
+// committed goldens hold at any -workers.
+func TestSweepGoldenWorkerIndependence(t *testing.T) {
+	man1, csv1 := runGolden(t, 1)
+	norm1 := normalizeManifest(t, man1)
+	for _, workers := range []int{4, 8} {
+		man, csv := runGolden(t, workers)
+		if !bytes.Equal(csv, csv1) {
+			t.Errorf("workers=%d: CSV differs from workers=1", workers)
+		}
+		if !bytes.Equal(normalizeManifest(t, man), norm1) {
+			t.Errorf("workers=%d: manifest differs from workers=1", workers)
+		}
+		if man.ResultFingerprint != man1.ResultFingerprint {
+			t.Errorf("workers=%d: fingerprint %.12s != %.12s", workers, man.ResultFingerprint, man1.ResultFingerprint)
+		}
+	}
+}
+
+// TestSweepManifestResumeRoundTrip saves a manifest, reloads it, and
+// verifies a resumed engine re-runs nothing and reproduces the identical
+// fingerprint — the -resume workflow end to end, without the CLI.
+func TestSweepManifestResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	eng := &Engine{Spec: goldenSpec(), Workers: 2, ManifestPath: path}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := &Engine{Spec: goldenSpec(), Workers: 2, ManifestPath: path, Resume: true}
+	out2, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Ran != 0 || out2.Skipped != len(goldenSpec().Cells()) {
+		t.Fatalf("resume ran %d cells, skipped %d; want 0 and %d", out2.Ran, out2.Skipped, len(goldenSpec().Cells()))
+	}
+	if out2.Manifest.ResultFingerprint != out.Manifest.ResultFingerprint {
+		t.Fatal("resumed manifest changed the result fingerprint")
+	}
+}

@@ -19,6 +19,11 @@
 //	fixed:slack          fixed-threshold foil (§1.1)
 //	det                  deterministic n-round fallback
 //	adaptive:slack       state-adaptive threshold allocator
+//	online:alg:churn[:epochs]  streaming churn scenario driving alg
+//	                     (aheavy[:beta], adaptive[:slack], greedy[:d],
+//	                     oneshot) through internal/online epochs
+//	                     (epochs defaults to 8 and is materialized in the
+//	                     canonical name)
 //
 // Legacy spellings remain as aliases: greedy2 (pba-sweep), light,
 // deterministic.
@@ -35,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/light"
 	"repro/internal/model"
+	"repro/internal/online"
 	"repro/internal/threshold"
 )
 
@@ -245,6 +251,50 @@ var families = map[string]family{
 			}}, nil
 		},
 	},
+	"online": {
+		usage: "online:alg:churn[:epochs]",
+		desc:  "streaming churn scenario: alg re-run per epoch over residual load (internal/online)",
+		build: func(args []string) (Algorithm, error) {
+			// The inner algorithm may itself carry colon parameters, so the
+			// spec parses from the right: an optional integer epoch count,
+			// then the churn rate, then everything left is the algorithm.
+			if len(args) < 2 {
+				return Algorithm{}, fmt.Errorf("sweep: online needs an algorithm and a churn rate (online:alg:churn[:epochs]), got %q", strings.Join(args, ":"))
+			}
+			epochs := 0
+			if len(args) >= 3 {
+				if v, err := strconv.Atoi(args[len(args)-1]); err == nil {
+					if v < 1 {
+						return Algorithm{}, fmt.Errorf("sweep: online needs epochs >= 1, got %d", v)
+					}
+					epochs = v
+					args = args[:len(args)-1]
+				}
+			}
+			churn, err := strconv.ParseFloat(args[len(args)-1], 64)
+			if err != nil {
+				return Algorithm{}, fmt.Errorf("sweep: online parameter churn: bad float %q", args[len(args)-1])
+			}
+			if !(churn >= 0 && churn < 1) { // positive form rejects NaN
+				return Algorithm{}, fmt.Errorf("sweep: online needs churn in [0, 1), got %v", churn)
+			}
+			inner, err := online.ResolveAlg(strings.Join(args[:len(args)-1], ":"))
+			if err != nil {
+				return Algorithm{}, fmt.Errorf("sweep: %w", err)
+			}
+			if epochs == 0 {
+				epochs = online.DefaultEpochs
+			}
+			// The default epoch count materializes in the canonical name
+			// (like greedy -> greedy:2), so one scenario has one spelling.
+			name := "online:" + inner + ":" + formatChurn(churn) + ":" + strconv.Itoa(epochs)
+			return Algorithm{Name: name, Family: "online", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return online.Scenario{Balls: p.M, Epochs: epochs, ChurnRate: churn}.Run(online.Config{
+					N: p.N, Alg: inner, Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
+				})
+			}}, nil
+		},
+	},
 }
 
 // Canonicalize lower-cases, trims, and expands legacy aliases (greedy2 →
@@ -313,6 +363,17 @@ func Describe() []string {
 	return out
 }
 
+// formatChurn renders a churn rate so that it can never be mistaken for
+// the integer epochs parameter by the right-to-left online spec parser:
+// an all-digit rendering (only churn 0) gains an explicit ".0".
+func formatChurn(c float64) string {
+	s := strconv.FormatFloat(c, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
 func noArgs(fam string, args []string) error {
 	if len(args) != 0 {
 		return fmt.Errorf("sweep: %s takes no parameters, got %q", fam, strings.Join(args, ":"))
@@ -358,7 +419,8 @@ func betaArg(fam string, args []string) (beta float64, name string, err error) {
 	if err != nil {
 		return 0, "", fmt.Errorf("sweep: %s parameter beta: bad float %q", fam, args[0])
 	}
-	if beta < 0 || beta >= 1 {
+	// Positive-form range check so NaN is rejected too.
+	if !(beta >= 0 && beta < 1) {
 		return 0, "", fmt.Errorf("sweep: %s needs beta in [0, 1) (0 = paper's 2/3), got %v", fam, beta)
 	}
 	if beta == 0 {

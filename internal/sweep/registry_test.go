@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/baseline"
 	"repro/internal/model"
@@ -30,6 +32,12 @@ func TestResolveCanonicalNames(t *testing.T) {
 		{"adaptive", "adaptive:2"},
 		{"adaptive:5", "adaptive:5"},
 		{" greedy:4 ", "greedy:4"},
+		{"online:aheavy:0.1", "online:aheavy:0.1:8"},
+		{"ONLINE:AHEAVY:0.10", "online:aheavy:0.1:8"},
+		{"online:greedy:0.2", "online:greedy:2:0.2:8"},
+		{"online:adaptive:4:0.5", "online:adaptive:4:0.5:8"},
+		{"online:oneshot:0.25:12", "online:oneshot:0.25:12"},
+		{"online:aheavy:0.5:0.1", "online:aheavy:0.5:0.1:8"}, // beta 0.5, churn 0.1
 	}
 	for _, tc := range cases {
 		a, err := Resolve(tc.in)
@@ -66,6 +74,14 @@ func TestResolveRejectsBadNames(t *testing.T) {
 		"batched:0", "batched:2:0", "batched:2:8:9",
 		"fixed:-1", "adaptive:-2", "aheavy:1.5", "aheavy:x",
 		"asym:3", "oneshot:1", "det:2", "alight:9",
+		// trailing colons (empty parameters) are malformed, not defaults
+		"greedy:", "batched:2:", "aheavy:", "fixed:", "adaptive:",
+		"asym:", "oneshot:", "det:", "online:aheavy:0.1:",
+		// online-specific malformations
+		"online", "online:", "online:0.1", "online:aheavy",
+		"online:aheavy:1", "online:aheavy:1.5", "online:aheavy:-0.1",
+		"online:aheavy:x", "online:nope:0.1", "online:aheavy:0.1:0",
+		"online:aheavy:0.1:-3", "online:greedy:0:0.1", "online:asym:0.1",
 	} {
 		if _, err := Resolve(bad); err == nil {
 			t.Errorf("Resolve(%q) succeeded, want error", bad)
@@ -73,6 +89,99 @@ func TestResolveRejectsBadNames(t *testing.T) {
 	}
 	if _, err := Resolve("zzz"); err == nil || !strings.Contains(err.Error(), "known:") {
 		t.Errorf("unknown-name error should list known families, got %v", err)
+	}
+}
+
+// TestRegistryRoundTripProperty is the property-based form of the
+// canonicalization contract: any valid spec the generator produces must
+// resolve, and its canonical name must resolve back to itself (idempotent
+// spelling). Parameters are drawn from quick-check randomness.
+func TestRegistryRoundTripProperty(t *testing.T) {
+	gen := func(pick uint8, a, b uint8, frac uint16) string {
+		beta := fmt.Sprintf("0.%02d", frac%99+1) // (0, 1) two-decimal beta
+		churn := fmt.Sprintf("0.%02d", frac%100) // [0, 1) two-decimal churn
+		d := int(a%4) + 1
+		slack := int(b % 6)
+		switch pick % 12 {
+		case 0:
+			return "aheavy"
+		case 1:
+			return "aheavy:" + beta
+		case 2:
+			return fmt.Sprintf("aheavy-fast:%s", beta)
+		case 3:
+			return fmt.Sprintf("greedy:%d", d)
+		case 4:
+			return fmt.Sprintf("batched:%d:%d", d, int(b)+1)
+		case 5:
+			return fmt.Sprintf("fixed:%d", slack)
+		case 6:
+			return fmt.Sprintf("adaptive:%d", slack)
+		case 7:
+			return fmt.Sprintf("online:aheavy:%s", churn)
+		case 8:
+			return fmt.Sprintf("online:greedy:%d:%s", d, churn)
+		case 9:
+			return fmt.Sprintf("online:adaptive:%d:%s:%d", slack, churn, int(a%8)+1)
+		case 10:
+			return fmt.Sprintf("online:oneshot:%s", churn)
+		default:
+			return []string{"asym", "alight", "oneshot", "det"}[int(a)%4]
+		}
+	}
+	err := quick.Check(func(pick, a, b uint8, frac uint16) bool {
+		name := gen(pick, a, b, frac)
+		alg, err := Resolve(name)
+		if err != nil {
+			t.Logf("Resolve(%q): %v", name, err)
+			return false
+		}
+		again, err := Resolve(alg.Name)
+		if err != nil {
+			t.Logf("canonical %q does not resolve: %v", alg.Name, err)
+			return false
+		}
+		if again.Name != alg.Name || again.Family != alg.Family {
+			t.Logf("canonical %q re-resolves to %q", alg.Name, again.Name)
+			return false
+		}
+		// Canonicalize must be idempotent and stable under case/space noise.
+		noisy := " " + strings.ToUpper(name) + " "
+		if Canonicalize(noisy) != Canonicalize(Canonicalize(noisy)) {
+			return false
+		}
+		c, err := Resolve(noisy)
+		return err == nil && c.Name == alg.Name
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecNormalizeCanonicalizes pins spec-level canonicalization: a spec
+// written with aliases and default-elided parameters normalizes to
+// canonical spellings that re-normalize to themselves (fixed point).
+func TestSpecNormalizeCanonicalizes(t *testing.T) {
+	s := Spec{
+		Algorithms: []string{"greedy2", "light", "ONLINE:GREEDY:0.2", "batched"},
+		Ns:         []int{8}, Ratios: []int64{4}, Seeds: 1,
+	}
+	n1, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"greedy:2", "alight", "online:greedy:2:0.2:8", "batched:2"}
+	for i, w := range want {
+		if n1.Algorithms[i] != w {
+			t.Errorf("Normalize[%d] = %q, want %q", i, n1.Algorithms[i], w)
+		}
+	}
+	n2, err := n1.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Fingerprint() != n1.Fingerprint() {
+		t.Error("Normalize is not a fixed point")
 	}
 }
 
@@ -85,6 +194,7 @@ func TestEveryFamilyRuns(t *testing.T) {
 	for _, name := range []string{
 		"aheavy", "aheavy-fast", "aheavy:0.5", "asym", "alight",
 		"oneshot", "greedy:2", "batched:2:500", "fixed:2", "det", "adaptive:4",
+		"online:aheavy:0.2", "online:greedy:2:0.3:4",
 	} {
 		p := heavy
 		if name == "alight" {

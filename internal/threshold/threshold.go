@@ -177,19 +177,37 @@ type Config struct {
 	Workers  int
 	TieBreak sim.TieBreak
 	Trace    bool
+	// BaseLoads, if non-nil, gives pre-existing per-bin loads (length N,
+	// entries >= 0). Policies then see base+new loads as the system state
+	// and the caps they set are interpreted against that total, so the run
+	// balances residual load; Result.Loads reports only the newly placed
+	// balls. The slice is read, never written.
+	BaseLoads []int64
+	// RecordPlacements records every ball's final bin in Result.Placements;
+	// see sim.Config.RecordPlacements.
+	RecordPlacements bool
 }
 
 // protocol adapts Algorithm to sim.Protocol.
 type protocol struct {
-	alg  Algorithm
-	caps []int64 // current phase's per-bin load caps
+	alg    Algorithm
+	caps   []int64 // current phase's per-bin load caps
+	base   []int64 // pre-existing per-bin loads (nil = none)
+	totals []int64 // scratch: base+current loads handed to the policy
 }
 
 func (p *protocol) RoundStart(round int, loads []int64, remaining int64) {
 	if round%p.alg.PhaseLen != 0 {
 		return // thresholds are fixed for the duration of a phase
 	}
-	p.alg.Policy.Thresholds(round/p.alg.PhaseLen, loads, remaining, p.caps)
+	view := loads
+	if p.base != nil {
+		for i, l := range loads {
+			p.totals[i] = l + p.base[i]
+		}
+		view = p.totals
+	}
+	p.alg.Policy.Thresholds(round/p.alg.PhaseLen, view, remaining, p.caps)
 }
 
 func (p *protocol) Targets(round int, b *sim.Ball, n int, buf []int) []int {
@@ -205,7 +223,11 @@ func (p *protocol) Hold(round int) bool {
 }
 
 func (p *protocol) Capacity(_ int, bin int, load int64) int64 {
-	return p.caps[bin] - load
+	c := p.caps[bin] - load
+	if p.base != nil {
+		c -= p.base[bin]
+	}
+	return c
 }
 
 func (p *protocol) Payload(int, int, int64) int64 { return 0 }
@@ -253,15 +275,24 @@ func (a Algorithm) Run(p model.Problem, cfg Config) (*model.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	proto, err := a.Protocol(p.N)
+	if cfg.BaseLoads != nil && len(cfg.BaseLoads) != p.N {
+		return nil, fmt.Errorf("threshold: BaseLoads has %d entries, want %d", len(cfg.BaseLoads), p.N)
+	}
+	sp, err := a.Protocol(p.N)
 	if err != nil {
 		return nil, err
 	}
+	proto := sp.(*protocol)
+	if cfg.BaseLoads != nil {
+		proto.base = cfg.BaseLoads
+		proto.totals = make([]int64, p.N)
+	}
 	eng := sim.New(p, proto, sim.Config{
-		Seed:     cfg.Seed,
-		Workers:  cfg.Workers,
-		TieBreak: cfg.TieBreak,
-		Trace:    cfg.Trace,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		TieBreak:         cfg.TieBreak,
+		Trace:            cfg.Trace,
+		RecordPlacements: cfg.RecordPlacements,
 	})
 	return eng.Run()
 }

@@ -1,0 +1,27 @@
+package pba
+
+import "repro/internal/online"
+
+// OnlineConfig parameterizes a streaming allocator; see Online.
+type OnlineConfig = online.Config
+
+// Online is the streaming, churn-tolerant allocator: it maintains live
+// per-bin load across epochs, re-running the paper's batch protocols
+// incrementally over residual loads. Allocate admits a batch of jobs and
+// runs one epoch; Release departs jobs, freeing capacity. For a fixed
+// (seed, event trace) the allocation is bit-identical at any worker count.
+// cmd/pba-serve exposes the same allocator over HTTP/JSON.
+type Online = online.Allocator
+
+// OnlineReport summarizes one Allocate epoch.
+type OnlineReport = online.Report
+
+// OnlineStats is a live snapshot of an Online allocator.
+type OnlineStats = online.Stats
+
+// NewOnline constructs a streaming allocator. Config.Alg selects the
+// per-epoch protocol: aheavy[:beta] (the paper's algorithm, the default),
+// adaptive[:slack], greedy[:d], or oneshot.
+func NewOnline(cfg OnlineConfig) (*Online, error) {
+	return online.New(cfg)
+}
