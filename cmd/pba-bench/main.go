@@ -40,6 +40,7 @@ func main() {
 		outDir   = flag.String("out", ".", "directory for CSV output")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		baseSeed = flag.Uint64("seed", 0, "base seed offset")
+		mode     = flag.String("mode", "", "engine for the Aheavy sweeps: mass (default) or agent")
 
 		serveURL = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
 		batches  = flag.Int("batches", 10, "loadgen: number of allocate batches (epochs)")
@@ -62,6 +63,7 @@ func main() {
 		Quick:    *quick,
 		Workers:  *workers,
 		BaseSeed: *baseSeed,
+		Mode:     *mode,
 	}
 
 	var list []bench.Experiment

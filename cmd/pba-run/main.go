@@ -8,12 +8,16 @@
 //	pba-run -alg greedy:2 -m 100000 -n 100
 //	pba-run -alg greedy -d 3 -m 100000 -n 100   # flags fill in parameters
 //	pba-run -alg aheavy -m 1e7 -n 1e4 -trace
+//	pba-run -alg 'aheavy!mass' -m 1e10 -n 1e6   # count-based mass engine
+//	pba-run -alg aheavy -mode mass -m 1e10 -n 1e6
 //
 // Algorithms are resolved through the internal/sweep registry: aheavy
-// [:beta], aheavy-fast[:beta], asym, alight, oneshot, greedy:d,
-// batched:d[:b], fixed:slack, det, adaptive:slack (plus legacy aliases
-// greedy2, light, deterministic). Bare family names take their parameters
-// from the -d, -batch, -slack, and -beta flags.
+// [:beta], asym, alight, oneshot, greedy:d, batched:d[:b], fixed:slack,
+// det, adaptive:slack (plus legacy aliases greedy2, light, deterministic,
+// aheavy-fast). A "!mass" suffix — or -mode mass — selects the count-based
+// mass engine for the families that support it, lifting the ball limit to
+// ~10^12. Bare family names take their parameters from the -d, -batch,
+// -slack, and -beta flags.
 package main
 
 import (
@@ -47,12 +51,22 @@ var paramFlags = map[string]bool{"d": true, "batch": true, "slack": true, "beta"
 
 // algName merges the legacy parameter flags into a registry name: a bare
 // family name picks up -d, -batch, -slack, and -beta; a parameterized name
-// (anything containing ':') is passed through untouched.
-func algName(alg string, d int, batch, slack int64, beta float64) (string, error) {
+// (anything containing ':') is passed through untouched. The mode argument
+// ("", "agent", or "mass") appends or rejects the "!mass" suffix.
+func algName(alg string, mode string, d int, batch, slack int64, beta float64) (string, error) {
 	// Expand aliases first: greedy2 means greedy:2, so it conflicts with
-	// -d just like the explicit spelling does.
+	// -d just like the explicit spelling does; aheavy-fast canonicalizes to
+	// aheavy!mass before the mode check. The suffix is peeled off for the
+	// parameter merge and restored by sweep.ApplyMode at the end.
 	name := sweep.Canonicalize(alg)
-	if strings.Contains(name, ":") {
+	base, mass := strings.CutSuffix(name, sweep.MassSuffix)
+	if mass {
+		if mode == "agent" {
+			return sweep.ApplyMode(name, mode) // reports the mass/agent conflict
+		}
+		mode = "mass"
+	}
+	if strings.Contains(base, ":") {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			if paramFlags[f.Name] {
@@ -63,31 +77,33 @@ func algName(alg string, d int, batch, slack int64, beta float64) (string, error
 			return "", fmt.Errorf("-alg %q carries its own parameters; drop %s or use the bare family name",
 				alg, strings.Join(conflict, ", "))
 		}
-		return name, nil
+		return sweep.ApplyMode(name, mode)
 	}
-	switch name {
+	switch base {
 	case "greedy":
-		return fmt.Sprintf("greedy:%d", d), nil
+		base = fmt.Sprintf("greedy:%d", d)
 	case "batched":
 		if batch != 0 { // pass invalid values through so the registry rejects them
-			return fmt.Sprintf("batched:%d:%d", d, batch), nil
+			base = fmt.Sprintf("batched:%d:%d", d, batch)
+		} else {
+			base = fmt.Sprintf("batched:%d", d)
 		}
-		return fmt.Sprintf("batched:%d", d), nil
 	case "fixed":
-		return fmt.Sprintf("fixed:%d", slack), nil
+		base = fmt.Sprintf("fixed:%d", slack)
 	case "adaptive":
-		return fmt.Sprintf("adaptive:%d", slack), nil
-	case "aheavy", "aheavy-fast":
+		base = fmt.Sprintf("adaptive:%d", slack)
+	case "aheavy":
 		if beta != 0 {
-			return fmt.Sprintf("%s:%g", name, beta), nil
+			base = fmt.Sprintf("aheavy:%g", beta)
 		}
 	}
-	return name, nil
+	return sweep.ApplyMode(base, mode)
 }
 
 func main() {
 	var (
-		alg     = flag.String("alg", "aheavy-fast", "algorithm (registry name)")
+		alg     = flag.String("alg", "aheavy!mass", "algorithm (registry name)")
+		mode    = flag.String("mode", "", "simulation engine: agent (per-ball) or mass (count-based); empty lets the name decide")
 		mStr    = flag.String("m", "1000000", "number of balls")
 		nStr    = flag.String("n", "1000", "number of bins")
 		seed    = flag.Uint64("seed", 1, "random seed")
@@ -118,7 +134,7 @@ func main() {
 	}
 	p := model.Problem{M: m, N: int(nn)}
 
-	name, err := algName(*alg, *d, *batch, *slack, *beta)
+	name, err := algName(*alg, *mode, *d, *batch, *slack, *beta)
 	if err != nil {
 		fatal("%v", err)
 	}

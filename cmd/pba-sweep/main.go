@@ -7,15 +7,17 @@
 //
 // Usage:
 //
-//	pba-sweep -alg aheavy-fast -n 1024 -ratios 16,256,4096 -seeds 10 > sweep.csv
-//	pba-sweep -alg aheavy-fast,oneshot,greedy:2 -n 256,1024 -seeds 5 -json sweep.json
+//	pba-sweep -alg 'aheavy!mass' -n 1024 -ratios 16,256,4096 -seeds 10 > sweep.csv
+//	pba-sweep -alg 'aheavy!mass',oneshot,greedy:2 -n 256,1024 -seeds 5 -json sweep.json
 //	pba-sweep -json sweep.json -resume ...            # continue after an interrupt
 //
 // Algorithm names are registry names (see internal/sweep): aheavy[:beta],
-// aheavy-fast[:beta], asym, alight, oneshot, greedy:d, batched:d[:b],
-// fixed:slack, det, adaptive:slack — plus the legacy aliases greedy2,
-// light, and deterministic. The CSV alg column reports the canonical
-// spelling (greedy2 prints as greedy:2).
+// asym, alight, oneshot, greedy:d, batched:d[:b], fixed:slack, det,
+// adaptive:slack — each optionally suffixed "!mass" for the count-based
+// mass engine — plus the legacy aliases greedy2, light, deterministic, and
+// aheavy-fast (= aheavy!mass). -mode agent|mass forces every entry onto
+// one engine. The CSV alg column reports the canonical spelling (greedy2
+// prints as greedy:2, aheavy-fast as aheavy!mass).
 //
 // -workers parallelizes over grid cells; the worker count inside each
 // algorithm run is part of the spec (-alg-workers, default 1) so that a
@@ -36,7 +38,8 @@ import (
 
 func main() {
 	var (
-		alg      = flag.String("alg", "aheavy-fast", "comma-separated registry algorithm names")
+		alg      = flag.String("alg", "aheavy!mass", "comma-separated registry algorithm names")
+		mode     = flag.String("mode", "", "simulation engine for every -alg entry: agent or mass (appends !mass); empty lets each name decide")
 		nStr     = flag.String("n", "1024", "comma-separated bin counts")
 		ratioStr = flag.String("ratios", "16,64,256,1024,4096,16384", "comma-separated m/n values")
 		seeds    = flag.Int("seeds", 10, "seeds per cell")
@@ -60,10 +63,14 @@ func main() {
 	if *resume && *jsonPath == "" {
 		fatal(2, "-resume requires -json")
 	}
+	algs, err := applyMode(strings.Split(*alg, ","), *mode)
+	if err != nil {
+		fatal(2, "%v", err)
+	}
 
 	eng := &sweep.Engine{
 		Spec: sweep.Spec{
-			Algorithms: strings.Split(*alg, ","),
+			Algorithms: algs,
 			Ns:         ns,
 			Ratios:     ratios,
 			Seeds:      *seeds,
@@ -147,6 +154,20 @@ func (s *streamer) add(res *sweep.CellResult) {
 		delete(s.cells, s.next)
 		s.next++
 	}
+}
+
+// applyMode maps every algorithm name through the registry's shared
+// -mode semantics (sweep.ApplyMode).
+func applyMode(algs []string, mode string) ([]string, error) {
+	out := make([]string, len(algs))
+	for i, a := range algs {
+		name, err := sweep.ApplyMode(a, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = name
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -146,7 +146,7 @@ type fixedScheduleProto struct {
 }
 
 func (f *fixedScheduleProto) Targets(_ int, b *sim.Ball, n int, buf []int) []int {
-	return append(buf, b.R.Intn(n))
+	return append(buf, b.Rand().Intn(n))
 }
 func (f *fixedScheduleProto) Hold(int) bool { return false }
 func (f *fixedScheduleProto) Capacity(round int, _ int, load int64) int64 {

@@ -196,10 +196,10 @@ func (p *protocol) isLeader(rp RoundPlan, b int) bool {
 
 func (p *protocol) Targets(round int, b *sim.Ball, n int, buf []int) []int {
 	if p.hasPre() && round == 0 {
-		return append(buf, b.R.Intn(n))
+		return append(buf, b.Rand().Intn(n))
 	}
 	rp := p.plan(round)
-	k := b.R.Intn(rp.Blocks)
+	k := b.Rand().Intn(rp.Blocks)
 	return append(buf, p.leaderOf(rp, k))
 }
 

@@ -209,6 +209,27 @@ func FixedThreshold(p model.Problem, slack int64, cfg Config) (*model.Result, er
 	return alg.Run(p, threshold.Config{Seed: cfg.Seed, Workers: cfg.Workers, Trace: cfg.Trace})
 }
 
+// FixedThresholdMass is FixedThreshold on the count-based mass engine:
+// identical thresholds and round structure over per-bin ball counts, with
+// the ball limit lifted to sim.MassMaxBalls. Distributionally equivalent
+// to FixedThreshold (balls are exchangeable); not bit-identical, since the
+// agent path draws per-ball choices and the mass path draws their exact
+// multinomial counts.
+func FixedThresholdMass(p model.Problem, slack int64, cfg Config) (*model.Result, error) {
+	if slack < 0 {
+		return nil, fmt.Errorf("baseline: negative slack %d", slack)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alg := threshold.Algorithm{
+		Degree:   1,
+		PhaseLen: 1,
+		Policy:   threshold.Fixed(p.CeilAvg() + slack),
+	}
+	return alg.RunMass(p, threshold.Config{Seed: cfg.Seed, Workers: cfg.Workers, Trace: cfg.Trace})
+}
+
 // deterministicProto implements the trivial n-round algorithm: ball i
 // probes bins (offset_i, offset_i+1, ...) mod n, one per round, and bins
 // accept up to ceil(m/n) balls in total. After n rounds every ball has
@@ -249,7 +270,7 @@ func Deterministic(p model.Problem, cfg Config) (*model.Result, error) {
 		Workers:   cfg.Workers,
 		Trace:     cfg.Trace,
 		MaxRounds: p.N + 1,
-		InitState: func(b *sim.Ball) { b.State = int64(b.R.Intn(p.N)) },
+		InitState: func(b *sim.Ball) { b.State = int64(b.Rand().Intn(p.N)) },
 	})
 	return eng.Run()
 }

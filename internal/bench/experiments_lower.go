@@ -68,7 +68,7 @@ func E10RoundsLB(cfg Config) (*Table, error) {
 		sched, _ := core.Schedule(p, core.Params{})
 		var rounds stats.Running
 		for s := 0; s < min(cfg.Seeds, 5); s++ {
-			res, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers})
+			res, err := cfg.runAheavy(p, cfg.seed(s), core.Params{})
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +123,7 @@ func E11FixedThreshold(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rh, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers})
+			rh, err := cfg.runAheavy(p, cfg.seed(s), core.Params{})
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +214,7 @@ func E13SlackAblation(cfg Config) (*Table, error) {
 		sched, est := core.Schedule(p, params)
 		var excess, rounds stats.Running
 		for s := 0; s < seeds; s++ {
-			res, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers, Params: params})
+			res, err := cfg.runAheavy(p, cfg.seed(s), params)
 			if err != nil {
 				return nil, fmt.Errorf("E13 beta %g: %w", beta, err)
 			}

@@ -36,7 +36,7 @@ func E1AheavyLoad(cfg Config) (*Table, error) {
 		var excess stats.Running
 		var gini stats.Running
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers})
+			res, err := cfg.runAheavy(p, cfg.seed(s), core.Params{})
 			if err != nil {
 				return nil, fmt.Errorf("E1 ratio %d: %w", ratio, err)
 			}
@@ -77,7 +77,7 @@ func E2AheavyRounds(cfg Config) (*Table, error) {
 		sched, _ := core.Schedule(p, core.Params{})
 		var rounds stats.Running
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers})
+			res, err := cfg.runAheavy(p, cfg.seed(s), core.Params{})
 			if err != nil {
 				return nil, fmt.Errorf("E2 ratio %d: %w", ratio, err)
 			}
@@ -117,7 +117,7 @@ func E3Messages(cfg Config) (*Table, error) {
 		p := model.Problem{M: int64(cfg.N) * ratio, N: cfg.N}
 		var totalPerM, perBall, maxBall, maxBin stats.Running
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.RunFast(p, core.Config{Seed: cfg.seed(s), Workers: cfg.Workers})
+			res, err := cfg.runAheavy(p, cfg.seed(s), core.Params{})
 			if err != nil {
 				return nil, fmt.Errorf("E3 ratio %d: %w", ratio, err)
 			}
@@ -250,7 +250,7 @@ func E6Greedy(cfg Config) (*Table, error) {
 				return baseline.Batched(p, 2, int64(p.N), baseline.Config{Seed: s, Workers: cfg.Workers})
 			}},
 			{"aheavy", func(s uint64) (*model.Result, error) {
-				return core.RunFast(p, core.Config{Seed: s, Workers: cfg.Workers})
+				return cfg.runAheavy(p, s, core.Params{})
 			}},
 		}
 		for _, v := range variants {

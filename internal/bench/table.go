@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
 )
 
 // Table is one experiment's output: a titled grid of formatted cells plus
@@ -126,6 +129,12 @@ type Config struct {
 	Workers int
 	// BaseSeed offsets all run seeds, for independent replications.
 	BaseSeed uint64
+	// Mode selects the engine for the Aheavy sweeps: "" or "mass" runs the
+	// count-based mass engine (the historical default for the E-tables),
+	// "agent" forces the per-ball agent engine — slower, but it measures
+	// exact per-agent message maxima and is the baseline the mass engine's
+	// speedups are quoted against.
+	Mode string
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +145,25 @@ func (c Config) withDefaults() Config {
 		c.N = 1024
 	}
 	return c
+}
+
+func (c Config) validateMode() error {
+	switch c.Mode {
+	case "", "agent", "mass":
+		return nil
+	}
+	return fmt.Errorf("bench: bad Mode %q (want agent or mass)", c.Mode)
+}
+
+// runAheavy executes Aheavy on the engine Config.Mode selects.
+func (c Config) runAheavy(p model.Problem, seed uint64, params core.Params) (*model.Result, error) {
+	if err := c.validateMode(); err != nil {
+		return nil, err
+	}
+	if c.Mode == "agent" {
+		return core.Run(p, core.Config{Seed: seed, Workers: c.Workers, Params: params})
+	}
+	return core.RunFast(p, core.Config{Seed: seed, Workers: c.Workers, Params: params})
 }
 
 func (c Config) seed(i int) uint64 { return c.BaseSeed + uint64(i)*0x9E3779B97F4A7C15 + 1 }

@@ -20,16 +20,16 @@
 //     per real bin in log*(n) + O(1) rounds.
 //
 // Two interchangeable implementations are provided: Run (agent-based, exact
-// message accounting, executed on the sim engine) and RunFast (count-based;
-// exploits ball exchangeability to scale to ~10^8 balls). Both produce
-// distributionally identical allocations; tests cross-validate them.
+// message accounting, executed on the sim engine's agent mode) and RunFast
+// (count-based; phase 1 runs on the sim engine's mass mode, exploiting ball
+// exchangeability to scale to ~10^12 balls). Both produce distributionally
+// identical allocations; tests cross-validate them. Run routes oversized
+// degree-1 instances to the mass engine automatically.
 package core
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/light"
 	"repro/internal/model"
@@ -181,9 +181,30 @@ type phase1 struct {
 	base       []int64 // pre-existing per-bin loads (nil = none)
 }
 
+// massPhase1 adds the count-based view of the threshold rounds. Only the
+// paper's degree-1 algorithm is exchangeable, so core wraps phase1 in this
+// type exactly when Degree == 1; the sim engine then routes oversized
+// instances to mass mode automatically.
+type massPhase1 struct{ *phase1 }
+
+func (h massPhase1) MassCapacities(round int, loads []int64, _ int64, caps []int64) {
+	t := h.thresholds[round]
+	if h.base != nil {
+		for b := range caps {
+			caps[b] = t - h.base[b] - loads[b]
+		}
+		return
+	}
+	for b := range caps {
+		caps[b] = t - loads[b]
+	}
+}
+
+func (h massPhase1) MassDone(round int, _ int64) bool { return round >= len(h.thresholds) }
+
 func (h *phase1) Targets(round int, b *sim.Ball, n int, buf []int) []int {
 	for i := 0; i < h.degree; i++ {
-		buf = append(buf, b.R.Intn(n))
+		buf = append(buf, b.Rand().Intn(n))
 	}
 	return buf
 }
@@ -224,7 +245,13 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 
 	var res *model.Result
 	if len(thresholds) > 0 {
-		proto := &phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
+		p1 := &phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
+		// Degree-1 runs expose the count-based view too, so the engine can
+		// route instances beyond its agent limit to mass mode.
+		var proto sim.Protocol = p1
+		if params.Degree == 1 {
+			proto = massPhase1{p1}
+		}
 		eng := sim.New(p, proto, sim.Config{
 			Seed:             cfg.Seed,
 			Workers:          cfg.Workers,
@@ -324,10 +351,11 @@ func virtualFactor(leftover int64, n int, cap int64) int {
 }
 
 // RunFast executes Aheavy with a count-based phase 1 that scales to very
-// large m. Balls are exchangeable, so the per-round evolution depends only
-// on the multinomial request counts per bin; the fast path samples those
-// directly with per-worker RNG streams and sharded counters. Phase 2 (with
-// only O(n) balls) runs agent-based, identical to Run.
+// large m (sim.MassMaxBalls, ~10^12). Balls are exchangeable, so the
+// per-round evolution depends only on the multinomial request counts per
+// bin; phase 1 runs on the shared mass engine (sim.RunMass), which samples
+// those counts exactly and is bit-identical for a fixed seed at any worker
+// count. Phase 2 (with only O(n) balls) runs agent-based, identical to Run.
 func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -348,70 +376,21 @@ func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 	}
 	thresholds, _ := ScheduleOffset(p, baseTotal, params)
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	streams := rng.New(rng.Mix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)).SplitN(workers)
-
-	n := p.N
-	loads := make([]int64, n)
-	received := make([]int64, n)
-	var metrics model.Metrics
-	var trace []int64
-
-	remaining := p.M
-	rounds := 0
-	for i := 0; i < len(thresholds) && remaining > 0; i++ {
-		if cfg.Trace {
-			trace = append(trace, remaining)
+	var res *model.Result
+	if len(thresholds) > 0 {
+		proto := massPhase1{&phase1{thresholds: thresholds, degree: 1, base: cfg.BaseLoads}}
+		res, err = sim.RunMass(p, proto, sim.Config{
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+			Trace:     cfg.Trace,
+			MaxRounds: len(thresholds) + 1,
+		})
+		if err != nil {
+			return res, fmt.Errorf("core: phase 1: %w", err)
 		}
-		counts := sampleUniformCounts(remaining, n, streams, workers)
-		metrics.BallRequests += remaining
-		metrics.BinReplies += remaining
-		metrics.TotalMessages += 2 * remaining
-
-		var allocated int64
-		ti := thresholds[i]
-		for b := 0; b < n; b++ {
-			c := counts[b]
-			received[b] += c
-			free := ti - loads[b]
-			if cfg.BaseLoads != nil {
-				free -= cfg.BaseLoads[b]
-			}
-			if free <= 0 {
-				continue
-			}
-			take := c
-			if take > free {
-				take = free
-			}
-			loads[b] += take
-			allocated += take
-		}
-		metrics.CommitMessages += allocated
-		metrics.TotalMessages += allocated
-		remaining -= allocated
-		rounds++
-	}
-
-	for _, v := range received {
-		if v > metrics.MaxBinReceived {
-			metrics.MaxBinReceived = v
-		}
-	}
-	// Exchangeability: every ball still unallocated after phase 1 sent
-	// exactly `rounds` requests; an allocated ball sent at most that.
-	metrics.MaxBallSent = int64(rounds)
-
-	res := &model.Result{
-		Problem:        p,
-		Loads:          loads,
-		Rounds:         rounds,
-		Metrics:        metrics,
-		Unallocated:    remaining,
-		TraceRemaining: trace,
+	} else {
+		// Degenerate heavily-loaded ratio: everything goes to phase 2.
+		res = &model.Result{Problem: p, Loads: make([]int64, p.N), Unallocated: p.M}
 	}
 	return finish(p, res, params, cfg)
 }
@@ -426,7 +405,7 @@ type cleanup struct {
 }
 
 func (c *cleanup) Targets(_ int, b *sim.Ball, n int, buf []int) []int {
-	return append(buf, b.R.Intn(n))
+	return append(buf, b.Rand().Intn(n))
 }
 func (c *cleanup) Hold(int) bool { return false }
 func (c *cleanup) Capacity(round int, bin int, load int64) int64 {
@@ -497,45 +476,4 @@ func finishWithCleanup(p model.Problem, phase1Res *model.Result, cfg Config) (*m
 	phase1Res.Metrics = merged
 	phase1Res.TraceRemaining = append(phase1Res.TraceRemaining, res.TraceRemaining...)
 	return phase1Res, nil
-}
-
-// sampleUniformCounts distributes `balls` uniform choices over n bins in
-// parallel and returns the per-bin counts (an exact multinomial sample).
-func sampleUniformCounts(balls int64, n int, streams []*rng.Rand, workers int) []int64 {
-	if balls < int64(n)*4 || balls > int64(n)*200 || workers == 1 {
-		// The conditional-binomial chain costs O(n) regardless of the ball
-		// count (each binomial draw is O(1) via BTRS), so it wins both for
-		// tiny rounds and for very heavy ones; per-ball parallel sampling
-		// only pays off in the middle regime.
-		out := make([]int64, n)
-		streams[0].Multinomial(balls, out)
-		return out
-	}
-	shards := make([][]int32, workers)
-	var wg sync.WaitGroup
-	per := balls / int64(workers)
-	for w := 0; w < workers; w++ {
-		quota := per
-		if w == workers-1 {
-			quota = balls - per*int64(workers-1)
-		}
-		wg.Add(1)
-		go func(w int, quota int64) {
-			defer wg.Done()
-			local := make([]int32, n)
-			r := streams[w]
-			for j := int64(0); j < quota; j++ {
-				local[r.Intn(n)]++
-			}
-			shards[w] = local
-		}(w, quota)
-	}
-	wg.Wait()
-	out := make([]int64, n)
-	for _, s := range shards {
-		for b, c := range s {
-			out[b] += int64(c)
-		}
-	}
-	return out
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestRunFastWorkerCountInvariant pins the contract the mass-engine rebase
+// strengthened: the count-based path is now bit-identical for a fixed seed
+// at ANY worker count (the historical path only promised it per worker
+// count, because the middle sampling regime sharded per-ball draws).
+func TestRunFastWorkerCountInvariant(t *testing.T) {
+	// m/n = 512 passes through the historical "middle regime"
+	// (4n < remaining < 200n) during later phase-1 rounds.
+	p := model.Problem{M: 512 << 9, N: 512}
+	base, err := RunFast(p, Config{Seed: 23, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, err := RunFast(p, Config{Seed: 23, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != base.Rounds {
+			t.Fatalf("workers %d: rounds %d != %d", w, res.Rounds, base.Rounds)
+		}
+		for i := range base.Loads {
+			if res.Loads[i] != base.Loads[i] {
+				t.Fatalf("workers %d bin %d: %d != %d", w, i, res.Loads[i], base.Loads[i])
+			}
+		}
+	}
+}
+
+// TestRunAutoRoutesOversizedDegree1 pins the agent entry point's escape
+// hatch: a degree-1 Run beyond the agent ball limit transparently executes
+// phase 1 on the mass engine and still completes.
+func TestRunAutoRoutesOversizedDegree1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	p := model.Problem{M: sim.MaxAgentBalls + 1000, N: 1 << 16}
+	res, err := Run(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunFast(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The auto-routed Run is exactly the RunFast execution.
+	for i := range res.Loads {
+		if res.Loads[i] != fast.Loads[i] {
+			t.Fatalf("bin %d: auto-routed %d != RunFast %d", i, res.Loads[i], fast.Loads[i])
+		}
+	}
+	// Oversized runs that demand per-ball identities must fail loudly.
+	if _, err := Run(p, Config{Seed: 3, RecordPlacements: true}); err == nil {
+		t.Fatal("oversized RecordPlacements run succeeded")
+	}
+	// Oversized degree-2 runs have no mass route.
+	if _, err := Run(p, Config{Seed: 3, Params: Params{Degree: 2}}); err == nil {
+		t.Fatal("oversized degree-2 run succeeded")
+	}
+}

@@ -75,7 +75,7 @@ func (p *protocol) Targets(round int, b *sim.Ball, n int, buf []int) []int {
 		k = n
 	}
 	for i := 0; i < k; i++ {
-		buf = append(buf, b.R.Intn(n))
+		buf = append(buf, b.Rand().Intn(n))
 	}
 	return buf
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -46,6 +47,10 @@ type Config struct {
 	// threshold algorithm, agent-based), adaptive[:slack] (state-adaptive
 	// uniform threshold family), greedy[:d] (sequential d-choice), or
 	// oneshot (random placement, no coordination). Empty means aheavy.
+	// A "!mass" suffix (aheavy!mass, adaptive!mass, oneshot!mass) runs the
+	// epochs on the count-based mass engine: per-ball placements are then
+	// synthesized canonically from each epoch's delta load vector, so very
+	// large batches stay cheap while Release keeps working.
 	Alg string
 	// Seed makes the whole stream reproducible; epoch seeds derive from it.
 	Seed uint64
@@ -80,19 +85,36 @@ func ResolveAlg(name string) (string, error) {
 
 // AlgNames lists the supported inner-algorithm usage patterns.
 func AlgNames() []string {
-	return []string{"aheavy[:beta]", "adaptive[:slack]", "greedy[:d]", "oneshot"}
+	return []string{"aheavy[:beta][!mass]", "adaptive[:slack][!mass]", "greedy[:d]", "oneshot[!mass]"}
 }
+
+// massSuffix selects an inner algorithm's count-based mass-engine
+// implementation (same spelling as the sweep registry). Mass epochs treat
+// the batch as exchangeable: the protocol produces only the delta load
+// vector, and the allocator's per-ball placements are synthesized from it
+// (see massEpoch), which keeps the (seed, event trace) determinism
+// contract intact.
+const massSuffix = "!mass"
 
 func resolveAlg(name string) (string, epochRunner, error) {
 	spec := strings.ToLower(strings.TrimSpace(name))
 	if spec == "" {
 		spec = "aheavy"
 	}
+	mass := false
+	if s, ok := strings.CutSuffix(spec, massSuffix); ok {
+		spec, mass = s, true
+	}
 	parts := strings.Split(spec, ":")
 	fam, args := parts[0], parts[1:]
+	if s, ok := strings.CutSuffix(fam, massSuffix); ok {
+		fam, mass = s, true
+	}
 	badArity := func(max int) error {
 		return fmt.Errorf("online: %s takes at most %d parameter(s), got %q", fam, max, strings.Join(args, ":"))
 	}
+	// Each family parses its parameters once; the mass flag only selects
+	// which engine the runner executes on.
 	switch fam {
 	case "aheavy":
 		if len(args) > 1 {
@@ -107,6 +129,14 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			}
 			beta = v
 			canon = "aheavy:" + strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if mass {
+			return canon + massSuffix, massEpoch(func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
+				return core.RunFast(p, core.Config{
+					Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
+					Params: core.Params{Beta: beta}, BaseLoads: base,
+				})
+			}), nil
 		}
 		return canon, func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
 			return core.Run(p, core.Config{
@@ -127,7 +157,15 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			slack = v
 		}
 		alg := threshold.Algorithm{Degree: 1, PhaseLen: 1, Policy: threshold.Greedy(slack)}
-		return "adaptive:" + strconv.FormatInt(slack, 10), func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
+		canon := "adaptive:" + strconv.FormatInt(slack, 10)
+		if mass {
+			return canon + massSuffix, massEpoch(func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
+				return alg.RunMass(p, threshold.Config{
+					Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace, BaseLoads: base,
+				})
+			}), nil
+		}
+		return canon, func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
 			return alg.Run(p, threshold.Config{
 				Seed: opt.Seed, Workers: opt.Workers, TieBreak: opt.TieBreak, Trace: opt.Trace,
 				BaseLoads: base, RecordPlacements: true,
@@ -145,14 +183,68 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			}
 			d = v
 		}
+		if mass {
+			return "", nil, fmt.Errorf("online: greedy has no mass-mode epoch runner (its load walk is inherently sequential and already count-based; drop the %s suffix)", massSuffix)
+		}
 		return "greedy:" + strconv.Itoa(d), greedyRunner(d), nil
 	case "oneshot":
 		if len(args) != 0 {
 			return "", nil, badArity(0)
 		}
+		if mass {
+			return "oneshot" + massSuffix, massEpoch(func(p model.Problem, _ []int64, opt runOpts) (*model.Result, error) {
+				// Residual-blind by design, like the agent oneshot foil; the
+				// mass spelling draws the exact multinomial count vector.
+				res, err := baseline.OneShot(p, baseline.Config{Seed: rng.Mix64(opt.Seed ^ 0xBB67AE8584CAA73B)})
+				if err != nil {
+					return nil, err
+				}
+				if opt.Trace {
+					res.TraceRemaining = []int64{p.M}
+				}
+				return res, nil
+			}), nil
+		}
 		return "oneshot", oneshotRunner, nil
 	default:
 		return "", nil, fmt.Errorf("online: unknown algorithm %q (known: %s)", name, strings.Join(AlgNames(), ", "))
+	}
+}
+
+// massEpoch lifts a mass-engine run (loads only, balls exchangeable) into
+// an epochRunner: per-ball placements are synthesized from the delta load
+// vector by filling bins in ascending order and then applying a seeded
+// Fisher–Yates permutation of the id→slot assignment. The shuffle matters:
+// without it, low ids would always land in low bins, and a structured
+// release pattern (e.g. FIFO churn departing the oldest ids) would drain
+// exactly the low bins — a bias no exchangeable protocol has. With it,
+// any id subset's bin multiset is a uniform draw, matching agent-mode
+// placements in distribution. The permutation depends only on the epoch
+// seed, so the allocator's fingerprint stays deterministic for a fixed
+// (seed, event trace) at any worker count.
+func massEpoch(run epochRunner) epochRunner {
+	return func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
+		res, err := run(p, base, opt)
+		if err != nil {
+			return nil, err
+		}
+		placements := make([]int32, p.M)
+		i := 0
+		for b, l := range res.Loads {
+			for j := int64(0); j < l && i < len(placements); j++ {
+				placements[i] = int32(b)
+				i++
+			}
+		}
+		for ; i < len(placements); i++ {
+			placements[i] = -1
+		}
+		r := rng.New(rng.Mix64(opt.Seed ^ 0x9216D5D98979FB1B))
+		r.Shuffle(len(placements), func(a, b int) {
+			placements[a], placements[b] = placements[b], placements[a]
+		})
+		res.Placements = placements
+		return res, nil
 	}
 }
 

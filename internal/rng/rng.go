@@ -57,14 +57,22 @@ type Rand struct {
 // New returns a generator deterministically seeded from seed via SplitMix64,
 // as recommended by the xoshiro authors.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
-	r := &Rand{s0: sm.Next(), s1: sm.Next(), s2: sm.Next(), s3: sm.Next()}
+	r := new(Rand)
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes r in place, exactly as New(seed) constructs it, but
+// without allocating. It lets callers embed Rand by value and derive the
+// stream lazily (e.g. the simulator's per-ball streams).
+func (r *Rand) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
+	r.s0, r.s1, r.s2, r.s3 = sm.Next(), sm.Next(), sm.Next(), sm.Next()
 	// Guard against the (astronomically unlikely) all-zero state, which is
 	// a fixed point of xoshiro.
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 0x9E3779B97F4A7C15
 	}
-	return r
 }
 
 // Split derives a new, statistically independent generator from r. The

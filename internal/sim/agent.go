@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Ball is the per-agent state of one ball. Protocols may use State freely;
+// Rand() is the ball's private randomness.
+type Ball struct {
+	ID    int64
+	State int64
+
+	seed   uint64 // stream seed; the rand state is derived on first use
+	rand   rng.Rand
+	seeded bool
+}
+
+// Rand returns the ball's private randomness stream, derived lazily from
+// the run seed and the ball index on first use. The stream lives inside
+// the Ball itself — no per-ball heap object — and depends only on (run
+// seed, ball index), so results are identical at any worker count.
+func (b *Ball) Rand() *rng.Rand {
+	if !b.seeded {
+		b.rand.Seed(b.seed)
+		b.seeded = true
+	}
+	return &b.rand
+}
+
+// Accept is an accept message delivered to a ball: bin From accepted the
+// ball's request and attached Payload (used by the asymmetric algorithm to
+// carry the round-robin offset).
+type Accept struct {
+	From    int
+	Payload int64
+}
+
+// TieBreak selects which requests a bin accepts when it receives more than
+// its capacity. The paper allows this choice to be arbitrary (even
+// adversarial); protocols under test must meet their guarantees for any
+// tie-breaking rule.
+type TieBreak int
+
+const (
+	// TieFirst accepts requests in arrival order (deterministic).
+	TieFirst TieBreak = iota
+	// TieRandom accepts a uniformly random subset (bin's private coins).
+	TieRandom
+	// TieAdversarialHighID accepts the requests with the highest ball IDs,
+	// a simple adversarial rule used in robustness tests.
+	TieAdversarialHighID
+)
+
+// Protocol defines a balls-into-bins algorithm run by the Engine.
+//
+// All methods must be safe for concurrent use: the engine invokes them from
+// multiple goroutines for distinct balls/bins. Implementations should treat
+// receiver state as read-only during a run (round-indexed parameters such as
+// thresholds must be precomputed or derived from the arguments).
+type Protocol interface {
+	// Targets appends the bins that (unallocated) ball b contacts in round
+	// to buf and returns the extended slice. Returning an empty slice means
+	// the ball stays silent this round.
+	Targets(round int, b *Ball, n int, buf []int) []int
+
+	// Hold reports whether bins collect this round's requests without
+	// replying (the "collecting for k rounds" behaviour of Section 4 used
+	// by the phase-simulation experiments). Held requests are answered in
+	// the next round for which Hold is false.
+	Hold(round int) bool
+
+	// Capacity returns the number of requests bin may accept in round,
+	// given the bin's load at the beginning of the round. Values <= 0 mean
+	// the bin rejects all requests.
+	Capacity(round int, bin int, load int64) int64
+
+	// Payload returns the payload attached to the k-th (0-based) accept
+	// sent by bin in this round. Most protocols return 0.
+	Payload(round int, bin int, k int64) int64
+
+	// Choose selects which accept ball b commits to, as an index into
+	// accepts (which is never empty). The engine requires an immediate
+	// choice; protocols model deferred decisions by holding requests
+	// instead (see Hold).
+	Choose(round int, b *Ball, accepts []Accept) int
+
+	// Place maps the chosen accept to the bin that finally stores the
+	// ball. Symmetric protocols return a.From; the asymmetric algorithm
+	// redirects to a member bin of the superbin.
+	Place(a Accept) int
+
+	// Done reports whether the algorithm stops before executing round,
+	// given the number of still-unallocated balls. The engine always stops
+	// when no balls remain.
+	Done(round int, remaining int64) bool
+}
+
+// RoundObserver is an optional interface protocols may implement to observe
+// the full system state at the start of every round (before requests are
+// sent). The paper's threshold family allows bins to choose thresholds as an
+// arbitrary function of the state at the beginning of a round — this hook
+// provides exactly that power. loads is read-only; the engine calls the hook
+// from a single goroutine.
+type RoundObserver interface {
+	RoundStart(round int, loads []int64, remaining int64)
+}
+
+// request is a ball→bin message recorded during step 1 of a round.
+type request struct {
+	ball int32 // index into the engine's ball array
+	bin  int32
+}
+
+// acceptRec is an accept routed back to a ball.
+type acceptRec struct {
+	ball    int32
+	bin     int32
+	payload int64
+}
+
+// agentRun is the mutable state of one agent-mode execution. The shard
+// worker bodies are methods on it, bound once per run (gatherFn et al.),
+// so the round loop allocates nothing in the steady state.
+type agentRun struct {
+	e   *Engine
+	scr *scratch
+
+	balls       []Ball
+	active      []int32
+	loads       []int64
+	binReceived []int64
+	ballSent    []int64
+	placements  []int32
+
+	round int
+
+	// step-2 inputs (set by the round loop before the process shards run)
+	byBin   []int32
+	offsets []int32
+
+	// step-3 inputs/outputs
+	accepts    []acceptRec
+	committed  int64
+	commitMsgs int64
+
+	gatherFn  func(wi, lo, hi int)
+	processFn func(wi, lo, hi int)
+	commitFn  func(wi, lo, hi int)
+}
+
+// runAgent executes the agent-based engine: explicit per-ball agents,
+// sharded across workers, with all per-round working memory drawn from a
+// reusable scratch arena.
+func (e *Engine) runAgent() (*model.Result, error) {
+	n := e.p.N
+	m := e.p.M
+
+	// Ball streams are derived from a domain of the config seed disjoint
+	// from the (historical) worker-stream domain, so that results are
+	// identical for any worker count.
+	ballSeed := rng.Mix64(e.cfg.Seed ^ 0x5A5A5A5A5A5A5A5A)
+
+	balls := make([]Ball, m)
+	for i := range balls {
+		balls[i] = Ball{ID: int64(i), seed: rng.Mix64(ballSeed + uint64(i)*0x9E3779B97F4A7C15)}
+		if e.cfg.InitState != nil {
+			e.cfg.InitState(&balls[i])
+		}
+	}
+
+	ar := &agentRun{
+		e:           e,
+		scr:         newScratch(e.cfg.Workers, n),
+		balls:       balls,
+		loads:       make([]int64, n),
+		binReceived: make([]int64, n),
+		ballSent:    make([]int64, m),
+		active:      make([]int32, m),
+	}
+	for i := range ar.active {
+		ar.active[i] = int32(i)
+	}
+	if e.cfg.RecordPlacements {
+		ar.placements = make([]int32, m)
+		for i := range ar.placements {
+			ar.placements[i] = -1
+		}
+	}
+	// Bind the shard bodies once; the round loop reuses them.
+	ar.gatherFn = ar.gatherShard
+	ar.processFn = ar.processShard
+	ar.commitFn = ar.commitShard
+
+	var held []request // requests collected during Hold rounds
+	var maxLoad int64  // running maximum, updated at commit time
+	var metrics model.Metrics
+	var trace []int64
+
+	res := &model.Result{Problem: e.p, Loads: ar.loads}
+
+	round := 0
+	hitLimit := true
+	for ; round < e.cfg.MaxRounds; round++ {
+		remaining := int64(len(ar.active))
+		if remaining == 0 || e.proto.Done(round, remaining) {
+			hitLimit = false
+			break
+		}
+		if e.cfg.Trace {
+			trace = append(trace, remaining)
+		}
+		if obs, ok := e.proto.(RoundObserver); ok {
+			obs.RoundStart(round, ar.loads, remaining)
+		}
+		ar.round = round
+
+		// Step 1: active balls emit requests (parallel over ball shards).
+		reqs := ar.gatherRequests()
+		sentThisRound := int64(len(reqs))
+		metrics.BallRequests += sentThisRound
+		metrics.TotalMessages += sentThisRound
+
+		if e.proto.Hold(round) {
+			held = append(held, reqs...)
+			e.emitRound(round, remaining, sentThisRound, 0, maxLoad)
+			continue
+		}
+		if len(held) > 0 {
+			ar.scr.flush = append(ar.scr.flush[:0], held...)
+			reqs = append(ar.scr.flush, reqs...)
+			ar.scr.flush = reqs
+			held = held[:0]
+		}
+		if len(reqs) == 0 {
+			e.emitRound(round, remaining, sentThisRound, 0, maxLoad)
+			continue
+		}
+
+		// Step 2: bins process requests (parallel over bin shards).
+		accepts := ar.processRequests(reqs)
+		// Every request is answered (accept or reject).
+		metrics.BinReplies += int64(len(reqs))
+		metrics.TotalMessages += int64(len(reqs))
+
+		// Step 3: balls with accepts commit (parallel over accept groups).
+		commits, roundMax := ar.commitBalls(accepts, &metrics)
+		if roundMax > maxLoad {
+			maxLoad = roundMax
+		}
+
+		// Drop allocated balls from the active set.
+		if commits > 0 {
+			ar.active = compactActive(ar.active, balls)
+		}
+		e.emitRound(round, remaining, sentThisRound, int64(commits), maxLoad)
+	}
+
+	res.Rounds = round
+	res.Metrics = finishMetrics(metrics, ar.ballSent, ar.binReceived)
+	res.TraceRemaining = trace
+	res.Placements = ar.placements
+	res.Unallocated = int64(len(ar.active))
+	// A protocol-initiated stop (Done) with balls remaining is a valid
+	// partial result (multi-phase algorithms hand the remainder to their
+	// next phase); only exhausting MaxRounds is an error.
+	if hitLimit && len(ar.active) > 0 {
+		return res, ErrRoundLimit
+	}
+	return res, nil
+}
+
+// allocatedFlag marks a ball as placed. Protocols must keep Ball.State
+// non-negative; the engine owns this sentinel value.
+const allocatedFlag = int64(-1)
+
+// gatherShard is the step-1 worker body: balls active[lo:hi] emit their
+// requests into the worker's shard buffer.
+func (r *agentRun) gatherShard(wi, lo, hi int) {
+	scr := r.scr
+	buf := scr.targetBuf[wi]
+	out := scr.reqShards[wi][:0]
+	for _, bi := range r.active[lo:hi] {
+		b := &r.balls[bi]
+		buf = r.e.proto.Targets(r.round, b, r.e.p.N, buf[:0])
+		r.ballSent[bi] += int64(len(buf))
+		for _, bin := range buf {
+			out = append(out, request{ball: bi, bin: int32(bin)})
+		}
+	}
+	scr.targetBuf[wi] = buf
+	scr.reqShards[wi] = out
+}
+
+// gatherRequests runs step 1 in parallel and returns the concatenated
+// request list in deterministic (worker-shard) order. All buffers come
+// from the scratch arena; the returned slice is valid until the next call.
+func (r *agentRun) gatherRequests() []request {
+	w := r.scr.workers
+	chunk := (len(r.active) + w - 1) / w
+	shards := shard(len(r.active), chunk, w, r.gatherFn)
+
+	reqs := r.scr.reqs[:0]
+	for wi := 0; wi < shards; wi++ {
+		reqs = append(reqs, r.scr.reqShards[wi]...)
+	}
+	r.scr.reqs = reqs
+	return reqs
+}
+
+// processShard is the step-2 worker body: bins [lo, hi) answer their
+// requests into the worker's accept shard.
+func (r *agentRun) processShard(wi, lo, hi int) {
+	scr := r.scr
+	out := scr.accShards[wi][:0]
+	for bin := lo; bin < hi; bin++ {
+		reqs := r.byBin[r.offsets[bin]:r.offsets[bin+1]]
+		if len(reqs) == 0 {
+			continue
+		}
+		r.binReceived[bin] += int64(len(reqs))
+		capacity := r.e.proto.Capacity(r.round, bin, r.loads[bin])
+		if capacity <= 0 {
+			continue
+		}
+		k := int64(len(reqs))
+		if capacity < k {
+			k = capacity
+			r.e.applyTieBreak(r.round, bin, reqs)
+		}
+		for i := int64(0); i < k; i++ {
+			out = append(out, acceptRec{
+				ball:    reqs[i],
+				bin:     int32(bin),
+				payload: r.e.proto.Payload(r.round, bin, i),
+			})
+		}
+	}
+	scr.accShards[wi] = out
+}
+
+// processRequests runs step 2 in parallel over bin shards, returning all
+// accepts in ascending-bin order (scratch-backed, valid until next call).
+func (r *agentRun) processRequests(reqs []request) []acceptRec {
+	n := r.e.p.N
+	r.byBin, r.offsets = r.scr.groupByBin(reqs, n)
+	w := r.scr.workers
+	chunk := (n + w - 1) / w
+	shards := shard(n, chunk, w, r.processFn)
+
+	accepts := r.scr.accepts[:0]
+	for wi := 0; wi < shards; wi++ {
+		accepts = append(accepts, r.scr.accShards[wi]...)
+	}
+	r.scr.accepts = accepts
+	return accepts
+}
+
+// shard runs fn(wi, lo, hi) over contiguous chunks of [0, total): shard 0
+// inline on the calling goroutine, the rest concurrently. It returns the
+// number of shards dispatched. With one worker (or one chunk) no goroutine
+// is spawned, keeping the steady state allocation-free.
+func shard(total, chunk, w int, fn func(wi, lo, hi int)) int {
+	if total <= chunk || w == 1 {
+		// Single shard: run inline, no goroutines, no WaitGroup.
+		if total > 0 {
+			fn(0, 0, total)
+			return 1
+		}
+		return 0
+	}
+	shards := 0
+	var wg sync.WaitGroup
+	for wi := 1; wi < w; wi++ {
+		lo := wi * chunk
+		if lo >= total {
+			break
+		}
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		shards++
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			fn(wi, lo, hi)
+		}(wi, lo, hi)
+	}
+	fn(0, 0, chunk)
+	wg.Wait()
+	return shards + 1
+}
+
+// applyTieBreak reorders reqs so that the accepted prefix reflects the
+// configured tie-breaking rule.
+func (e *Engine) applyTieBreak(round, bin int, reqs []int32) {
+	switch e.cfg.TieBreak {
+	case TieFirst:
+		// arrival order; nothing to do
+	case TieRandom:
+		// Deterministic per (seed, bin, round) shuffle, independent of the
+		// worker that processes the bin.
+		br := rng.New(rng.Mix64(e.cfg.Seed ^ uint64(bin)*0x9E3779B97F4A7C15 ^ uint64(round)*0xC2B2AE3D27D4EB4F))
+		br.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	case TieAdversarialHighID:
+		// Highest ball IDs first (simple insertion-free selection sort of
+		// the prefix would be O(k*len); full sort keeps it simple).
+		sortInt32Desc(reqs)
+	}
+}
+
+func sortInt32Desc(s []int32) {
+	// Heapsort (descending via min-heap semantics inverted).
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftDownMin(s, i)
+	}
+	for end := len(s) - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		siftDownMin(s[:end], 0)
+	}
+}
+
+func siftDownMin(s []int32, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < len(s) && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+}
+
+// commitShard is the step-3 worker body: accept groups [lo, hi) choose and
+// commit. Per-worker maxima land in scr.maxShard so the engine's running
+// max-load needs no O(n) rescan.
+func (r *agentRun) commitShard(wi, lo, hi int) {
+	scr := r.scr
+	accBuf := scr.accBuf[wi]
+	var localCommits, localMsgs, localMax int64
+	for _, g := range scr.groups[lo:hi] {
+		recs := r.accepts[g.lo:g.hi]
+		b := &r.balls[recs[0].ball]
+		accBuf = accBuf[:0]
+		for _, a := range recs {
+			accBuf = append(accBuf, Accept{From: int(a.bin), Payload: a.payload})
+		}
+		choice := r.e.proto.Choose(r.round, b, accBuf)
+		if choice < 0 || choice >= len(accBuf) {
+			panic(fmt.Sprintf("sim: Choose returned invalid index %d of %d", choice, len(accBuf)))
+		}
+		place := r.e.proto.Place(accBuf[choice])
+		if v := atomic.AddInt64(&r.loads[place], 1); v > localMax {
+			localMax = v
+		}
+		if r.placements != nil {
+			// Each ball commits at most once; its group belongs to
+			// exactly one worker, so this write is race-free.
+			r.placements[recs[0].ball] = int32(place)
+		}
+		b.State = allocatedFlag
+		localCommits++
+		// One commit/inform message per accepting bin (the chosen
+		// bin learns of the placement; others learn of the decline),
+		// plus one redirect message when the placement bin differs.
+		localMsgs += int64(len(accBuf))
+		if place != accBuf[choice].From {
+			localMsgs++
+		}
+	}
+	scr.accBuf[wi] = accBuf
+	scr.maxShard[wi] = localMax
+	atomic.AddInt64(&r.committed, localCommits)
+	atomic.AddInt64(&r.commitMsgs, localMsgs)
+}
+
+// commitBalls runs step 3: group accepts by ball, let each ball choose, and
+// apply placements. Returns the number of balls allocated this round and
+// the maximal load observed among the bins committed to.
+func (r *agentRun) commitBalls(accepts []acceptRec, metrics *model.Metrics) (int, int64) {
+	if len(accepts) == 0 {
+		return 0, 0
+	}
+	// Group accepts by ball: accept lists are tiny (degree <= O(log n)), so
+	// sorting the accept slice by ball index (in-place heapsort) dominates.
+	sortAcceptsByBall(accepts)
+	r.accepts = accepts
+
+	scr := r.scr
+	groups := scr.groups[:0]
+	for i := 0; i < len(accepts); {
+		j := i + 1
+		for j < len(accepts) && accepts[j].ball == accepts[i].ball {
+			j++
+		}
+		groups = append(groups, group{int32(i), int32(j)})
+		i = j
+	}
+	scr.groups = groups
+
+	r.committed = 0
+	r.commitMsgs = 0
+	for i := range scr.maxShard {
+		scr.maxShard[i] = 0
+	}
+	w := scr.workers
+	chunk := (len(groups) + w - 1) / w
+	shards := shard(len(groups), chunk, w, r.commitFn)
+	var roundMax int64
+	for wi := 0; wi < shards; wi++ {
+		if scr.maxShard[wi] > roundMax {
+			roundMax = scr.maxShard[wi]
+		}
+	}
+	metrics.CommitMessages += r.commitMsgs
+	metrics.TotalMessages += r.commitMsgs
+	return int(r.committed), roundMax
+}
+
+func sortAcceptsByBall(a []acceptRec) {
+	// Heapsort by ball index; stable ordering within a ball is not required
+	// (accept order within a ball carries no meaning to protocols beyond
+	// the set itself, and payloads travel with their records).
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownAccept(a, i)
+	}
+	for end := len(a) - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownAccept(a[:end], 0)
+	}
+}
+
+func siftDownAccept(a []acceptRec, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(a) && a[l].ball > a[largest].ball {
+			largest = l
+		}
+		if r < len(a) && a[r].ball > a[largest].ball {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		a[i], a[largest] = a[largest], a[i]
+		i = largest
+	}
+}
+
+// compactActive removes allocated balls (State == allocatedFlag) from the
+// active set, preserving order.
+func compactActive(active []int32, balls []Ball) []int32 {
+	out := active[:0]
+	for _, bi := range active {
+		if balls[bi].State != allocatedFlag {
+			out = append(out, bi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// quotaProto drip-feeds capacity so a run takes a predictable number of
+// rounds: every bin's cumulative cap grows by quota per round.
+func quotaProto(quota int64) *uniformProto {
+	return &uniformProto{threshold: func(round int) int64 { return quota * int64(round+1) }}
+}
+
+// runRounds executes a single-worker run sized to take ~rounds rounds and
+// returns the result.
+func runRounds(tb testing.TB, n int, quota int64, rounds int) *model.Result {
+	tb.Helper()
+	p := model.Problem{M: int64(n) * quota * int64(rounds), N: n}
+	res, err := New(p, quotaProto(quota), Config{Seed: 1, Workers: 1}).Run()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// TestAgentEngineSteadyStateAllocs pins the arena refactor: once the
+// scratch buffers reach their high-water mark (first round), additional
+// rounds must allocate (almost) nothing — the engine's total allocation
+// count is a constant independent of the round count.
+func TestAgentEngineSteadyStateAllocs(t *testing.T) {
+	const n, quota = 256, 4
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(3, func() { runRounds(t, n, quota, rounds) })
+	}
+	short := measure(8)
+	long := measure(72)
+	perRound := (long - short) / 64
+	if perRound > 1.0 {
+		t.Fatalf("steady-state allocations: %.2f per round (short run %.0f, long run %.0f); want ~0", perRound, short, long)
+	}
+}
+
+// BenchmarkAgentEngineSteadyState reports the agent engine's per-round
+// allocation behaviour (the first rounds grow the arena; everything after
+// reuses it). Recorded in BENCH_pr3.json.
+func BenchmarkAgentEngineSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runRounds(b, 256, 4, 64)
+	}
+}
+
+// BenchmarkAgentEngineParallel is the multi-worker variant (goroutine
+// spawns per shard are the only per-round allocations left).
+func BenchmarkAgentEngineParallel(b *testing.B) {
+	b.ReportAllocs()
+	p := model.Problem{M: 256 * 4 * 64, N: 256}
+	for i := 0; i < b.N; i++ {
+		res, err := New(p, quotaProto(4), Config{Seed: 1, Workers: 4}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unallocated != 0 {
+			b.Fatal("incomplete")
+		}
+	}
+}

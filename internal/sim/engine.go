@@ -1,0 +1,151 @@
+// Package sim implements the paper's computation model: a synchronous
+// message-passing system in which m balls and n bins interact in rounds.
+// Each round consists of three steps (Section 3 of the paper):
+//
+//  1. balls perform local computation and send requests to bins;
+//  2. bins receive the requests, decide which to accept, and reply;
+//  3. balls receive replies and may commit to a bin (and terminate).
+//
+// The package is a two-mode simulation substrate:
+//
+//   - Agent mode (Engine.Run, agent.go): every ball is an explicit agent
+//     with its own lazily-derived randomness stream, so per-ball and
+//     per-bin message statistics are measured rather than estimated and
+//     arbitrary protocols (multi-target, payloads, per-ball state) are
+//     expressible. Rounds execute with data parallelism over reusable
+//     per-worker scratch arenas (scratch.go), so the steady state
+//     allocates nothing per round. Capped at 2^31-2 balls.
+//
+//   - Mass mode (RunMass, mass.go): balls are exchangeable counts. A
+//     round evolves a per-bin ball-count vector via exact multinomial
+//     request splitting (internal/rng's conditional-binomial chain), so
+//     cost per round is O(n) independent of the ball count and the limit
+//     rises to ~10^12 balls. Protocols are expressed as MassProtocol —
+//     per-round capacity vectors — and degree-1 threshold protocols can
+//     implement both interfaces; Engine.Run then routes oversized
+//     instances to mass mode automatically.
+//
+// Both modes are deterministic for a fixed seed at any worker count.
+// Algorithms are expressed as implementations of the Protocol (and
+// optionally MassProtocol) interfaces; the packages core (Aheavy), light
+// (Alight), asym (superbin algorithm), baseline, and threshold all
+// provide protocols executed by this substrate.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/model"
+)
+
+// Config controls an engine run.
+type Config struct {
+	Seed      uint64
+	Workers   int  // 0 means GOMAXPROCS
+	MaxRounds int  // safety bound; 0 means DefaultMaxRounds
+	Trace     bool // record remaining-ball trajectory
+	TieBreak  TieBreak
+	// RecordPlacements records every ball's final bin in Result.Placements
+	// (-1 for balls left unallocated). Costs one int32 per ball. Agent mode
+	// only: mass mode treats balls as exchangeable.
+	RecordPlacements bool
+	// InitState, if non-nil, is called once per ball before the run to set
+	// Ball.State (used e.g. by the deterministic prober). Agent mode only.
+	InitState func(b *Ball)
+	// OnRound, if non-nil, receives a RoundRecord after every executed
+	// round (called from the engine goroutine, in order).
+	OnRound func(RoundRecord)
+}
+
+// RoundRecord summarizes one executed round for observers.
+type RoundRecord struct {
+	Round     int
+	Remaining int64 // unallocated balls at round start
+	Requests  int64 // requests sent this round
+	Accepted  int64 // balls allocated this round
+	MaxLoad   int64 // maximal bin load after the round
+}
+
+// DefaultMaxRounds bounds runaway protocols.
+const DefaultMaxRounds = 100000
+
+// MaxAgentBalls is the ball-count ceiling of the agent engine (ball
+// indices are int32).
+const MaxAgentBalls = int64(1)<<31 - 2
+
+// ErrRoundLimit is returned when MaxRounds elapse with balls unallocated.
+var ErrRoundLimit = errors.New("sim: round limit exceeded with unallocated balls")
+
+// Engine executes a Protocol on a Problem.
+type Engine struct {
+	p     model.Problem
+	proto Protocol
+	cfg   Config
+}
+
+// New constructs an engine. It panics on an invalid problem.
+func New(p model.Problem, proto Protocol, cfg Config) *Engine {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Engine{p: p, proto: proto, cfg: cfg}
+}
+
+// Run executes the protocol to completion and returns the result. If the
+// round limit is hit, the partial result is returned along with
+// ErrRoundLimit.
+//
+// Instances beyond MaxAgentBalls are routed to the mass engine when the
+// protocol implements MassProtocol (and the configuration does not demand
+// per-ball identities); otherwise an error names the way out.
+func (e *Engine) Run() (*model.Result, error) {
+	if e.p.M > MaxAgentBalls {
+		mp, ok := e.proto.(MassProtocol)
+		if !ok {
+			return nil, fmt.Errorf("sim: agent engine supports at most 2^31-2 balls, got %d, and protocol %T has no mass-mode implementation (select a mass-capable algorithm with the registry's '!mass' suffix, e.g. \"aheavy!mass\")", e.p.M, e.proto)
+		}
+		if e.cfg.RecordPlacements || e.cfg.InitState != nil {
+			return nil, fmt.Errorf("sim: %d balls exceed the agent engine limit and the mass engine cannot honour per-ball identities (RecordPlacements/InitState); shrink the instance or drop the per-ball options", e.p.M)
+		}
+		return RunMass(e.p, mp, e.cfg)
+	}
+	return e.runAgent()
+}
+
+// emitRound delivers a RoundRecord to the configured observer. The
+// maximal load is maintained incrementally at commit time, so observers
+// cost O(1) per round, not O(n).
+func (e *Engine) emitRound(round int, remaining, sent, accepted, maxLoad int64) {
+	if e.cfg.OnRound == nil {
+		return
+	}
+	e.cfg.OnRound(RoundRecord{
+		Round:     round,
+		Remaining: remaining,
+		Requests:  sent,
+		Accepted:  accepted,
+		MaxLoad:   maxLoad,
+	})
+}
+
+func finishMetrics(m model.Metrics, ballSent, binReceived []int64) model.Metrics {
+	for _, v := range ballSent {
+		if v > m.MaxBallSent {
+			m.MaxBallSent = v
+		}
+	}
+	for _, v := range binReceived {
+		if v > m.MaxBinReceived {
+			m.MaxBinReceived = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package sim
+
+// scratch is the per-run arena of the agent engine: every slice a round
+// needs is allocated once, grown to the high-water mark, and reused, so
+// the steady state allocates (almost) nothing per round. One arena serves
+// one run; workers index into disjoint per-worker sub-buffers.
+type scratch struct {
+	workers   int
+	targetBuf [][]int       // per-worker Protocol.Targets buffer
+	reqShards [][]request   // per-worker step-1 output
+	reqs      []request     // this round's fresh requests, concatenated
+	flush     []request     // held+fresh working set on flush rounds
+	counts    []int32       // n+1 counting-sort offsets
+	cursor    []int32       // n scatter cursors
+	byBin     []int32       // request ball indices scattered by bin
+	accShards [][]acceptRec // per-worker step-2 output
+	accepts   []acceptRec   // concatenated accepts
+	groups    []group       // per-ball accept groups
+	accBuf    [][]Accept    // per-worker Choose buffer
+	maxShard  []int64       // per-worker max load observed at commit
+}
+
+// group is one ball's contiguous accept range in scratch.accepts.
+type group struct{ lo, hi int32 }
+
+func newScratch(workers, n int) *scratch {
+	s := &scratch{
+		workers:   workers,
+		targetBuf: make([][]int, workers),
+		reqShards: make([][]request, workers),
+		counts:    make([]int32, n+1),
+		cursor:    make([]int32, n),
+		accShards: make([][]acceptRec, workers),
+		accBuf:    make([][]Accept, workers),
+		maxShard:  make([]int64, workers),
+	}
+	for wi := 0; wi < workers; wi++ {
+		s.targetBuf[wi] = make([]int, 0, 8)
+		s.accBuf[wi] = make([]Accept, 0, 8)
+	}
+	return s
+}
+
+// groupByBin counting-sorts requests by destination bin into the arena's
+// reusable buffers. It returns the scattered ball indices and per-bin
+// offsets such that bin b's requests are byBin[offsets[b]:offsets[b+1]];
+// both slices are valid until the next call.
+func (s *scratch) groupByBin(reqs []request, n int) (byBin []int32, offsets []int32) {
+	counts := s.counts[:n+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, r := range reqs {
+		counts[r.bin+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	offsets = counts
+	if cap(s.byBin) < len(reqs) {
+		s.byBin = make([]int32, len(reqs))
+	}
+	byBin = s.byBin[:len(reqs)]
+	cursor := s.cursor[:n]
+	copy(cursor, offsets[:n])
+	for _, r := range reqs {
+		byBin[cursor[r.bin]] = r.ball
+		cursor[r.bin]++
+	}
+	return byBin, offsets
+}

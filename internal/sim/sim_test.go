@@ -20,7 +20,7 @@ type uniformProto struct {
 }
 
 func (p *uniformProto) Targets(round int, b *Ball, n int, buf []int) []int {
-	return append(buf, b.R.Intn(n))
+	return append(buf, b.Rand().Intn(n))
 }
 
 func (p *uniformProto) Hold(round int) bool {
@@ -240,7 +240,7 @@ type multiProto struct {
 
 func (p *multiProto) Targets(round int, b *Ball, n int, buf []int) []int {
 	for i := 0; i < p.d; i++ {
-		buf = append(buf, b.R.Intn(n))
+		buf = append(buf, b.Rand().Intn(n))
 	}
 	return buf
 }
@@ -319,7 +319,7 @@ func TestPayloadRedirection(t *testing.T) {
 
 func TestGroupByBin(t *testing.T) {
 	reqs := []request{{ball: 0, bin: 2}, {ball: 1, bin: 0}, {ball: 2, bin: 2}, {ball: 3, bin: 1}}
-	byBin, offsets := groupByBin(reqs, 3)
+	byBin, offsets := newScratch(1, 3).groupByBin(reqs, 3)
 	if offsets[0] != 0 || offsets[1] != 1 || offsets[2] != 2 || offsets[3] != 4 {
 		t.Fatalf("offsets = %v", offsets)
 	}
@@ -345,7 +345,7 @@ func TestGroupByBinProperty(t *testing.T) {
 		for i := range reqs {
 			reqs[i] = request{ball: int32(i), bin: int32(r.Intn(n))}
 		}
-		byBin, offsets := groupByBin(reqs, n)
+		byBin, offsets := newScratch(1, n).groupByBin(reqs, n)
 		if len(byBin) != m || int(offsets[n]) != m {
 			return false
 		}
@@ -457,5 +457,32 @@ func TestOneShotLoadDistribution(t *testing.T) {
 	}
 	if max > predicted*1.5 {
 		t.Fatalf("max load %g far above predicted %g", max, predicted)
+	}
+}
+
+// TestOnRoundMaxLoadIncremental guards the commit-time running maximum
+// that replaced emitRound's O(n) rescan: the observer's MaxLoad must be
+// monotone and end exactly at the scanned maximum, with multiple workers
+// racing commits.
+func TestOnRoundMaxLoadIncremental(t *testing.T) {
+	p := model.Problem{M: 20000, N: 40}
+	proto := &uniformProto{threshold: func(round int) int64 { return int64(120 * (round + 1)) }}
+	var records []RoundRecord
+	res, err := New(p, proto, Config{Seed: 19, Workers: 4, OnRound: func(r RoundRecord) {
+		records = append(records, r)
+	}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != res.Rounds {
+		t.Fatalf("%d records, %d rounds", len(records), res.Rounds)
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].MaxLoad < records[i-1].MaxLoad {
+			t.Fatal("MaxLoad decreased between rounds")
+		}
+	}
+	if got, want := records[len(records)-1].MaxLoad, res.MaxLoad(); got != want {
+		t.Fatalf("final observer MaxLoad %d != scanned max %d", got, want)
 	}
 }

@@ -24,7 +24,7 @@ type fuzzProto struct {
 
 func (f *fuzzProto) Targets(round int, b *Ball, n int, buf []int) []int {
 	for i := 0; i < f.degree; i++ {
-		buf = append(buf, b.R.Intn(n))
+		buf = append(buf, b.Rand().Intn(n))
 	}
 	return buf
 }
@@ -48,7 +48,7 @@ func (f *fuzzProto) Capacity(round int, bin int, load int64) int64 {
 func (f *fuzzProto) Payload(round int, bin int, k int64) int64 { return k % 7 }
 
 func (f *fuzzProto) Choose(_ int, b *Ball, accepts []Accept) int {
-	return int(b.R.Intn(len(accepts)))
+	return int(b.Rand().Intn(len(accepts)))
 }
 
 func (f *fuzzProto) Place(a Accept) int { return a.From }
@@ -162,7 +162,7 @@ type churnProto struct {
 }
 
 func (c *churnProto) Targets(_ int, b *Ball, n int, buf []int) []int {
-	return append(buf, b.R.Intn(n))
+	return append(buf, b.Rand().Intn(n))
 }
 func (c *churnProto) Hold(int) bool { return false }
 func (c *churnProto) Capacity(_ int, bin int, load int64) int64 {

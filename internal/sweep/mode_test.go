@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// TestOneShotAgentMassExactEquality pins the corner where the two engines'
+// semantics coincide bit for bit: one-shot draws the exact multinomial
+// count vector in both spellings, so the load vectors must be equal.
+func TestOneShotAgentMassExactEquality(t *testing.T) {
+	p := model.Problem{M: 1 << 20, N: 512}
+	for seed := uint64(1); seed <= 5; seed++ {
+		agent, err := Run("oneshot", p, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mass, err := Run("oneshot!mass", p, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range agent.Loads {
+			if agent.Loads[i] != mass.Loads[i] {
+				t.Fatalf("seed %d bin %d: agent %d != mass %d", seed, i, agent.Loads[i], mass.Loads[i])
+			}
+		}
+	}
+}
+
+// TestAheavyMassMatchesLegacyFastPath pins the RunFast rebase: the
+// aheavy!mass registry entry (and its aheavy-fast alias) must reproduce
+// core.RunFast exactly — same seed, same loads, same metrics.
+func TestAheavyMassMatchesLegacyFastPath(t *testing.T) {
+	p := model.Problem{M: 1 << 22, N: 1 << 10}
+	for _, name := range []string{"aheavy!mass", "aheavy-fast"} {
+		reg, err := Run(name, p, Options{Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := core.RunFast(p, core.Config{Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Rounds != direct.Rounds || reg.Metrics != direct.Metrics {
+			t.Fatalf("%s: rounds/metrics diverge from core.RunFast", name)
+		}
+		for i := range reg.Loads {
+			if reg.Loads[i] != direct.Loads[i] {
+				t.Fatalf("%s bin %d: %d != %d", name, i, reg.Loads[i], direct.Loads[i])
+			}
+		}
+	}
+}
+
+// loadSample concatenates the per-bin load vectors of several seeded runs
+// into one float sample for KS comparison.
+func loadSample(t *testing.T, name string, p model.Problem, seeds int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, seeds*p.N)
+	for s := 0; s < seeds; s++ {
+		res, err := Run(name, p, Options{Seed: uint64(s)*7 + 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, l := range res.Loads {
+			out = append(out, float64(l))
+		}
+	}
+	return out
+}
+
+// TestAgentMassKSEquivalence checks the distributional contract between
+// the two engines where they are not bit-identical: for each mass-capable
+// threshold algorithm, the per-bin load distributions of the agent and
+// mass spellings must agree within the two-sample KS acceptance threshold.
+func TestAgentMassKSEquivalence(t *testing.T) {
+	p := model.Problem{M: 1 << 19, N: 256}
+	const seeds = 8
+	for _, base := range []string{"aheavy", "fixed:2", "adaptive:2"} {
+		base := base
+		t.Run(base, func(t *testing.T) {
+			agent := loadSample(t, base, p, seeds)
+			mass := loadSample(t, base+MassSuffix, p, seeds)
+			d := dist.KSDistance(agent, mass)
+			// The bins within one run are not independent samples, so use a
+			// lenient significance level; the distance for a genuinely
+			// different distribution (e.g. oneshot vs aheavy) is an order
+			// of magnitude above this.
+			thresh := dist.KSThreshold(len(agent), len(mass), 1e-6)
+			if d > thresh {
+				t.Fatalf("KS distance %.4f above acceptance threshold %.4f", d, thresh)
+			}
+		})
+	}
+}
+
+// TestAgentMassKSDetectsDifferentDistributions guards the KS check itself:
+// the same statistic must clearly separate genuinely different load
+// distributions, so the acceptance above is not vacuous.
+func TestAgentMassKSDetectsDifferentDistributions(t *testing.T) {
+	p := model.Problem{M: 1 << 19, N: 256}
+	const seeds = 4
+	heavyBalanced := loadSample(t, "aheavy!mass", p, seeds)
+	oneShot := loadSample(t, "oneshot", p, seeds)
+	d := dist.KSDistance(heavyBalanced, oneShot)
+	thresh := dist.KSThreshold(len(heavyBalanced), len(oneShot), 1e-6)
+	if d <= thresh {
+		t.Fatalf("KS distance %.4f between aheavy and oneshot not above %.4f — check has no power", d, thresh)
+	}
+}

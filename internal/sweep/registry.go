@@ -10,7 +10,6 @@
 // with colon-separated parameters:
 //
 //	aheavy[:beta]        agent-based Aheavy (slack exponent beta, 0 = 2/3)
-//	aheavy-fast[:beta]   count-based Aheavy
 //	asym                 asymmetric algorithm (Theorem 3)
 //	alight               lightly loaded substrate (Theorem 5)
 //	oneshot              one-shot random allocation
@@ -21,12 +20,16 @@
 //	adaptive:slack       state-adaptive threshold allocator
 //	online:alg:churn[:epochs]  streaming churn scenario driving alg
 //	                     (aheavy[:beta], adaptive[:slack], greedy[:d],
-//	                     oneshot) through internal/online epochs
-//	                     (epochs defaults to 8 and is materialized in the
-//	                     canonical name)
+//	                     oneshot, each optionally !mass) through
+//	                     internal/online epochs (epochs defaults to 8 and
+//	                     is materialized in the canonical name)
+//
+// A trailing "!mass" suffix selects the count-based mass engine instead of
+// the agent engine for the families that support it (aheavy, oneshot,
+// fixed, adaptive, greedy): same algorithm, ball limit lifted to ~10^12.
 //
 // Legacy spellings remain as aliases: greedy2 (pba-sweep), light,
-// deterministic.
+// deterministic, and aheavy-fast[:beta] for aheavy[:beta]!mass.
 package sweep
 
 import (
@@ -54,11 +57,16 @@ type Options struct {
 // Runner executes one algorithm on one instance.
 type Runner func(p model.Problem, opt Options) (*model.Result, error)
 
+// MassSuffix selects an algorithm's count-based mass-engine implementation
+// when appended to its registry name (e.g. "aheavy!mass", "fixed:2!mass").
+const MassSuffix = "!mass"
+
 // Algorithm is a resolved registry entry: a canonical name bound to a
 // fully parameterized runner.
 type Algorithm struct {
-	Name   string // canonical spelling, e.g. "greedy:2"
+	Name   string // canonical spelling, e.g. "greedy:2" or "aheavy!mass"
 	Family string // registry family, e.g. "greedy"
+	Mass   bool   // true when the runner executes on the mass engine
 	run    Runner
 }
 
@@ -68,24 +76,30 @@ func (a Algorithm) Run(p model.Problem, opt Options) (*model.Result, error) {
 }
 
 // family is one registry row: a usage pattern plus a builder that turns
-// the colon-separated parameter list into a concrete Algorithm.
+// the colon-separated parameter list into a concrete Algorithm. Families
+// with a count-based implementation additionally provide buildMass, used
+// when the spec carries the "!mass" suffix.
 type family struct {
-	usage string
-	desc  string
-	build func(args []string) (Algorithm, error)
+	usage     string
+	desc      string
+	build     func(args []string) (Algorithm, error)
+	buildMass func(args []string) (Algorithm, error)
 }
 
 // aliases maps legacy spellings onto canonical names before family lookup.
+// An alias may carry the mass suffix on its family token (aheavy-fast);
+// Canonicalize floats it to the end of the spelled-out name.
 var aliases = map[string]string{
 	"greedy2":       "greedy:2", // pba-sweep's historical spelling
 	"light":         "alight",
 	"deterministic": "det",
+	"aheavy-fast":   "aheavy" + MassSuffix, // pre-substrate spelling of the count-based path
 }
 
 var families = map[string]family{
 	"aheavy": {
-		usage: "aheavy[:beta]",
-		desc:  "agent-based symmetric threshold algorithm (Theorem 1)",
+		usage: "aheavy[:beta][!mass]",
+		desc:  "symmetric threshold algorithm (Theorem 1); !mass = count-based engine",
 		build: func(args []string) (Algorithm, error) {
 			beta, name, err := betaArg("aheavy", args)
 			if err != nil {
@@ -96,16 +110,12 @@ var families = map[string]family{
 					Params: core.Params{Beta: beta}})
 			}}, nil
 		},
-	},
-	"aheavy-fast": {
-		usage: "aheavy-fast[:beta]",
-		desc:  "count-based Aheavy, scales to very large m",
-		build: func(args []string) (Algorithm, error) {
-			beta, name, err := betaArg("aheavy-fast", args)
+		buildMass: func(args []string) (Algorithm, error) {
+			beta, name, err := betaArg("aheavy", args)
 			if err != nil {
 				return Algorithm{}, err
 			}
-			return Algorithm{Name: name, Family: "aheavy-fast", run: func(p model.Problem, opt Options) (*model.Result, error) {
+			return Algorithm{Name: name, Family: "aheavy", run: func(p model.Problem, opt Options) (*model.Result, error) {
 				return core.RunFast(p, core.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
 					Params: core.Params{Beta: beta}})
 			}}, nil
@@ -136,34 +146,28 @@ var families = map[string]family{
 		},
 	},
 	"oneshot": {
-		usage: "oneshot",
+		usage: "oneshot[!mass]",
 		desc:  "one-shot random allocation, no communication",
 		build: func(args []string) (Algorithm, error) {
-			if err := noArgs("oneshot", args); err != nil {
-				return Algorithm{}, err
-			}
-			return Algorithm{Name: "oneshot", Family: "oneshot", run: func(p model.Problem, opt Options) (*model.Result, error) {
-				return baseline.OneShot(p, baseline.Config{Seed: opt.Seed})
-			}}, nil
+			return buildOneShot(args)
+		},
+		// One-shot already samples the exact multinomial count vector: the
+		// agent and mass implementations coincide, bit for bit.
+		buildMass: func(args []string) (Algorithm, error) {
+			return buildOneShot(args)
 		},
 	},
 	"greedy": {
-		usage: "greedy:d",
+		usage: "greedy:d[!mass]",
 		desc:  "sequential d-choice (BCSV06 baseline)",
 		build: func(args []string) (Algorithm, error) {
-			d, err := intArg("greedy", "d", args, 0, 2)
-			if err != nil {
-				return Algorithm{}, err
-			}
-			if len(args) > 1 {
-				return Algorithm{}, fmt.Errorf("sweep: greedy takes one parameter (greedy:d), got %d", len(args))
-			}
-			if d < 1 {
-				return Algorithm{}, fmt.Errorf("sweep: greedy needs d >= 1, got %d", d)
-			}
-			return Algorithm{Name: fmt.Sprintf("greedy:%d", d), Family: "greedy", run: func(p model.Problem, opt Options) (*model.Result, error) {
-				return baseline.Greedy(p, d, baseline.Config{Seed: opt.Seed})
-			}}, nil
+			return buildGreedy(args)
+		},
+		// Greedy is inherently sequential but already count-based (it holds
+		// only the load vector, never per-ball agents), so the mass spelling
+		// resolves to the same runner: full m range, O(m·d) time.
+		buildMass: func(args []string) (Algorithm, error) {
+			return buildGreedy(args)
 		},
 	},
 	"batched": {
@@ -201,21 +205,24 @@ var families = map[string]family{
 		},
 	},
 	"fixed": {
-		usage: "fixed:slack",
+		usage: "fixed:slack[!mass]",
 		desc:  "fixed-threshold foil: caps at ceil(m/n)+slack every round (§1.1)",
 		build: func(args []string) (Algorithm, error) {
-			if len(args) > 1 {
-				return Algorithm{}, fmt.Errorf("sweep: fixed takes one parameter (fixed:slack), got %d", len(args))
-			}
-			slack, err := int64Arg("fixed", "slack", args, 0, 2)
+			slack, err := fixedSlackArg(args)
 			if err != nil {
 				return Algorithm{}, err
 			}
-			if slack < 0 {
-				return Algorithm{}, fmt.Errorf("sweep: fixed needs slack >= 0, got %d", slack)
-			}
 			return Algorithm{Name: fmt.Sprintf("fixed:%d", slack), Family: "fixed", run: func(p model.Problem, opt Options) (*model.Result, error) {
 				return baseline.FixedThreshold(p, slack, baseline.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+		buildMass: func(args []string) (Algorithm, error) {
+			slack, err := fixedSlackArg(args)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: fmt.Sprintf("fixed:%d", slack), Family: "fixed", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return baseline.FixedThresholdMass(p, slack, baseline.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
 			}}, nil
 		},
 	},
@@ -232,22 +239,24 @@ var families = map[string]family{
 		},
 	},
 	"adaptive": {
-		usage: "adaptive:slack",
+		usage: "adaptive:slack[!mass]",
 		desc:  "state-adaptive threshold allocator (fault-tolerant variant's core)",
 		build: func(args []string) (Algorithm, error) {
-			if len(args) > 1 {
-				return Algorithm{}, fmt.Errorf("sweep: adaptive takes one parameter (adaptive:slack), got %d", len(args))
-			}
-			slack, err := int64Arg("adaptive", "slack", args, 0, 2)
+			alg, slack, err := adaptiveAlg(args)
 			if err != nil {
 				return Algorithm{}, err
 			}
-			if slack < 0 {
-				return Algorithm{}, fmt.Errorf("sweep: adaptive needs slack >= 0, got %d", slack)
-			}
-			alg := threshold.Algorithm{Degree: 1, PhaseLen: 1, Policy: threshold.Greedy(slack)}
 			return Algorithm{Name: fmt.Sprintf("adaptive:%d", slack), Family: "adaptive", run: func(p model.Problem, opt Options) (*model.Result, error) {
 				return alg.Run(p, threshold.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
+			}}, nil
+		},
+		buildMass: func(args []string) (Algorithm, error) {
+			alg, slack, err := adaptiveAlg(args)
+			if err != nil {
+				return Algorithm{}, err
+			}
+			return Algorithm{Name: fmt.Sprintf("adaptive:%d", slack), Family: "adaptive", run: func(p model.Problem, opt Options) (*model.Result, error) {
+				return alg.RunMass(p, threshold.Config{Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace})
 			}}, nil
 		},
 	},
@@ -297,32 +306,119 @@ var families = map[string]family{
 	},
 }
 
-// Canonicalize lower-cases, trims, and expands legacy aliases (greedy2 →
-// greedy:2) without resolving parameters. Callers that special-case
+// buildOneShot is the shared oneshot builder: the agent and mass spellings
+// run the same exact-multinomial sampler.
+func buildOneShot(args []string) (Algorithm, error) {
+	if err := noArgs("oneshot", args); err != nil {
+		return Algorithm{}, err
+	}
+	return Algorithm{Name: "oneshot", Family: "oneshot", run: func(p model.Problem, opt Options) (*model.Result, error) {
+		return baseline.OneShot(p, baseline.Config{Seed: opt.Seed})
+	}}, nil
+}
+
+// buildGreedy is the shared greedy builder (agent and mass spellings).
+func buildGreedy(args []string) (Algorithm, error) {
+	d, err := intArg("greedy", "d", args, 0, 2)
+	if err != nil {
+		return Algorithm{}, err
+	}
+	if len(args) > 1 {
+		return Algorithm{}, fmt.Errorf("sweep: greedy takes one parameter (greedy:d), got %d", len(args))
+	}
+	if d < 1 {
+		return Algorithm{}, fmt.Errorf("sweep: greedy needs d >= 1, got %d", d)
+	}
+	return Algorithm{Name: fmt.Sprintf("greedy:%d", d), Family: "greedy", run: func(p model.Problem, opt Options) (*model.Result, error) {
+		return baseline.Greedy(p, d, baseline.Config{Seed: opt.Seed})
+	}}, nil
+}
+
+// fixedSlackArg parses the fixed family's slack parameter.
+func fixedSlackArg(args []string) (int64, error) {
+	if len(args) > 1 {
+		return 0, fmt.Errorf("sweep: fixed takes one parameter (fixed:slack), got %d", len(args))
+	}
+	slack, err := int64Arg("fixed", "slack", args, 0, 2)
+	if err != nil {
+		return 0, err
+	}
+	if slack < 0 {
+		return 0, fmt.Errorf("sweep: fixed needs slack >= 0, got %d", slack)
+	}
+	return slack, nil
+}
+
+// adaptiveAlg parses the adaptive family's slack parameter into the
+// underlying threshold-family algorithm.
+func adaptiveAlg(args []string) (threshold.Algorithm, int64, error) {
+	if len(args) > 1 {
+		return threshold.Algorithm{}, 0, fmt.Errorf("sweep: adaptive takes one parameter (adaptive:slack), got %d", len(args))
+	}
+	slack, err := int64Arg("adaptive", "slack", args, 0, 2)
+	if err != nil {
+		return threshold.Algorithm{}, 0, err
+	}
+	if slack < 0 {
+		return threshold.Algorithm{}, 0, fmt.Errorf("sweep: adaptive needs slack >= 0, got %d", slack)
+	}
+	return threshold.Algorithm{Degree: 1, PhaseLen: 1, Policy: threshold.Greedy(slack)}, slack, nil
+}
+
+// Canonicalize lower-cases, trims, expands legacy aliases (greedy2 →
+// greedy:2, aheavy-fast → aheavy!mass), and floats the mass suffix to the
+// end, without resolving parameters. Callers that special-case
 // parameterized names (those containing ':') should canonicalize first so
 // aliases of parameterized names are not mistaken for bare families.
 func Canonicalize(name string) string {
 	spec := strings.ToLower(strings.TrimSpace(name))
-	if canon, ok := aliases[spec]; ok {
-		return canon
+	mass := false
+	if s, ok := strings.CutSuffix(spec, MassSuffix); ok {
+		spec, mass = s, true
 	}
 	parts := strings.SplitN(spec, ":", 2)
 	if canon, ok := aliases[parts[0]]; ok {
 		parts[0] = canon
-		return strings.Join(parts, ":")
+	}
+	// An alias may expand to a mass spelling (aheavy-fast:0.9 →
+	// aheavy!mass + ":0.9"); keep the suffix at the very end.
+	if s, ok := strings.CutSuffix(parts[0], MassSuffix); ok {
+		parts[0], mass = s, true
+	}
+	spec = strings.Join(parts, ":")
+	if mass {
+		spec += MassSuffix
 	}
 	return spec
 }
 
 // Resolve parses an algorithm name (family plus colon-separated
-// parameters, aliases accepted, case-insensitive) into an Algorithm.
+// parameters and an optional "!mass" suffix, aliases accepted,
+// case-insensitive) into an Algorithm.
 func Resolve(name string) (Algorithm, error) {
-	parts := strings.Split(Canonicalize(name), ":")
+	spec := Canonicalize(name)
+	mass := false
+	if s, ok := strings.CutSuffix(spec, MassSuffix); ok {
+		spec, mass = s, true
+	}
+	parts := strings.Split(spec, ":")
 	fam, ok := families[parts[0]]
 	if !ok {
 		return Algorithm{}, fmt.Errorf("sweep: unknown algorithm %q (known: %s)", name, strings.Join(Names(), ", "))
 	}
-	return fam.build(parts[1:])
+	if !mass {
+		return fam.build(parts[1:])
+	}
+	if fam.buildMass == nil {
+		return Algorithm{}, fmt.Errorf("sweep: %s has no mass-mode implementation (mass-capable: %s); drop the %q suffix for the agent engine", parts[0], strings.Join(MassNames(), ", "), MassSuffix)
+	}
+	a, err := fam.buildMass(parts[1:])
+	if err != nil {
+		return Algorithm{}, err
+	}
+	a.Name += MassSuffix
+	a.Mass = true
+	return a, nil
 }
 
 // MustResolve is Resolve for statically known names; it panics on error.
@@ -348,6 +444,47 @@ func Names() []string {
 	out := make([]string, 0, len(families))
 	for _, f := range families {
 		out = append(out, f.usage)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyMode forces a registry name onto the requested engine: "mass"
+// appends the mass suffix, "agent" rejects names that carry it anywhere
+// (including on an online spec's inner algorithm), and "" leaves the name
+// alone. It returns the canonicalized spelling. Shared by the CLIs' -mode
+// flags so their semantics cannot drift.
+func ApplyMode(name, mode string) (string, error) {
+	canon := Canonicalize(name)
+	switch mode {
+	case "":
+		return canon, nil
+	case "agent":
+		if strings.Contains(canon, MassSuffix) {
+			return "", fmt.Errorf("sweep: %q selects the mass engine but mode agent was requested; drop one of them", name)
+		}
+		return canon, nil
+	case "mass":
+		if strings.HasPrefix(canon, "online:") {
+			return "", fmt.Errorf("sweep: mode mass cannot wrap the online family; put the %s suffix on the inner algorithm instead (e.g. online:aheavy%s:0.2)", MassSuffix, MassSuffix)
+		}
+		if strings.HasSuffix(canon, MassSuffix) {
+			return canon, nil
+		}
+		return canon + MassSuffix, nil
+	default:
+		return "", fmt.Errorf("sweep: bad mode %q (want agent or mass)", mode)
+	}
+}
+
+// MassNames returns the usage patterns of the mass-capable families,
+// sorted.
+func MassNames() []string {
+	var out []string
+	for _, f := range families {
+		if f.buildMass != nil {
+			out = append(out, f.usage)
+		}
 	}
 	sort.Strings(out)
 	return out

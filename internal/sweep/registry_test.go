@@ -15,7 +15,15 @@ func TestResolveCanonicalNames(t *testing.T) {
 		{"aheavy", "aheavy"},
 		{"AHEAVY", "aheavy"},
 		{"aheavy:0.5", "aheavy:0.5"},
-		{"aheavy-fast", "aheavy-fast"},
+		{"aheavy-fast", "aheavy!mass"},
+		{"aheavy-fast:0.9", "aheavy:0.9!mass"},
+		{"aheavy!mass", "aheavy!mass"},
+		{"AHEAVY!MASS", "aheavy!mass"},
+		{"aheavy!mass:0.5", "aheavy:0.5!mass"}, // family-level suffix floats to the end
+		{"oneshot!mass", "oneshot!mass"},
+		{"greedy!mass", "greedy:2!mass"},
+		{"fixed:1!mass", "fixed:1!mass"},
+		{"adaptive!mass", "adaptive:2!mass"},
 		{"asym", "asym"},
 		{"alight", "alight"},
 		{"light", "alight"},
@@ -82,6 +90,9 @@ func TestResolveRejectsBadNames(t *testing.T) {
 		"online:aheavy:1", "online:aheavy:1.5", "online:aheavy:-0.1",
 		"online:aheavy:x", "online:nope:0.1", "online:aheavy:0.1:0",
 		"online:aheavy:0.1:-3", "online:greedy:0:0.1", "online:asym:0.1",
+		// families without a mass-mode implementation, and stray suffixes
+		"asym!mass", "det!mass", "alight!mass", "batched:2!mass", "!mass",
+		"greedy:0!mass", "fixed:-1!mass", "aheavy:1.5!mass",
 	} {
 		if _, err := Resolve(bad); err == nil {
 			t.Errorf("Resolve(%q) succeeded, want error", bad)
@@ -195,6 +206,9 @@ func TestEveryFamilyRuns(t *testing.T) {
 		"aheavy", "aheavy-fast", "aheavy:0.5", "asym", "alight",
 		"oneshot", "greedy:2", "batched:2:500", "fixed:2", "det", "adaptive:4",
 		"online:aheavy:0.2", "online:greedy:2:0.3:4",
+		"aheavy!mass", "aheavy:0.5!mass", "oneshot!mass", "greedy:2!mass",
+		"fixed:2!mass", "adaptive:4!mass",
+		"online:aheavy!mass:0.2", "online:adaptive!mass:0.3:4",
 	} {
 		p := heavy
 		if name == "alight" {

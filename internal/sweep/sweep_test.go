@@ -257,7 +257,9 @@ func TestWriteCSV(t *testing.T) {
 		}
 	}
 	// Rows appear in cell order; the first block is the first cell's seeds.
-	if !strings.HasPrefix(lines[1], "aheavy-fast,64,4,256,0,") {
+	// The alg column reports the canonical spelling (aheavy-fast resolves
+	// to the mass engine).
+	if !strings.HasPrefix(lines[1], "aheavy!mass,64,4,256,0,") {
 		t.Fatalf("first row %q", lines[1])
 	}
 }

@@ -212,7 +212,7 @@ func (p *protocol) RoundStart(round int, loads []int64, remaining int64) {
 
 func (p *protocol) Targets(round int, b *sim.Ball, n int, buf []int) []int {
 	for i := 0; i < p.alg.Degree; i++ {
-		buf = append(buf, b.R.Intn(n))
+		buf = append(buf, b.Rand().Intn(n))
 	}
 	return buf
 }
@@ -266,6 +266,68 @@ func (a Algorithm) Protocol(n int) (sim.Protocol, error) {
 		return nil, err
 	}
 	return &protocol{alg: a, caps: make([]int64, n)}, nil
+}
+
+// massProtocol adapts a degree-1, phase-length-1 Algorithm to the mass
+// engine: the policy's cumulative per-bin load caps become per-round
+// acceptance capacities over the count vector. With BaseLoads set the
+// policy sees base+new loads as the system state, exactly like the agent
+// path.
+type massProtocol struct {
+	alg    Algorithm
+	base   []int64 // pre-existing per-bin loads (nil = none)
+	totals []int64 // scratch: base+current loads handed to the policy
+}
+
+func (p *massProtocol) MassCapacities(phase int, loads []int64, remaining int64, caps []int64) {
+	view := loads
+	if p.base != nil {
+		for i, l := range loads {
+			p.totals[i] = l + p.base[i]
+		}
+		view = p.totals
+	}
+	p.alg.Policy.Thresholds(phase, view, remaining, caps)
+	for i := range caps {
+		caps[i] -= view[i]
+	}
+}
+
+func (p *massProtocol) MassDone(phase int, _ int64) bool {
+	return p.alg.MaxPhases > 0 && phase >= p.alg.MaxPhases
+}
+
+// RunMass executes the algorithm on the count-based mass engine, lifting
+// the ball limit to sim.MassMaxBalls. Only the exchangeable corner of the
+// family is expressible there: Degree == 1 and PhaseLen == 1 (bins reply
+// every round). Semantics match Run — same policies, same BaseLoads view,
+// same MaxPhases partial-stop — but balls carry no identities, so
+// RecordPlacements is rejected and tie-breaking is moot (any rule yields
+// the same count evolution).
+func (a Algorithm) RunMass(p model.Problem, cfg Config) (*model.Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Degree != 1 || a.PhaseLen != 1 {
+		return nil, fmt.Errorf("threshold: RunMass requires Degree == 1 and PhaseLen == 1, got d=%d k=%d (use Run, or the Lemma 2/3 transforms to flatten first)", a.Degree, a.PhaseLen)
+	}
+	if cfg.RecordPlacements {
+		return nil, fmt.Errorf("threshold: RunMass cannot record placements (balls are exchangeable); use Run")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BaseLoads != nil && len(cfg.BaseLoads) != p.N {
+		return nil, fmt.Errorf("threshold: BaseLoads has %d entries, want %d", len(cfg.BaseLoads), p.N)
+	}
+	proto := &massProtocol{alg: a, base: cfg.BaseLoads}
+	if cfg.BaseLoads != nil {
+		proto.totals = make([]int64, p.N)
+	}
+	return sim.RunMass(p, proto, sim.Config{
+		Seed:  cfg.Seed,
+		Trace: cfg.Trace,
+	})
 }
 
 // Run executes the algorithm. A complete allocation returns a nil error;

@@ -39,7 +39,7 @@ func (p *algProto) RoundStart(round int, loads []int64, remaining int64) {
 	p.alg.Policy.Thresholds(round, loads, remaining, p.caps)
 }
 func (p *algProto) Targets(_ int, b *sim.Ball, n int, buf []int) []int {
-	return append(buf, b.R.Intn(n))
+	return append(buf, b.Rand().Intn(n))
 }
 func (p *algProto) Hold(int) bool                                 { return false }
 func (p *algProto) Capacity(_ int, bin int, load int64) int64     { return p.caps[bin] - load }

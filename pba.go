@@ -58,8 +58,8 @@ type Options struct {
 
 // Aheavy allocates with the paper's symmetric threshold algorithm
 // (Theorem 1): max load m/n + O(1) in O(log log(m/n) + log* n) rounds
-// w.h.p. This entry point uses the count-based fast path (exact in
-// distribution, scales to ~10^8 balls); see AheavyAgent for the
+// w.h.p. This entry point uses the count-based mass engine (exact in
+// distribution, scales to ~10^12 balls); see AheavyAgent for the
 // message-level agent simulation.
 func Aheavy(p Problem, o Options) (*Result, error) {
 	return core.RunFast(p, core.Config{Seed: o.Seed, Workers: o.Workers, Trace: o.Trace})

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkE1AheavyLoad-8  \t 3\t 417935374 ns/op\t  56 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if r.Name != "E1AheavyLoad" || r.Iterations != 3 || r.NsPerOp != 417935374 || r.BytesPerOp != 56 || r.AllocsPerOp != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	// Without -benchmem columns.
+	r, ok = parseLine("BenchmarkE5OneShot 	      10	 101202303 ns/op")
+	if !ok || r.NsPerOp != 101202303 || r.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+	for _, noise := range []string{
+		"goos: linux", "PASS", "ok  \trepro\t1.2s", "", "BenchmarkBroken x ns/op",
+	} {
+		if _, ok := parseLine(noise); ok {
+			t.Fatalf("noise line %q parsed as benchmark", noise)
+		}
+	}
+}
