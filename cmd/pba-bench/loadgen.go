@@ -5,93 +5,94 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/serve"
 )
 
-// loadgen drives a running pba-serve instance with a churn workload:
-// every batch departs a churn fraction of the jobs it still holds, then
-// allocates a fresh batch, reporting per-epoch latency and balance. The
-// client-side departure choices derive from seed, so a loadgen run against
-// a fresh server is a reproducible (seed, event trace) pair end to end.
-func loadgen(base string, batches, batch int, churn float64, seed uint64) error {
-	if batches < 1 || batch < 1 {
-		return fmt.Errorf("loadgen needs batches >= 1 and batch >= 1")
-	}
-	if !(churn >= 0 && churn < 1) {
-		return fmt.Errorf("loadgen needs churn in [0, 1), got %v", churn)
-	}
-	client := &http.Client{Timeout: 5 * time.Minute}
-	r := rng.New(rng.Mix64(seed ^ 0x1F83D9ABFB41BD6B))
+// loadgenConfig parameterizes the pba-serve load generator.
+type loadgenConfig struct {
+	Base    string  // server base URL
+	Clients int     // concurrent clients
+	Batches int     // allocate batches per client
+	Batch   int     // jobs per batch
+	Churn   float64 // fraction of a client's live jobs released before each batch
+	Seed    uint64  // client departure streams derive from it
+}
 
-	type allocResp struct {
-		Epoch    int   `json:"epoch"`
-		IDBase   int64 `json:"id_base"`
-		Admitted int   `json:"admitted"`
-		Pending  int   `json:"pending"`
-		Rounds   int   `json:"rounds"`
-		MaxLoad  int64 `json:"max_load"`
-		Excess   int64 `json:"excess"`
+// loadgen drives a running pba-serve instance with a churn workload from
+// cfg.Clients concurrent clients: every batch a client departs a churn
+// fraction of the jobs it still holds, then allocates a fresh batch. Each
+// client's departure choices derive from (seed, client index), so a
+// single-client run against a fresh server is a reproducible (seed, event
+// trace) pair end to end; multiple clients exercise the server's
+// coalescing path. Reports per-epoch latency percentiles (p50/p95/p99)
+// and aggregate throughput (epochs/s, balls/s).
+func loadgen(cfg loadgenConfig) error {
+	if cfg.Clients < 1 || cfg.Batches < 1 || cfg.Batch < 1 {
+		return fmt.Errorf("loadgen needs clients, batches, and batch all >= 1")
+	}
+	if !(cfg.Churn >= 0 && cfg.Churn < 1) {
+		return fmt.Errorf("loadgen needs churn in [0, 1), got %v", cfg.Churn)
+	}
+	// The idle pool must hold one connection per client, or clients beyond
+	// the transport default (2) would pay a TCP handshake per epoch and
+	// the latency report would measure connection churn, not the server.
+	client := &http.Client{
+		Timeout:   5 * time.Minute,
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Clients},
+	}
+	if err := waitHealthy(client, cfg.Base, 5*time.Second); err != nil {
+		return err
 	}
 
-	post := func(path string, req, resp any) error {
-		b, err := json.Marshal(req)
+	fmt.Printf("loadgen: %d client(s) x %d batches x %d jobs, churn %.2f -> %s\n",
+		cfg.Clients, cfg.Batches, cfg.Batch, cfg.Churn, cfg.Base)
+	single := cfg.Clients == 1
+	if single {
+		fmt.Printf("%-8s %-10s %-10s %-8s %-10s %-8s %-10s\n",
+			"batch", "released", "admitted", "rounds", "max_load", "excess", "latency")
+	}
+
+	latencies := make([][]time.Duration, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			latencies[c], errs[c] = runClient(client, cfg, c, single)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		res, err := client.Post(base+path, "application/json", bytes.NewReader(b))
-		if err != nil {
-			return err
-		}
-		defer res.Body.Close()
-		if res.StatusCode != http.StatusOK {
-			var e struct {
-				Error string `json:"error"`
-			}
-			_ = json.NewDecoder(res.Body).Decode(&e)
-			return fmt.Errorf("%s: %s (%s)", path, res.Status, e.Error)
-		}
-		return json.NewDecoder(res.Body).Decode(resp)
 	}
 
-	fmt.Printf("loadgen: %d batches x %d jobs, churn %.2f -> %s\n", batches, batch, churn, base)
-	fmt.Printf("%-8s %-10s %-10s %-8s %-10s %-8s %-10s\n",
-		"epoch", "released", "admitted", "rounds", "max_load", "excess", "latency")
-
-	var live []int64
-	for i := 0; i < batches; i++ {
-		released := 0
-		if churn > 0 && len(live) > 0 {
-			k := int(churn * float64(len(live)))
-			for j := 0; j < k; j++ {
-				x := j + r.Intn(len(live)-j)
-				live[j], live[x] = live[x], live[j]
-			}
-			var rel struct {
-				Released int `json:"released"`
-			}
-			if err := post("/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
-				return err
-			}
-			released = rel.Released
-			live = live[k:]
-		}
-		start := time.Now()
-		var ar allocResp
-		if err := post("/allocate", map[string]any{"count": batch, "terse": true}, &ar); err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		for id := ar.IDBase; id < ar.IDBase+int64(ar.Admitted); id++ {
-			live = append(live, id)
-		}
-		fmt.Printf("%-8d %-10d %-10d %-8d %-10d %-8d %-10s\n",
-			ar.Epoch, released, ar.Admitted, ar.Rounds, ar.MaxLoad, ar.Excess,
-			elapsed.Round(time.Microsecond))
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
 	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	epochs := len(all)
+	balls := int64(epochs) * int64(cfg.Batch)
+	fmt.Printf("throughput: %d epochs, %d balls in %s -> %.1f epochs/s, %.0f balls/s\n",
+		epochs, balls, elapsed.Round(time.Millisecond),
+		float64(epochs)/elapsed.Seconds(), float64(balls)/elapsed.Seconds())
+	fmt.Printf("epoch latency: p50 %s  p95 %s  p99 %s  max %s\n",
+		percentile(all, 0.50).Round(time.Microsecond),
+		percentile(all, 0.95).Round(time.Microsecond),
+		percentile(all, 0.99).Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
 
-	res, err := client.Get(base + "/stats")
+	res, err := client.Get(cfg.Base + "/stats")
 	if err != nil {
 		return err
 	}
@@ -100,10 +101,108 @@ func loadgen(base string, batches, batch int, churn float64, seed uint64) error 
 	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
 		return err
 	}
+	delete(stats, "cells") // keep the summary readable at high shard counts
 	out, err := json.MarshalIndent(stats, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("final /stats:\n%s\n", out)
 	return nil
+}
+
+// runClient plays one client's event trace and returns its per-epoch
+// allocate latencies.
+func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]time.Duration, error) {
+	r := rng.New(rng.Mix64(cfg.Seed ^ (uint64(idx)+1)*0x1F83D9ABFB41BD6B))
+	lat := make([]time.Duration, 0, cfg.Batches)
+	var live []int64
+	for i := 0; i < cfg.Batches; i++ {
+		released := 0
+		if cfg.Churn > 0 && len(live) > 0 {
+			k := int(cfg.Churn * float64(len(live)))
+			for j := 0; j < k; j++ {
+				x := j + r.Intn(len(live)-j)
+				live[j], live[x] = live[x], live[j]
+			}
+			var rel struct {
+				Released int `json:"released"`
+			}
+			if err := post(client, cfg.Base, "/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
+				return lat, err
+			}
+			released = rel.Released
+			live = live[k:]
+		}
+		start := time.Now()
+		var ar serve.Report
+		if err := post(client, cfg.Base, "/allocate", map[string]any{"count": cfg.Batch, "terse": true}, &ar); err != nil {
+			return lat, err
+		}
+		elapsed := time.Since(start)
+		lat = append(lat, elapsed)
+		live = append(live, ar.IDs()...)
+		if report {
+			fmt.Printf("%-8d %-10d %-10d %-8d %-10d %-8d %-10s\n",
+				i, released, ar.Admitted, ar.Rounds, ar.MaxLoad, ar.Excess,
+				elapsed.Round(time.Microsecond))
+		}
+	}
+	return lat, nil
+}
+
+// waitHealthy polls /healthz until the server answers 200, so a loadgen
+// started alongside the server does not race its listen socket.
+func waitHealthy(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		res, err := client.Get(base + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %s: %v", patience, err)
+			}
+			return fmt.Errorf("server not healthy after %s", patience)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func post(client *http.Client, base, path string, req, resp any) error {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	res, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(res.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", path, res.Status, e.Error)
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
 }

@@ -11,12 +11,15 @@
 //	pba-bench -csv -out dir   # also write one CSV per experiment
 //
 // With -serve it becomes a load generator for a running pba-serve
-// instance instead: each batch departs a -churn fraction of its live jobs
-// and allocates -batch fresh ones, printing per-epoch latency and balance
-// plus the server's final /stats.
+// instance instead: -clients concurrent clients each depart a -churn
+// fraction of their live jobs and allocate -batch fresh ones per batch
+// (probing /healthz first), reporting epoch-latency percentiles
+// (p50/p95/p99), aggregate throughput (epochs/s, balls/s), and the
+// server's final /stats. More than one client exercises the server's
+// per-cell epoch coalescing.
 //
-//	pba-serve -n 512 &
-//	pba-bench -serve http://127.0.0.1:8380 -batches 20 -batch 5000 -churn 0.2
+//	pba-serve -n 512 -shards 4 &
+//	pba-bench -serve http://127.0.0.1:8380 -clients 4 -batches 20 -batch 5000 -churn 0.2
 package main
 
 import (
@@ -43,14 +46,19 @@ func main() {
 		mode     = flag.String("mode", "", "engine for the Aheavy sweeps: mass (default) or agent")
 
 		serveURL = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
-		batches  = flag.Int("batches", 10, "loadgen: number of allocate batches (epochs)")
+		clients  = flag.Int("clients", 1, "loadgen: concurrent clients (each plays its own churn trace)")
+		batches  = flag.Int("batches", 10, "loadgen: allocate batches (epochs) per client")
 		batch    = flag.Int("batch", 1000, "loadgen: jobs per batch")
 		churn    = flag.Float64("churn", 0.2, "loadgen: fraction of live jobs released before each batch")
 	)
 	flag.Parse()
 
 	if *serveURL != "" {
-		if err := loadgen(*serveURL, *batches, *batch, *churn, *baseSeed); err != nil {
+		err := loadgen(loadgenConfig{
+			Base: *serveURL, Clients: *clients, Batches: *batches,
+			Batch: *batch, Churn: *churn, Seed: *baseSeed,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "pba-bench: loadgen: %v\n", err)
 			os.Exit(1)
 		}

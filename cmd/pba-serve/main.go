@@ -1,162 +1,147 @@
-// Command pba-serve exposes the streaming churn allocator
-// (internal/online) as an HTTP/JSON service: a placement oracle a fleet
-// scheduler can call to spread jobs over servers with the paper's O(1)
-// excess guarantee, under continuous arrivals and departures.
+// Command pba-serve exposes the sharded allocation service
+// (internal/serve) as an HTTP/JSON placement oracle: a fleet scheduler
+// calls it to spread jobs over servers with the paper's O(1) excess
+// guarantee, under continuous arrivals and departures, at a throughput
+// that scales with -shards instead of serializing on one allocator lock.
 //
 // Usage:
 //
-//	pba-serve -n 512 -alg aheavy -seed 1 -addr 127.0.0.1:8380
+//	pba-serve -n 512 -shards 4 -alg aheavy -seed 1 -addr 127.0.0.1:8380 \
+//	          -snapshot state.json
 //
-// Endpoints:
+// Endpoints (JSON; see DESIGN.md for the full schema):
 //
-//	POST /allocate {"count": k}        admit k balls, run one epoch; the
-//	                                   response carries id_base (IDs are
-//	                                   id_base..id_base+admitted-1) and,
-//	                                   unless "terse" is true, the per-ball
-//	                                   placements
-//	POST /release  {"ids": [..]}       depart balls, freeing capacity
-//	GET  /stats                        live snapshot: loads extremes,
-//	                                   excess, rounds, messages, and the
-//	                                   deterministic state fingerprint
+//	POST /allocate {"count": k}   admit k balls; the response carries the
+//	                              granted ID spans and (unless "terse")
+//	                              the per-ball placements
+//	POST /release  {"ids": [..]}  depart balls, freeing capacity
+//	GET  /stats                   aggregated snapshot + combined fingerprint
+//	GET  /snapshot                versioned service snapshot document
+//	GET  /healthz                 readiness probe
 //
-// The service is deterministic: a fixed (seed, request sequence) produces
-// bit-identical placements at any -workers. A load generator lives in
-// pba-bench (-serve); see DESIGN.md for the endpoint reference.
+// On SIGINT/SIGTERM the server drains in-flight requests via
+// http.Server.Shutdown and, when -snapshot is set, writes the final state
+// there atomically; restarting with the same -snapshot path restores it
+// and the stream continues placement-for-placement. The service is
+// deterministic: a fixed (seed, request sequence, shard count) replayed
+// sequentially produces bit-identical placements at any -workers. A load
+// generator lives in pba-bench (-serve).
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"repro/internal/online"
+	"repro/internal/serve"
 )
 
-// maxBatch bounds one /allocate epoch; far above realistic batch sizes,
-// low enough that a bad request cannot wedge the server in one epoch.
-const maxBatch = 1 << 22
-
-type server struct {
-	alloc   *online.Allocator
-	verbose bool
-}
-
-type allocateRequest struct {
-	Count int  `json:"count"`
-	Terse bool `json:"terse,omitempty"` // omit per-ball placements in the response
-}
-
-type releaseRequest struct {
-	IDs []int64 `json:"ids"`
-}
-
-type releaseResponse struct {
-	Released int `json:"released"`
-}
-
-func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req allocateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	if req.Count < 0 || req.Count > maxBatch {
-		httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", maxBatch, req.Count)
-		return
-	}
-	rep, err := s.alloc.Allocate(req.Count)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "allocate: %v", err)
-		return
-	}
-	if req.Terse {
-		rep.Placements = nil
-	}
-	if s.verbose {
-		log.Printf("epoch %d: admitted %d, pending %d, rounds %d, max load %d (excess %d)",
-			rep.Epoch, rep.Admitted, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
-	}
-	writeJSON(w, rep)
-}
-
-func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req releaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	released := s.alloc.Release(req.IDs)
-	if s.verbose {
-		log.Printf("released %d of %d", released, len(req.IDs))
-	}
-	writeJSON(w, releaseResponse{Released: released})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	writeJSON(w, s.alloc.Stats())
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("pba-serve: encoding response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
+// shutdownGrace bounds the drain of in-flight requests on SIGINT/SIGTERM.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
-		n       = flag.Int("n", 512, "number of bins (servers)")
-		alg     = flag.String("alg", "aheavy", "per-epoch algorithm: aheavy[:beta], adaptive[:slack], greedy[:d], oneshot")
-		seed    = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence) reproduces placements")
-		workers = flag.Int("workers", 0, "per-epoch parallelism (0 = GOMAXPROCS); never affects results")
-		verbose = flag.Bool("v", false, "log per-epoch progress to stderr")
+		addr     = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
+		n        = flag.Int("n", 512, "total number of bins (servers)")
+		shards   = flag.Int("shards", 1, "independent allocator cells the bins are partitioned into")
+		alg      = flag.String("alg", "aheavy", "per-epoch algorithm: aheavy[:beta], adaptive[:slack], greedy[:d], oneshot")
+		seed     = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence, shards) reproduces placements")
+		workers  = flag.Int("workers", 0, "per-epoch parallelism inside one cell (0 = GOMAXPROCS); never affects results")
+		snapPath = flag.String("snapshot", "", "snapshot file: restored on start when present, written on graceful shutdown")
+		verbose  = flag.Bool("v", false, "log per-request progress to stderr")
 	)
 	flag.Parse()
-
-	alloc, err := online.New(online.Config{N: *n, Alg: *alg, Seed: *seed, Workers: *workers})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
-		os.Exit(2)
-	}
-	s := &server{alloc: alloc, verbose: *verbose}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/allocate", s.handleAllocate)
-	mux.HandleFunc("/release", s.handleRelease)
-	mux.HandleFunc("/stats", s.handleStats)
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
+	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, verbose bool) error {
+	cfg := serve.Config{N: n, Shards: shards, Alg: alg, Seed: seed, Workers: workers}
+	svc, restored, err := open(cfg, snapPath)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
 	// The resolved address goes to stdout first so scripts (and the smoke
 	// test) can scrape the port when -addr uses :0.
-	fmt.Printf("pba-serve: listening on %s (n=%d alg=%s seed=%d)\n", ln.Addr(), *n, alloc.Alg(), *seed)
-	if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
-		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
-		os.Exit(1)
+	fmt.Printf("pba-serve: listening on %s (n=%d shards=%d alg=%s seed=%d%s)\n",
+		ln.Addr(), svc.N(), svc.Shards(), svc.Alg(), svc.Seed(), restored)
+
+	srv := &http.Server{Handler: serve.NewHandler(svc, serve.HandlerConfig{Verbose: verbose})}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("pba-serve: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		svc.Close()
+		if snapPath != "" {
+			if err := svc.SaveSnapshot(snapPath); err != nil {
+				return fmt.Errorf("writing snapshot: %w", err)
+			}
+			fmt.Printf("pba-serve: snapshot written to %s\n", snapPath)
+		}
+		return nil
 	}
+}
+
+// open builds the service: restored from snapPath when the file exists,
+// fresh otherwise. Explicitly set topology flags must agree with a
+// restored snapshot; unset ones inherit from it.
+func open(cfg serve.Config, snapPath string) (*serve.Service, string, error) {
+	if snapPath != "" {
+		if _, err := os.Stat(snapPath); err == nil {
+			snap, err := serve.LoadSnapshot(snapPath)
+			if err != nil {
+				return nil, "", err
+			}
+			// Only flags the user actually passed constrain the restore;
+			// defaults defer to the snapshot's topology.
+			ask := serve.Config{Workers: cfg.Workers}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "n":
+					ask.N = cfg.N
+				case "shards":
+					ask.Shards = cfg.Shards
+				case "alg":
+					ask.Alg = cfg.Alg
+				case "seed":
+					ask.Seed = cfg.Seed
+				}
+			})
+			svc, err := serve.Restore(snap, ask)
+			if err != nil {
+				return nil, "", err
+			}
+			return svc, fmt.Sprintf(", restored %s", snapPath), nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, "", err
+		}
+	}
+	svc, err := serve.New(cfg)
+	return svc, "", err
 }

@@ -1,45 +1,28 @@
 package main_test
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"os/exec"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 
 	"repro/internal/cmdtest"
+	"repro/internal/serve"
 )
 
 var addrRE = regexp.MustCompile(`listening on (\S+)`)
 
-// startServer launches pba-serve on a free port and returns its base URL.
-func startServer(t *testing.T, bin string, args ...string) string {
+// startServer launches pba-serve on a free port and returns the process
+// handle and its base URL.
+func startServer(t *testing.T, bin string, args ...string) (*cmdtest.Proc, string) {
 	t.Helper()
-	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		_ = cmd.Process.Kill()
-		_ = cmd.Wait()
-	})
-	line, err := bufio.NewReader(stdout).ReadString('\n')
-	if err != nil {
-		t.Fatalf("reading server banner: %v", err)
-	}
-	m := addrRE.FindStringSubmatch(line)
-	if m == nil {
-		t.Fatalf("no listen address in banner %q", line)
-	}
-	return "http://" + m[1]
+	p, addr := cmdtest.StartProc(t, bin, addrRE, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	return p, "http://" + addr
 }
 
 func postJSON(t *testing.T, url string, body string, out any) int {
@@ -57,49 +40,63 @@ func postJSON(t *testing.T, url string, body string, out any) int {
 	return resp.StatusCode
 }
 
-func getStats(t *testing.T, base string) map[string]any {
+func getJSON(t *testing.T, url string, out any) int {
 	t.Helper()
-	resp, err := http.Get(base + "/stats")
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getStats(t *testing.T, base string) map[string]any {
+	t.Helper()
 	var stats map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
+	if code := getJSON(t, base+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats: HTTP %d", code)
 	}
 	return stats
 }
 
 func TestSmoke(t *testing.T) {
 	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
-	base := startServer(t, bin, "-n", "32", "-alg", "aheavy", "-seed", "7")
+	_, base := startServer(t, bin, "-n", "32", "-shards", "4", "-alg", "aheavy", "-seed", "7")
 
-	var rep struct {
-		Epoch      int   `json:"epoch"`
-		IDBase     int64 `json:"id_base"`
-		Admitted   int   `json:"admitted"`
-		Pending    int   `json:"pending"`
-		Placements []struct {
-			ID  int64 `json:"id"`
-			Bin int32 `json:"bin"`
-		} `json:"placements"`
+	var health map[string]any
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d", code)
 	}
+	if health["status"] != "ok" || health["shards"].(float64) != 4 {
+		t.Fatalf("unexpected /healthz: %v", health)
+	}
+
+	var rep serve.Report
 	if code := postJSON(t, base+"/allocate", `{"count": 500}`, &rep); code != http.StatusOK {
 		t.Fatalf("/allocate: HTTP %d", code)
 	}
 	if rep.Admitted != 500 || len(rep.Placements) != 500 || rep.Pending != 0 {
-		t.Fatalf("unexpected allocate response: %+v", rep)
+		t.Fatalf("unexpected allocate response: admitted %d, %d placements, pending %d",
+			rep.Admitted, len(rep.Placements), rep.Pending)
+	}
+	ids := rep.IDs()
+	if len(ids) != 500 {
+		t.Fatalf("spans expand to %d ids, want 500", len(ids))
 	}
 
 	var rel struct {
 		Released int `json:"released"`
 	}
-	ids := make([]string, 100)
-	for i := range ids {
-		ids[i] = fmt.Sprint(rep.Placements[i].ID)
+	strIDs := make([]string, 100)
+	for i := range strIDs {
+		strIDs[i] = fmt.Sprint(ids[i])
 	}
-	if code := postJSON(t, base+"/release", `{"ids": [`+strings.Join(ids, ",")+`]}`, &rel); code != http.StatusOK {
+	if code := postJSON(t, base+"/release", `{"ids": [`+strings.Join(strIDs, ",")+`]}`, &rel); code != http.StatusOK {
 		t.Fatalf("/release: HTTP %d", code)
 	}
 	if rel.Released != 100 {
@@ -110,15 +107,13 @@ func TestSmoke(t *testing.T) {
 	if stats["live"].(float64) != 400 || stats["placed"].(float64) != 400 {
 		t.Fatalf("stats after churn: %v", stats)
 	}
+	if stats["shards"].(float64) != 4 {
+		t.Fatalf("stats shards: %v", stats["shards"])
+	}
 
 	// Protocol errors: wrong method, bad JSON, out-of-range count.
-	resp, err := http.Get(base + "/allocate")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /allocate: HTTP %d, want 405", resp.StatusCode)
+	if code := getJSON(t, base+"/allocate", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /allocate: HTTP %d, want 405", code)
 	}
 	if code := postJSON(t, base+"/allocate", `{bad`, nil); code != http.StatusBadRequest {
 		t.Errorf("bad JSON: HTTP %d, want 400", code)
@@ -129,41 +124,104 @@ func TestSmoke(t *testing.T) {
 }
 
 // TestDeterministicAcrossProcesses is the service-level determinism
-// contract: two freshly started servers with the same seed fed the same
-// request sequence report identical state fingerprints.
+// contract: freshly started servers with the same (seed, shard count) fed
+// the same request sequence report identical combined fingerprints at any
+// -workers.
 func TestDeterministicAcrossProcesses(t *testing.T) {
 	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
-	var fps []string
-	for _, workers := range []string{"1", "4"} {
-		base := startServer(t, bin, "-n", "16", "-seed", "99", "-workers", workers)
-		var rep struct {
-			IDBase   int64 `json:"id_base"`
-			Admitted int   `json:"admitted"`
+	for _, shards := range []string{"1", "3"} {
+		var fps []string
+		for _, workers := range []string{"1", "4"} {
+			_, base := startServer(t, bin, "-n", "16", "-shards", shards, "-seed", "99", "-workers", workers)
+			var rep serve.Report
+			postJSON(t, base+"/allocate", `{"count": 300, "terse": true}`, &rep)
+			ids := rep.IDs()[:50]
+			strIDs := make([]string, len(ids))
+			for i, id := range ids {
+				strIDs[i] = fmt.Sprint(id)
+			}
+			postJSON(t, base+"/release", `{"ids": [`+strings.Join(strIDs, ",")+`]}`, nil)
+			postJSON(t, base+"/allocate", `{"count": 200, "terse": true}`, nil)
+			fps = append(fps, getStats(t, base)["fingerprint"].(string))
 		}
-		postJSON(t, base+"/allocate", `{"count": 300, "terse": true}`, &rep)
-		ids := make([]string, 0, 50)
-		for id := rep.IDBase; id < rep.IDBase+50; id++ {
-			ids = append(ids, fmt.Sprint(id))
+		if fps[0] != fps[1] || fps[0] == "" {
+			t.Fatalf("shards=%s: fingerprints differ across worker counts: %v", shards, fps)
 		}
-		postJSON(t, base+"/release", `{"ids": [`+strings.Join(ids, ",")+`]}`, nil)
-		postJSON(t, base+"/allocate", `{"count": 200, "terse": true}`, nil)
-		fps = append(fps, getStats(t, base)["fingerprint"].(string))
-	}
-	if fps[0] != fps[1] || fps[0] == "" {
-		t.Fatalf("fingerprints differ across worker counts: %v", fps)
 	}
 }
 
-// TestLoadgenDrivesServer wires the two halves together: pba-bench -serve
-// against a live pba-serve, checking the generator completes and the
-// server ends balanced.
+// TestGracefulShutdownSnapshotRestore: SIGINT drains the server and
+// writes the snapshot; a restart from it continues the stream with the
+// same fingerprint an uninterrupted server would have.
+func TestGracefulShutdownSnapshotRestore(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
+	snapPath := filepath.Join(t.TempDir(), "state.json")
+	common := []string{"-n", "24", "-shards", "3", "-seed", "5", "-snapshot", snapPath}
+
+	// Reference: uninterrupted server playing the full sequence.
+	_, refBase := startServer(t, bin, "-n", "24", "-shards", "3", "-seed", "5")
+	postJSON(t, refBase+"/allocate", `{"count": 400, "terse": true}`, nil)
+	postJSON(t, refBase+"/allocate", `{"count": 100, "terse": true}`, nil)
+	want := getStats(t, refBase)["fingerprint"].(string)
+
+	// Interrupted server: prefix, SIGINT (snapshot), restart, suffix.
+	p1, base1 := startServer(t, bin, common...)
+	postJSON(t, base1+"/allocate", `{"count": 400, "terse": true}`, nil)
+	p1.Signal(os.Interrupt)
+	if code := p1.WaitExit(); code != 0 {
+		t.Fatalf("server exited %d after SIGINT", code)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	p2, base2 := startServer(t, bin, common...)
+	stats := getStats(t, base2)
+	if stats["arrived"].(float64) != 400 {
+		t.Fatalf("restored server lost state: %v", stats)
+	}
+	postJSON(t, base2+"/allocate", `{"count": 100, "terse": true}`, nil)
+	if got := getStats(t, base2)["fingerprint"].(string); got != want {
+		t.Fatalf("restored fingerprint %s != uninterrupted %s", got, want)
+	}
+	// A clean second shutdown must round-trip the grown state too.
+	p2.Signal(os.Interrupt)
+	if code := p2.WaitExit(); code != 0 {
+		t.Fatalf("second shutdown exited %d", code)
+	}
+
+	// Conflicting topology flags on restore fail loudly.
+	cmd := cmdtest.Build(t, "repro/cmd/pba-serve")
+	_, stderr, code := cmdtest.Run(t, cmd, "-addr", "127.0.0.1:0", "-n", "99", "-snapshot", snapPath)
+	if code == 0 || !strings.Contains(stderr, "n=") {
+		t.Fatalf("restore with conflicting -n: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestLoadgenDrivesServer wires the two halves together: a multi-client
+// pba-bench -serve run against a sharded pba-serve, checking the
+// generator's throughput/percentile report and the server's final state.
 func TestLoadgenDrivesServer(t *testing.T) {
 	serveBin := cmdtest.Build(t, "repro/cmd/pba-serve")
 	benchBin := cmdtest.Build(t, "repro/cmd/pba-bench")
-	base := startServer(t, serveBin, "-n", "32")
+	_, base := startServer(t, serveBin, "-n", "32", "-shards", "4")
 
-	out := cmdtest.MustRun(t, benchBin, "-serve", base, "-batches", "4", "-batch", "1000", "-churn", "0.25")
-	if !strings.Contains(out, "final /stats") || !strings.Contains(out, `"pending": 0`) {
-		t.Fatalf("loadgen output unexpected:\n%s", out)
+	out := cmdtest.MustRun(t, benchBin, "-serve", base, "-clients", "3",
+		"-batches", "4", "-batch", "500", "-churn", "0.25")
+	for _, want := range []string{"throughput:", "epochs/s", "balls/s", "p50", "p99", "final /stats", `"pending": 0`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+	var stats struct {
+		Arrived float64 `json:"arrived"`
+	}
+	if i := strings.Index(out, "final /stats:"); i >= 0 {
+		if err := json.Unmarshal([]byte(out[i+len("final /stats:"):]), &stats); err != nil {
+			t.Fatalf("parsing final stats: %v", err)
+		}
+	}
+	if stats.Arrived != 3*4*500 {
+		t.Fatalf("server saw %v arrivals, want %d", stats.Arrived, 3*4*500)
 	}
 }

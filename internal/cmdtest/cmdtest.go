@@ -5,9 +5,11 @@
 package cmdtest
 
 import (
+	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"strings"
 	"testing"
@@ -57,6 +59,82 @@ func MustRun(t *testing.T, bin string, args ...string) string {
 			bin, strings.Join(args, " "), code, stdout, stderr)
 	}
 	return stdout
+}
+
+// Proc is a long-running binary under test (e.g. a server). It is killed
+// at test cleanup unless the test has already observed it exit.
+type Proc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	out  *bufio.Reader
+	wait chan error // buffered; receives the cmd.Wait result once
+}
+
+// StartProc launches a long-running binary and scans its stdout until a
+// line matches banner, returning the process handle and the banner's
+// first submatch (the whole match when banner has no groups). Servers use
+// this to hand tests their resolved listen address.
+func StartProc(t *testing.T, bin string, banner *regexp.Regexp, args ...string) (*Proc, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &Proc{t: t, cmd: cmd, out: bufio.NewReader(stdout), wait: make(chan error, 1)}
+	go func() { p.wait <- cmd.Wait() }()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		<-p.wait
+	})
+	line := p.ExpectLine(banner)
+	m := banner.FindStringSubmatch(line)
+	if len(m) > 1 {
+		return p, m[1]
+	}
+	return p, m[0]
+}
+
+// ExpectLine reads stdout lines until one matches re (failing the test at
+// EOF) and returns the matching line.
+func (p *Proc) ExpectLine(re *regexp.Regexp) string {
+	p.t.Helper()
+	for {
+		line, err := p.out.ReadString('\n')
+		if re.MatchString(line) {
+			return line
+		}
+		if err != nil {
+			p.t.Fatalf("no line matching %v before stdout closed (last %q, err %v)", re, line, err)
+		}
+	}
+}
+
+// Signal sends sig to the process.
+func (p *Proc) Signal(sig os.Signal) {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		p.t.Fatalf("signaling %s: %v", filepath.Base(p.cmd.Path), err)
+	}
+}
+
+// WaitExit blocks until the process exits and returns its exit code.
+func (p *Proc) WaitExit() int {
+	p.t.Helper()
+	err := <-p.wait
+	p.wait <- err // keep the channel answered for the cleanup drain
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	p.t.Fatalf("waiting for %s: %v", filepath.Base(p.cmd.Path), err)
+	return -1
 }
 
 // moduleRoot walks up from the working directory to the go.mod.

@@ -1,0 +1,328 @@
+// Package online layers a streaming, churn-tolerant allocator on top of
+// the paper's batch protocols. The paper's setting is one-shot: all m
+// balls arrive at once and the run ends when every ball commits. A
+// production system instead sees *churn* — balls (jobs, keys, sessions)
+// arriving and departing continuously while the load guarantee must hold
+// round after round.
+//
+// The allocator maintains live per-bin load state across epochs. Each call
+// to Allocate admits a batch of fresh balls and runs one *epoch*: the
+// configured batch protocol is re-run incrementally over the pending balls
+// only, with bin capacities derived from the live residual loads (the
+// BaseLoads plumbing in packages core and threshold), so bins that emptied
+// through departures absorb proportionally more of the new batch and the
+// total load stays balanced. Release departs balls immediately, crediting
+// capacity back to their bins; balls a protocol leaves unplaced re-enter
+// the next epoch automatically.
+//
+// Determinism contract: for a fixed (seed, event trace) — the sequence of
+// Allocate and Release calls with their arguments — the allocation is
+// bit-identical at any worker count, exactly like the batch engine. Epoch
+// seeds are derived from (Config.Seed, epoch index) alone.
+//
+// The package is split by concern: allocator.go holds the live state
+// machine, registry.go the inner-algorithm registry and epoch runners,
+// report.go the epoch/stats vocabulary, and snapshot.go the versioned
+// snapshot/restore format that lets a serving process restart without
+// losing placements (see also internal/serve, which shards allocators).
+package online
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// N is the number of bins (servers).
+	N int
+	// Alg is the per-epoch batch protocol: aheavy[:beta] (the paper's
+	// threshold algorithm, agent-based), adaptive[:slack] (state-adaptive
+	// uniform threshold family), greedy[:d] (sequential d-choice), or
+	// oneshot (random placement, no coordination). Empty means aheavy.
+	// A "!mass" suffix (aheavy!mass, adaptive!mass, oneshot!mass) runs the
+	// epochs on the count-based mass engine: per-ball placements are then
+	// synthesized canonically from each epoch's delta load vector, so very
+	// large batches stay cheap while Release keeps working.
+	Alg string
+	// Seed makes the whole stream reproducible; epoch seeds derive from it.
+	Seed uint64
+	// Workers bounds per-epoch parallelism (0 = GOMAXPROCS). It never
+	// affects results, only wall-clock.
+	Workers int
+	// TieBreak is handed to the underlying engine.
+	TieBreak sim.TieBreak
+	// Trace accumulates the per-round remaining-ball trajectory across
+	// epochs in Result().TraceRemaining.
+	Trace bool
+}
+
+// Allocator is the streaming allocator. All methods are safe for
+// concurrent use; calls are serialized, and the determinism contract is
+// stated for the serialized event order.
+type Allocator struct {
+	mu      sync.Mutex
+	cfg     Config
+	alg     string // canonical inner-algorithm name
+	run     epochRunner
+	loads   []int64         // live load per bin
+	placed  map[int64]int32 // live ball -> bin
+	pending []int64         // live but unplaced ball IDs, admission order
+	nextID  int64
+	epoch   int
+
+	arrived, departed, placedCount int64
+	rounds                         int
+	metrics                        model.Metrics
+	trace                          []int64
+}
+
+// New constructs an allocator.
+func New(cfg Config) (*Allocator, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("online: need at least one bin, got %d", cfg.N)
+	}
+	canon, run, err := resolveAlg(cfg.Alg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Alg = canon
+	return &Allocator{
+		cfg:    cfg,
+		alg:    canon,
+		run:    run,
+		loads:  make([]int64, cfg.N),
+		placed: make(map[int64]int32),
+	}, nil
+}
+
+// Alg returns the canonical inner-algorithm name.
+func (a *Allocator) Alg() string { return a.alg }
+
+// Allocate admits k new balls (assigning them consecutive IDs) and runs
+// one epoch of the inner protocol over them plus any pending balls, with
+// bin capacities derived from the live residual loads. k == 0 still
+// advances the epoch (re-offering pending balls), keeping the seed
+// schedule aligned with the event trace.
+func (a *Allocator) Allocate(k int) (*Report, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("online: negative arrival count %d", k)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	idBase := a.nextID
+	ids := make([]int64, 0, len(a.pending)+k)
+	ids = append(ids, a.pending...)
+	for i := 0; i < k; i++ {
+		ids = append(ids, a.nextID)
+		a.nextID++
+	}
+	a.arrived += int64(k)
+
+	rep := &Report{Epoch: a.epoch, IDBase: idBase, Admitted: k}
+	a.epoch++
+	if len(ids) == 0 {
+		rep.MaxLoad = a.maxLoad()
+		rep.Excess = rep.MaxLoad - a.ceilAvg()
+		return rep, nil
+	}
+	// The pending balls are carried in a.pending until the run succeeds, so
+	// a failed epoch loses nothing: every admitted ball stays pending.
+	a.pending = ids
+
+	seed := rng.Mix64(a.cfg.Seed ^ uint64(rep.Epoch)*0x9E3779B97F4A7C15)
+	res, err := a.run(model.Problem{M: int64(len(ids)), N: a.cfg.N}, a.loads, runOpts{
+		Seed: seed, Workers: a.cfg.Workers, TieBreak: a.cfg.TieBreak, Trace: a.cfg.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
+	}
+	if res.Placements == nil {
+		return nil, fmt.Errorf("online: epoch %d: runner %s recorded no placements", rep.Epoch, a.alg)
+	}
+	if err := res.CheckPartial(); err != nil {
+		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
+	}
+
+	var still []int64
+	rep.Placements = make([]Placement, 0, len(ids))
+	for i, id := range ids {
+		bin := res.Placements[i]
+		if bin < 0 {
+			still = append(still, id)
+			continue
+		}
+		a.placed[id] = bin
+		a.loads[bin]++
+		a.placedCount++
+		rep.Placements = append(rep.Placements, Placement{ID: id, Bin: bin})
+	}
+	a.pending = still
+	a.rounds += res.Rounds
+	a.metrics.Add(res.Metrics)
+	a.trace = append(a.trace, res.TraceRemaining...)
+
+	rep.Pending = len(still)
+	rep.Rounds = res.Rounds
+	rep.MaxLoad = a.maxLoad()
+	rep.Excess = rep.MaxLoad - a.ceilAvg()
+	return rep, nil
+}
+
+// Release departs the given balls, crediting capacity back to their bins.
+// Unknown or already-departed IDs are ignored; the count of balls actually
+// released is returned.
+func (a *Allocator) Release(ids []int64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	released := 0
+	var fromPending map[int64]bool
+	for _, id := range ids {
+		if bin, ok := a.placed[id]; ok {
+			delete(a.placed, id)
+			a.loads[bin]--
+			a.placedCount--
+			a.departed++
+			released++
+		} else if len(a.pending) > 0 && !fromPending[id] {
+			if fromPending == nil {
+				fromPending = make(map[int64]bool)
+			}
+			fromPending[id] = true
+		}
+	}
+	if len(fromPending) > 0 {
+		// One compaction pass keeps bulk releases linear even when the
+		// protocol has parked many balls in pending.
+		kept := a.pending[:0]
+		for _, pid := range a.pending {
+			if fromPending[pid] {
+				a.departed++
+				released++
+			} else {
+				kept = append(kept, pid)
+			}
+		}
+		a.pending = kept
+	}
+	return released
+}
+
+// Loads returns a copy of the live per-bin loads.
+func (a *Allocator) Loads() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int64(nil), a.loads...)
+}
+
+// Stats returns a snapshot including the state fingerprint.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	min := int64(0)
+	if a.cfg.N > 0 {
+		min = a.loads[0]
+		for _, l := range a.loads[1:] {
+			if l < min {
+				min = l
+			}
+		}
+	}
+	maxLoad := a.maxLoad()
+	return Stats{
+		N:           a.cfg.N,
+		Alg:         a.alg,
+		Epoch:       a.epoch,
+		Arrived:     a.arrived,
+		Departed:    a.departed,
+		Live:        a.arrived - a.departed,
+		Placed:      a.placedCount,
+		Pending:     int64(len(a.pending)),
+		MaxLoad:     maxLoad,
+		MinLoad:     min,
+		CeilAvg:     a.ceilAvg(),
+		Excess:      maxLoad - a.ceilAvg(),
+		Rounds:      a.rounds,
+		Messages:    a.metrics.TotalMessages,
+		Fingerprint: a.fingerprint(),
+	}
+}
+
+// Result renders the live state as a model.Result: Problem.M is the live
+// ball count, Loads the live per-bin loads, Unallocated the pending balls.
+// Rounds and Metrics accumulate over all epochs.
+func (a *Allocator) Result() *model.Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	res := &model.Result{
+		Problem:     model.Problem{M: a.arrived - a.departed, N: a.cfg.N},
+		Loads:       append([]int64(nil), a.loads...),
+		Rounds:      a.rounds,
+		Metrics:     a.metrics,
+		Unallocated: int64(len(a.pending)),
+	}
+	if a.cfg.Trace {
+		res.TraceRemaining = append([]int64(nil), a.trace...)
+	}
+	return res
+}
+
+func (a *Allocator) maxLoad() int64 {
+	var m int64
+	for _, l := range a.loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ceilAvg is the best possible maximal load over the *placed* balls.
+func (a *Allocator) ceilAvg() int64 {
+	return (a.placedCount + int64(a.cfg.N) - 1) / int64(a.cfg.N)
+}
+
+// Fingerprint hashes the live state — loads, the (id, bin) placement map,
+// pending IDs, and the epoch counter. Two allocators fed the same (seed,
+// event trace) have equal fingerprints at any worker count.
+func (a *Allocator) Fingerprint() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fingerprint()
+}
+
+func (a *Allocator) fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(a.epoch))
+	for _, l := range a.loads {
+		put(l)
+	}
+	ids := make([]int64, 0, len(a.placed))
+	for id := range a.placed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		put(id)
+		put(int64(a.placed[id]))
+	}
+	put(-1)
+	for _, id := range a.pending {
+		put(id)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,144 @@
+package online
+
+import "testing"
+
+// TestReleaseDuplicateIDsOneRequest: a duplicated ID in one Release call
+// frees its ball exactly once, whether the ball is placed or pending.
+func TestReleaseDuplicateIDsOneRequest(t *testing.T) {
+	a, err := New(Config{N: 8, Alg: "greedy:2", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Allocate(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := rep.IDs()
+	if got := a.Release([]int64{ids[0], ids[0], ids[0], ids[1], ids[1]}); got != 2 {
+		t.Fatalf("released %d, want 2 (duplicates freed once)", got)
+	}
+	checkConservation(t, a)
+	if st := a.Stats(); st.Live != 18 || st.Departed != 2 {
+		t.Fatalf("after duplicate release: %+v", st)
+	}
+}
+
+// pendingAlloc builds an allocator holding pending balls. The stock
+// protocols place everything, so after a normal admission the last two
+// balls are parked back into pending directly (white-box), exactly the
+// state a protocol that left them unplaced would produce.
+func pendingAlloc(t *testing.T) (*Allocator, []int64) {
+	t.Helper()
+	a, err := New(Config{N: 4, Alg: "greedy:2", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Allocate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := rep.IDs()
+	moved := ids[len(ids)-2:]
+	a.mu.Lock()
+	for _, id := range moved {
+		bin := a.placed[id]
+		delete(a.placed, id)
+		a.loads[bin]--
+		a.placedCount--
+		a.pending = append(a.pending, id)
+	}
+	a.mu.Unlock()
+	return a, moved
+}
+
+// TestReleasePendingDuplicates: pending balls release exactly once even
+// when the request duplicates them, and unknown IDs mixed in stay
+// ignored.
+func TestReleasePendingDuplicates(t *testing.T) {
+	a, moved := pendingAlloc(t)
+	st := a.Stats()
+	if st.Pending != int64(len(moved)) {
+		t.Fatalf("setup: pending %d, want %d", st.Pending, len(moved))
+	}
+	req := []int64{moved[0], moved[0], 424242, moved[1], moved[1], -5}
+	if got := a.Release(req); got != 2 {
+		t.Fatalf("released %d, want 2", got)
+	}
+	checkConservation(t, a)
+	if st := a.Stats(); st.Pending != 0 {
+		t.Fatalf("pending balls survived release: %+v", st)
+	}
+}
+
+// TestReleaseUnknownAndAlreadyReleased: junk IDs release nothing, and a
+// second release of the same IDs is a no-op across epochs.
+func TestReleaseUnknownAndAlreadyReleased(t *testing.T) {
+	a, err := New(Config{N: 8, Alg: "adaptive:2", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Allocate(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := rep.IDs()
+	if got := a.Release([]int64{-1, 1 << 40, 999999}); got != 0 {
+		t.Fatalf("released %d unknown balls", got)
+	}
+	if got := a.Release(ids[:10]); got != 10 {
+		t.Fatalf("released %d, want 10", got)
+	}
+	// Same IDs again, duplicated and interleaved with fresh epoch churn.
+	if _, err := a.Allocate(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Release(append(append([]int64{}, ids[:10]...), ids[0], ids[9])); got != 0 {
+		t.Fatalf("re-released %d already-departed balls", got)
+	}
+	checkConservation(t, a)
+	if st := a.Stats(); st.Live != 40 || st.Departed != 10 {
+		t.Fatalf("after re-release: %+v", st)
+	}
+}
+
+// TestReleaseThenReallocateNoIDReuse: IDs are a monotone watermark —
+// releasing balls never recycles their IDs, so a departed ID stays
+// departed across epochs and fresh admissions are disjoint from every
+// prior grant.
+func TestReleaseThenReallocateNoIDReuse(t *testing.T) {
+	a, err := New(Config{N: 8, Alg: "aheavy", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(map[int64]bool)
+	var prev []int64
+	for e := 0; e < 5; e++ {
+		rep, err := a.Allocate(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range rep.IDs() {
+			if granted[id] {
+				t.Fatalf("epoch %d: id %d granted twice", e, id)
+			}
+			granted[id] = true
+		}
+		// Depart everything admitted this epoch, keeping earlier epochs
+		// resident: the next admission must still avoid all prior IDs.
+		if got := a.Release(rep.IDs()); got != 40 {
+			t.Fatalf("epoch %d: released %d of 40", e, got)
+		}
+		if e > 0 {
+			// Released IDs stay unknown: releasing last epoch's batch again
+			// frees nothing even after reallocation.
+			if got := a.Release(prev); got != 0 {
+				t.Fatalf("epoch %d: recycled %d released ids", e, got)
+			}
+		}
+		prev = rep.IDs()
+		checkConservation(t, a)
+	}
+	if st := a.Stats(); st.Arrived != 200 || st.Departed != 200 || st.Live != 0 {
+		t.Fatalf("final books: %+v", st)
+	}
+}

@@ -1,0 +1,51 @@
+package online
+
+// Placement reports where one ball landed.
+type Placement struct {
+	ID  int64 `json:"id"`
+	Bin int32 `json:"bin"`
+}
+
+// Report summarizes one epoch.
+type Report struct {
+	Epoch int `json:"epoch"`
+	// IDBase..IDBase+Admitted-1 are the ball IDs admitted this epoch.
+	IDBase   int64 `json:"id_base"`
+	Admitted int   `json:"admitted"`
+	// Placements covers every ball placed this epoch, including formerly
+	// pending balls; Pending counts balls the protocol left unplaced (they
+	// re-enter the next epoch).
+	Placements []Placement `json:"placements,omitempty"`
+	Pending    int         `json:"pending"`
+	Rounds     int         `json:"rounds"`
+	MaxLoad    int64       `json:"max_load"`
+	Excess     int64       `json:"excess"`
+}
+
+// IDs returns the ball IDs admitted this epoch.
+func (r *Report) IDs() []int64 {
+	ids := make([]int64, r.Admitted)
+	for i := range ids {
+		ids[i] = r.IDBase + int64(i)
+	}
+	return ids
+}
+
+// Stats is a point-in-time snapshot of the allocator.
+type Stats struct {
+	N           int    `json:"n"`
+	Alg         string `json:"alg"`
+	Epoch       int    `json:"epoch"`
+	Arrived     int64  `json:"arrived"`
+	Departed    int64  `json:"departed"`
+	Live        int64  `json:"live"`
+	Placed      int64  `json:"placed"`
+	Pending     int64  `json:"pending"`
+	MaxLoad     int64  `json:"max_load"`
+	MinLoad     int64  `json:"min_load"`
+	CeilAvg     int64  `json:"ceil_avg"`
+	Excess      int64  `json:"excess"`
+	Rounds      int    `json:"rounds"`
+	Messages    int64  `json:"messages"`
+	Fingerprint string `json:"fingerprint"`
+}

@@ -1,0 +1,145 @@
+package online
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRoundTripContinues: snapshot mid-stream through JSON,
+// restore, continue — the fingerprint must match an allocator that never
+// stopped.
+func TestSnapshotRoundTripContinues(t *testing.T) {
+	for _, alg := range []string{"aheavy", "adaptive:2", "greedy:2", "aheavy!mass"} {
+		cfg := Config{N: 24, Alg: alg, Seed: 13}
+		prefix := func(a *Allocator) []int64 {
+			var live []int64
+			for _, k := range []int{200, 150} {
+				rep, err := a.Allocate(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, rep.IDs()...)
+			}
+			a.Release(live[:120])
+			return live[120:]
+		}
+		suffix := func(a *Allocator, live []int64) {
+			a.Release(live[:50])
+			if _, err := a.Allocate(180); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		full, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suffix(full, prefix(full))
+		want := full.Fingerprint()
+
+		first, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := prefix(first)
+		data, err := json.Marshal(first.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		second, err := snap.Restore(Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if second.Fingerprint() != first.Fingerprint() {
+			t.Fatalf("%s: restore changed state", alg)
+		}
+		suffix(second, live)
+		if got := second.Fingerprint(); got != want {
+			t.Errorf("%s: restored run fingerprint %s != uninterrupted %s", alg, got, want)
+		}
+		checkConservation(t, second)
+	}
+}
+
+// TestSnapshotCarriesPendingAndStats: counters, metrics, and pending
+// balls survive the round trip.
+func TestSnapshotCarriesPendingAndStats(t *testing.T) {
+	a, err := New(Config{N: 16, Alg: "aheavy", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Allocate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Release(rep.IDs()[:200])
+	before := a.Stats()
+	restored, err := a.Snapshot().Restore(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := restored.Stats(); after != before {
+		t.Fatalf("stats changed over the round trip:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// TestSnapshotRestoreRejects: version skew, conflicting configs, and
+// tampered state all fail loudly.
+func TestSnapshotRestoreRejects(t *testing.T) {
+	a, err := New(Config{N: 8, Alg: "greedy:2", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate(50); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+
+	bad := *snap
+	bad.Version = 2
+	if _, err := bad.Restore(Config{}); err == nil {
+		t.Error("future version accepted")
+	}
+	for _, cfg := range []Config{{N: 9}, {Alg: "oneshot"}, {Seed: 7}} {
+		if _, err := snap.Restore(cfg); err == nil {
+			t.Errorf("conflicting config %+v accepted", cfg)
+		}
+	}
+	if _, err := snap.Restore(Config{N: 8, Alg: "greedy", Seed: 6, Workers: 2}); err != nil {
+		t.Errorf("matching config rejected: %v", err)
+	}
+
+	tamper := func(mutate func(s *Snapshot)) error {
+		c := *snap
+		c.Placed = append([]Placement(nil), snap.Placed...)
+		c.Pending = append([]int64(nil), snap.Pending...)
+		mutate(&c)
+		_, err := c.Restore(Config{})
+		return err
+	}
+	if err := tamper(func(s *Snapshot) { s.Placed[0].Bin = (s.Placed[0].Bin + 1) % int32(s.N) }); err == nil {
+		t.Error("moved placement accepted")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("moved placement rejected for the wrong reason: %v", err)
+	}
+	if err := tamper(func(s *Snapshot) { s.Placed[0].Bin = 99 }); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if err := tamper(func(s *Snapshot) { s.Placed[0].ID = s.NextID }); err == nil {
+		t.Error("unissued ID accepted")
+	}
+	if err := tamper(func(s *Snapshot) { s.Placed = append(s.Placed, s.Placed[0]) }); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+	if err := tamper(func(s *Snapshot) { s.Pending = append(s.Pending, s.Placed[0].ID) }); err == nil {
+		t.Error("ball both placed and pending accepted")
+	}
+	if err := tamper(func(s *Snapshot) { s.Epoch++ }); err == nil {
+		t.Error("bumped epoch accepted despite fingerprint")
+	}
+}

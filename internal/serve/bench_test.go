@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/online"
+)
+
+// benchThroughput drives the service from GOMAXPROCS concurrent clients,
+// each op allocating one 512-ball batch and releasing it again — the
+// steady-state serving shape. Workers is pinned to 1 inside each cell so
+// the shards are the only parallelism being measured; the 1-shard case is
+// the seed baseline (every epoch serialized on one allocator mutex), and
+// the multi-shard cases show the coalescing router scaling it.
+func benchThroughput(b *testing.B, shards int) {
+	s, err := New(Config{N: 1024, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const batch = 512
+	b.SetBytes(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rep, err := s.Allocate(batch)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			s.Release(rep.IDs())
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	if st.Live != 0 {
+		b.Fatalf("bench left %d balls live", st.Live)
+	}
+	b.ReportMetric(float64(st.Arrived)/b.Elapsed().Seconds(), "balls/s")
+}
+
+func BenchmarkServeThroughput1Shard(b *testing.B)  { benchThroughput(b, 1) }
+func BenchmarkServeThroughput4Shards(b *testing.B) { benchThroughput(b, 4) }
+func BenchmarkServeThroughput8Shards(b *testing.B) { benchThroughput(b, 8) }
+
+// BenchmarkServeSmallBatch compares the serving substrates under many
+// concurrent clients issuing small batches (64 balls into 1024 bins) —
+// the regime where per-epoch fixed costs dominate. "seed" is the
+// pre-shard serving shape: one online.Allocator, one epoch per request,
+// every request serialized on its mutex. The service variants coalesce
+// queued requests into shared epochs (visible even on one core: GOMAXPROCS
+// clients merge into up to GOMAXPROCS-fold fewer epochs), and with
+// multiple shards the epochs also run on independent cells.
+func BenchmarkServeSmallBatch(b *testing.B) {
+	const n, batch = 1024, 64
+	run := func(b *testing.B, alloc func(int) ([]int64, error), rel func([]int64)) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ids, err := alloc(batch)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rel(ids)
+			}
+		})
+	}
+	b.Run("seed", func(b *testing.B) {
+		a, err := online.New(online.Config{N: n, Alg: "aheavy", Seed: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func(k int) ([]int64, error) {
+			rep, err := a.Allocate(k)
+			if err != nil {
+				return nil, err
+			}
+			return rep.IDs(), nil
+		}, func(ids []int64) { a.Release(ids) })
+	})
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(Config{N: n, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			run(b, func(k int) ([]int64, error) {
+				rep, err := s.Allocate(k)
+				if err != nil {
+					return nil, err
+				}
+				return rep.IDs(), nil
+			}, func(ids []int64) { s.Release(ids) })
+		})
+	}
+}
+
+// BenchmarkServeAllocateLatency measures one sequential allocate+release
+// round trip per shard count — the per-request latency floor (no
+// concurrency, no coalescing).
+func BenchmarkServeAllocateLatency(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(Config{N: 1024, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.Allocate(512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Release(rep.IDs())
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+// MaxBatch bounds one /allocate request; far above realistic batch sizes,
+// low enough that a bad request cannot wedge a cell in one epoch.
+const MaxBatch = 1 << 22
+
+// HandlerConfig tunes the HTTP front end.
+type HandlerConfig struct {
+	// Verbose logs one line per allocate/release to the standard logger.
+	Verbose bool
+}
+
+// NewHandler exposes the service as an HTTP/JSON API:
+//
+//	POST /allocate {"count": k, "terse": bool}  admit k balls -> Report
+//	                                            (terse drops placements,
+//	                                            keeps the ID spans)
+//	POST /release  {"ids": [..]}                depart balls -> {"released": k}
+//	GET  /stats                                 aggregated Stats + fingerprint
+//	GET  /snapshot                              versioned service snapshot JSON
+//	GET  /healthz                               {"status":"ok", ...} once serving
+//
+// Errors are JSON {"error": ...} with 400 (bad request), 405 (wrong
+// method), or 500 (allocator failure).
+func NewHandler(s *Service, hc HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/allocate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Count int  `json:"count"`
+			Terse bool `json:"terse,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Count < 0 || req.Count > MaxBatch {
+			httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", MaxBatch, req.Count)
+			return
+		}
+		rep, err := s.Allocate(req.Count)
+		if err != nil {
+			// A partial failure still granted the spans in rep; hand them
+			// to the client so the balls remain releasable.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			body := map[string]any{"error": fmt.Sprintf("allocate: %v", err)}
+			if rep != nil && len(rep.Spans) > 0 {
+				body["spans"] = rep.Spans
+			}
+			_ = json.NewEncoder(w).Encode(body)
+			return
+		}
+		if req.Terse {
+			rep.Placements = nil
+		}
+		if hc.Verbose {
+			log.Printf("allocate: admitted %d over %d cell epoch(s), pending %d, rounds %d, max load %d (excess %d)",
+				rep.Admitted, rep.Cells, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			IDs []int64 `json:"ids"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		released := s.Release(req.IDs)
+		if hc.Verbose {
+			log.Printf("released %d of %d", released, len(req.IDs))
+		}
+		writeJSON(w, map[string]int{"released": released})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, s.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, map[string]any{"status": "ok", "n": s.N(), "shards": s.Shards(), "alg": s.Alg()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/online"
+	"repro/internal/rng"
+)
+
+// routerSalt separates the per-request split draws from every other seed
+// domain (cell seeds, epoch seeds, loadgen client streams).
+const routerSalt = 0xD1B54A32D192ED03
+
+// Placement reports where one ball landed, in global coordinates.
+type Placement = online.Placement
+
+// Span is an arithmetic progression of global ball IDs: Start, then
+// Start+Stride, Count values in total. One cell's admitted balls form one
+// span (global IDs interleave cells: global = local*shards + cell), so a
+// request's ID grant is a handful of spans instead of a flat list — a
+// terse /allocate response stays O(shards), not O(batch).
+type Span struct {
+	Start  int64 `json:"start"`
+	Stride int64 `json:"stride"`
+	Count  int   `json:"count"`
+}
+
+// Report summarizes one Allocate call.
+type Report struct {
+	// Admitted is the number of fresh balls granted IDs; Spans carries the
+	// IDs (see Span). Use IDs to expand them.
+	Admitted int    `json:"admitted"`
+	Spans    []Span `json:"spans,omitempty"`
+	// Placements lists global (id, bin) pairs resolved by the epochs this
+	// request coalesced into: all of this request's placed balls plus any
+	// formerly-pending balls those epochs placed (attributed to the first
+	// request of each coalesced epoch).
+	Placements []Placement `json:"placements,omitempty"`
+	// Pending counts this request's balls left unplaced; they re-enter
+	// their cell's next epoch automatically.
+	Pending int `json:"pending"`
+	// Cells is the number of cell epochs this request participated in;
+	// Rounds is the max round count among them (they run in parallel).
+	Cells  int `json:"cells"`
+	Rounds int `json:"rounds"`
+	// MaxLoad and Excess are the maxima over the touched cells (each
+	// cell's excess is relative to its own placed/bin ratio — the per-cell
+	// O(1) bound is the guarantee that survives partitioning).
+	MaxLoad int64 `json:"max_load"`
+	Excess  int64 `json:"excess"`
+}
+
+// IDs expands the report's spans into the admitted global IDs, ascending.
+func (r *Report) IDs() []int64 {
+	ids := make([]int64, 0, r.Admitted)
+	for _, sp := range r.Spans {
+		for j := 0; j < sp.Count; j++ {
+			ids = append(ids, sp.Start+int64(j)*sp.Stride)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// subReq is one request's share of one cell's next epoch.
+type subReq struct {
+	count int
+	done  chan subRep
+}
+
+// subRep hands a request its slice of a coalesced epoch.
+type subRep struct {
+	rep   *online.Report // shared, read-only epoch report
+	base  int64          // cell-local ID of this request's first ball
+	count int
+	first bool // first contributor: owns the epoch's formerly-pending placements
+	err   error
+}
+
+// split draws the deterministic multinomial split of k balls over the
+// cells, weighted by cell size. The draw depends only on (seed, request
+// index, topology): a splittable-RNG stream is derived per request, so
+// replaying the same admission order reproduces every split exactly.
+func (s *Service) split(reqIdx uint64, k int) []int64 {
+	counts := make([]int64, len(s.cells))
+	if len(s.cells) == 1 || k == 0 {
+		counts[0] = int64(k)
+		return counts
+	}
+	r := rng.New(rng.Mix64(s.cfg.Seed ^ (reqIdx+1)*routerSalt))
+	weights := make([]float64, len(s.cells))
+	for i, c := range s.cells {
+		weights[i] = float64(c.n)
+	}
+	r.MultinomialWeighted(int64(k), weights, counts)
+	return counts
+}
+
+// Allocate admits k fresh balls, routes them across the cells, and runs
+// (or joins) one epoch per targeted cell. k == 0 offers a zero batch to
+// every cell, re-offering pending balls and advancing every cell's epoch.
+func (s *Service) Allocate(k int) (*Report, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("serve: negative arrival count %d", k)
+	}
+	// Admission: order the request and draw its split under the sequencer
+	// lock, so the (request index -> split) map is a pure function of the
+	// arrival order.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: service closed")
+	}
+	reqIdx := s.nextReq
+	s.nextReq++
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	counts := s.split(reqIdx, k)
+
+	// Fan out to the targeted cells, then collect in shard order.
+	type wait struct {
+		c  *cell
+		ch chan subRep
+	}
+	waits := make([]wait, 0, len(s.cells))
+	for i, c := range s.cells {
+		if counts[i] == 0 && k != 0 {
+			continue
+		}
+		ch := make(chan subRep, 1)
+		c.queue <- &subReq{count: int(counts[i]), done: ch}
+		waits = append(waits, wait{c, ch})
+	}
+
+	shards := int64(len(s.cells))
+	rep := &Report{Admitted: k}
+	var firstErr error
+	for _, w := range waits {
+		sr := <-w.ch
+		if sr.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: cell %d: %w", w.c.index, sr.err)
+			}
+			continue
+		}
+		rep.Cells++
+		if sr.count > 0 {
+			rep.Spans = append(rep.Spans, Span{
+				Start:  sr.base*shards + int64(w.c.index),
+				Stride: shards,
+				Count:  sr.count,
+			})
+		}
+		placedMine := 0
+		for _, p := range sr.rep.Placements {
+			mine := p.ID >= sr.base && p.ID < sr.base+int64(sr.count)
+			if mine {
+				placedMine++
+			}
+			// Formerly-pending balls (admitted by an earlier request of
+			// this cell) go to the epoch's first contributor so their
+			// eventual placement is not lost.
+			if mine || (sr.first && p.ID < sr.rep.IDBase) {
+				rep.Placements = append(rep.Placements, Placement{
+					ID:  p.ID*shards + int64(w.c.index),
+					Bin: int32(w.c.binBase) + p.Bin,
+				})
+			}
+		}
+		rep.Pending += sr.count - placedMine
+		if sr.rep.Rounds > rep.Rounds {
+			rep.Rounds = sr.rep.Rounds
+		}
+		if sr.rep.MaxLoad > rep.MaxLoad {
+			rep.MaxLoad = sr.rep.MaxLoad
+		}
+		if sr.rep.Excess > rep.Excess {
+			rep.Excess = sr.rep.Excess
+		}
+	}
+	if firstErr != nil {
+		// Cells that succeeded have admitted and placed their shares; the
+		// report carries those spans alongside the error so the caller can
+		// still Release them (the failing cell's balls stay pending in
+		// that cell, per the allocator's failed-epoch contract).
+		return rep, firstErr
+	}
+	return rep, nil
+}
+
+// cellLoop is cell c's batcher: it blocks for one sub-request, coalesces
+// everything else already queued into the same epoch, runs the cell's
+// allocator once over the combined batch, and slices the admitted ID
+// range back out to the contributors in arrival order.
+func (s *Service) cellLoop(c *cell) {
+	defer s.loops.Done()
+	for first := range c.queue {
+		subs := append(make([]*subReq, 0, 4), first)
+		// Group-commit window: yield once so clients already committed to
+		// this cell (sent, or about to send, a sub-request) get scheduled
+		// and enqueue before the drain — without it, on few cores the
+		// batcher almost always wins the race and coalescing never
+		// engages. A lone sequential caller is blocked on its reply here,
+		// so this cannot change what an epoch contains under sequential
+		// replay; it only widens real concurrent batches.
+		runtime.Gosched()
+	drain:
+		for {
+			select {
+			case more, ok := <-c.queue:
+				if !ok {
+					break drain
+				}
+				subs = append(subs, more)
+			default:
+				break drain
+			}
+		}
+		total := 0
+		for _, sb := range subs {
+			total += sb.count
+		}
+		rep, err := c.alloc.Allocate(total)
+		if err != nil {
+			for _, sb := range subs {
+				sb.done <- subRep{err: err}
+			}
+			continue
+		}
+		base := rep.IDBase
+		for i, sb := range subs {
+			sb.done <- subRep{rep: rep, base: base, count: sb.count, first: i == 0}
+			base += int64(sb.count)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package serve is the sharded serving substrate over the streaming
+// allocator (internal/online). One online.Allocator serializes every
+// epoch behind a single mutex, capping a service at what one cell can
+// hold; serve partitions the n bins across S independent allocator
+// *cells* and turns the service boundary concurrent:
+//
+//   - a deterministic splittable-RNG *router* splits each /allocate batch
+//     across the cells with an exact multinomial draw weighted by cell
+//     size, so every bin still receives balls at the uniform rate and the
+//     per-cell excess bounds carry over (LW16's lightly-loaded substrate
+//     argument for partitioned bins);
+//   - concurrently arriving requests targeting the same cell are
+//     *coalesced* into one epoch (the batching shape of BCE+12's
+//     multiple-choice allocation in rounds): a per-cell batcher drains
+//     its queue, runs one epoch over the combined batch, and hands each
+//     request its slice of the admitted ID range;
+//   - the whole service state snapshots to a versioned JSON document
+//     (per-cell online.Snapshot plus the router cursor), verified on
+//     restore against the SHA-256 fingerprints, so a restart continues
+//     the stream placement-for-placement.
+//
+// Determinism contract: a fixed (seed, request sequence, shard count)
+// replayed *sequentially* — each call returning before the next starts —
+// yields bit-identical placements and a stable combined fingerprint at
+// any Workers setting, because the router draw depends only on (seed,
+// request index), cell seeds derive from (seed, cell index), and each
+// cell inherits the allocator's worker invariance. Under concurrent
+// callers the coalescing makes epoch boundaries timing-dependent;
+// conservation and balance still hold, and snapshot/restore still
+// round-trips exactly.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/online"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// N is the total number of bins across all cells.
+	N int
+	// Shards is the number of independent allocator cells the bins are
+	// partitioned into (0 means 1). Throughput scales with cells; the
+	// determinism contract is per (seed, request sequence, shard count).
+	Shards int
+	// Alg is the per-epoch protocol inside every cell, as in
+	// online.Config.Alg.
+	Alg string
+	// Seed is the service seed: cell seeds and router draws derive from it.
+	Seed uint64
+	// Workers bounds per-epoch parallelism inside one cell (0 =
+	// GOMAXPROCS). It never affects results, only wall-clock; with many
+	// shards, 1 is usually right — the cells are the parallelism.
+	Workers int
+}
+
+// Service is the sharded allocation service. All methods are safe for
+// concurrent use. Close must be called to stop the cell batchers; after
+// Close every method returns an error (or a zero result).
+type Service struct {
+	cfg   Config // Alg canonicalized, Shards materialized
+	cells []*cell
+
+	mu       sync.Mutex // admission sequencer: orders requests, guards cursor
+	nextReq  uint64     // router cursor: requests admitted so far
+	closed   bool
+	inflight sync.WaitGroup // Allocate calls between admission and reply
+
+	loops sync.WaitGroup // cell batcher goroutines
+}
+
+// cell is one shard: a contiguous range of bins owned by one allocator.
+type cell struct {
+	index   int
+	binBase int // global index of the cell's first bin
+	n       int
+	alloc   *online.Allocator
+	queue   chan *subReq
+}
+
+// queueDepth bounds how many sub-batches can wait at a cell before
+// senders block; deep enough that bursts coalesce, small enough to
+// backpressure a runaway client.
+const queueDepth = 256
+
+// cellSeedSalt separates the cell-seed domain from epoch and router draws.
+const cellSeedSalt = 0x3C6EF372FE94F82B
+
+// cellSeed derives cell i's allocator seed. A single-shard service uses
+// the service seed unchanged, so it is bit-compatible with a bare
+// online.Allocator fed the same request sequence.
+func cellSeed(seed uint64, i, shards int) uint64 {
+	if shards == 1 {
+		return seed
+	}
+	return rng.Mix64(seed ^ (uint64(i)+1)*cellSeedSalt)
+}
+
+// New constructs a service with fresh, empty cells.
+func New(cfg Config) (*Service, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("serve: need at least one bin, got %d", cfg.N)
+	}
+	if cfg.Shards < 0 || cfg.Shards > cfg.N {
+		return nil, fmt.Errorf("serve: need 1 <= shards <= n, got %d shards over %d bins", cfg.Shards, cfg.N)
+	}
+	canon, err := online.ResolveAlg(cfg.Alg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Alg = canon
+	return build(cfg, func(i, cellN int) (*online.Allocator, error) {
+		return online.New(online.Config{
+			N: cellN, Alg: canon, Seed: cellSeed(cfg.Seed, i, cfg.Shards), Workers: cfg.Workers,
+		})
+	})
+}
+
+// build assembles the cell topology, obtaining each cell's allocator from
+// mk (a fresh allocator for New, a restored one for Restore).
+func build(cfg Config, mk func(i, cellN int) (*online.Allocator, error)) (*Service, error) {
+	s := &Service{cfg: cfg, cells: make([]*cell, cfg.Shards)}
+	base, per, rem := 0, cfg.N/cfg.Shards, cfg.N%cfg.Shards
+	for i := range s.cells {
+		cellN := per
+		if i < rem {
+			cellN++
+		}
+		alloc, err := mk(i, cellN)
+		if err != nil {
+			return nil, err
+		}
+		s.cells[i] = &cell{
+			index: i, binBase: base, n: cellN, alloc: alloc,
+			queue: make(chan *subReq, queueDepth),
+		}
+		base += cellN
+	}
+	s.loops.Add(len(s.cells))
+	for _, c := range s.cells {
+		go s.cellLoop(c)
+	}
+	return s, nil
+}
+
+// Shards returns the cell count.
+func (s *Service) Shards() int { return len(s.cells) }
+
+// N returns the total bin count.
+func (s *Service) N() int { return s.cfg.N }
+
+// Alg returns the canonical inner-algorithm name.
+func (s *Service) Alg() string { return s.cfg.Alg }
+
+// Seed returns the service seed (the snapshot's seed after a restore).
+func (s *Service) Seed() uint64 { return s.cfg.Seed }
+
+// Close stops the cell batchers. It waits for in-flight Allocate calls to
+// drain; concurrent and subsequent Allocates fail cleanly.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	for _, c := range s.cells {
+		close(c.queue)
+	}
+	s.loops.Wait()
+}
+
+// Release departs the given global ball IDs, crediting capacity back to
+// their cells' bins. Unknown, negative, or already-departed IDs are
+// ignored; the number of balls actually released is returned.
+func (s *Service) Release(ids []int64) int {
+	shards := int64(len(s.cells))
+	perCell := make([][]int64, len(s.cells))
+	for _, id := range ids {
+		if id < 0 {
+			continue
+		}
+		c := id % shards
+		perCell[c] = append(perCell[c], id/shards)
+	}
+	released := make([]int, len(s.cells))
+	var wg sync.WaitGroup
+	for i, local := range perCell {
+		if len(local) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, local []int64) {
+			defer wg.Done()
+			released[i] = s.cells[i].alloc.Release(local)
+		}(i, local)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range released {
+		total += r
+	}
+	return total
+}
+
+// Loads returns a copy of the live global per-bin load vector (cells
+// concatenated in bin order). Under concurrent traffic each cell's slice
+// is internally consistent but the cut across cells is not atomic.
+func (s *Service) Loads() []int64 {
+	out := make([]int64, 0, s.cfg.N)
+	for _, c := range s.cells {
+		out = append(out, c.alloc.Loads()...)
+	}
+	return out
+}
+
+// Fingerprint returns the combined service fingerprint: a SHA-256 over
+// the topology line and every cell's state fingerprint in shard order.
+// For a consistent value the service must be quiescent (no in-flight
+// calls) — the sequential-replay setting of the determinism contract.
+func (s *Service) Fingerprint() string {
+	fps := make([]string, len(s.cells))
+	for i, c := range s.cells {
+		fps[i] = c.alloc.Fingerprint()
+	}
+	return combinedFingerprint(s.cfg.N, len(s.cells), s.cfg.Alg, fps)
+}
+
+// combinedFingerprint is the one spelling of the service hash, shared by
+// Fingerprint and Snapshot so a snapshot's stored fingerprint is always
+// derived from the very cell fingerprints it carries.
+func combinedFingerprint(n, shards int, alg string, cellFPs []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "serve/v%d n=%d shards=%d alg=%s\n", SnapshotVersion, n, shards, alg)
+	for _, fp := range cellFPs {
+		fmt.Fprintf(h, "%s\n", fp)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats aggregates the per-cell snapshots into a service-level view.
+type Stats struct {
+	N        int    `json:"n"`
+	Shards   int    `json:"shards"`
+	Alg      string `json:"alg"`
+	Requests uint64 `json:"requests"` // allocate requests admitted
+	Epochs   int64  `json:"epochs"`   // cell epochs run (>= requests/shard under coalescing)
+	Arrived  int64  `json:"arrived"`
+	Departed int64  `json:"departed"`
+	Live     int64  `json:"live"`
+	Placed   int64  `json:"placed"`
+	Pending  int64  `json:"pending"`
+	MaxLoad  int64  `json:"max_load"`
+	MinLoad  int64  `json:"min_load"`
+	CeilAvg  int64  `json:"ceil_avg"` // over placed balls and all n bins
+	Excess   int64  `json:"excess"`   // MaxLoad - CeilAvg, the global balance gap
+	Rounds   int    `json:"rounds"`
+	Messages int64  `json:"messages"`
+	// Fingerprint is the combined service fingerprint; Cells carries the
+	// per-cell snapshots (each with its own fingerprint).
+	Fingerprint string         `json:"fingerprint"`
+	Cells       []online.Stats `json:"cells,omitempty"`
+}
+
+// Stats returns the aggregated service snapshot. Quiescence caveats as
+// for Fingerprint.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	requests := s.nextReq
+	s.mu.Unlock()
+	st := Stats{
+		N: s.cfg.N, Shards: len(s.cells), Alg: s.cfg.Alg, Requests: requests,
+		Cells: make([]online.Stats, 0, len(s.cells)),
+	}
+	for i, c := range s.cells {
+		cs := c.alloc.Stats()
+		st.Cells = append(st.Cells, cs)
+		st.Epochs += int64(cs.Epoch)
+		st.Arrived += cs.Arrived
+		st.Departed += cs.Departed
+		st.Live += cs.Live
+		st.Placed += cs.Placed
+		st.Pending += cs.Pending
+		st.Rounds += cs.Rounds
+		st.Messages += cs.Messages
+		if cs.MaxLoad > st.MaxLoad {
+			st.MaxLoad = cs.MaxLoad
+		}
+		if i == 0 || cs.MinLoad < st.MinLoad {
+			st.MinLoad = cs.MinLoad
+		}
+	}
+	st.CeilAvg = (st.Placed + int64(s.cfg.N) - 1) / int64(s.cfg.N)
+	st.Excess = st.MaxLoad - st.CeilAvg
+	st.Fingerprint = s.Fingerprint()
+	return st
+}

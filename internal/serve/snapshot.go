@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/online"
+)
+
+// SnapshotVersion is the service snapshot format version; it also salts
+// the combined fingerprint's topology line.
+const SnapshotVersion = 1
+
+// Snapshot is the versioned serialization of the whole service: the
+// topology triple (n, shards, alg), the service seed, the router cursor
+// (how many requests have been admitted — the next request's split
+// depends on it), and one online.Snapshot per cell. Fingerprint is the
+// combined service fingerprint; Restore re-derives it from the restored
+// cells and refuses a snapshot that does not verify.
+type Snapshot struct {
+	Version     int                `json:"version"`
+	N           int                `json:"n"`
+	Shards      int                `json:"shards"`
+	Alg         string             `json:"alg"`
+	Seed        uint64             `json:"seed"`
+	NextReq     uint64             `json:"next_req"`
+	Cells       []*online.Snapshot `json:"cells"`
+	Fingerprint string             `json:"fingerprint"`
+}
+
+// Snapshot captures the service state. Take it quiescent (no in-flight
+// calls) for a consistent cut; restoring it then continues the stream
+// exactly — same future placements, same fingerprints — as a service
+// that never stopped.
+func (s *Service) Snapshot() *Snapshot {
+	s.mu.Lock()
+	nextReq := s.nextReq
+	s.mu.Unlock()
+	snap := &Snapshot{
+		Version: SnapshotVersion,
+		N:       s.cfg.N,
+		Shards:  len(s.cells),
+		Alg:     s.cfg.Alg,
+		Seed:    s.cfg.Seed,
+		NextReq: nextReq,
+		Cells:   make([]*online.Snapshot, len(s.cells)),
+	}
+	// The combined fingerprint is derived from the captured cell
+	// snapshots, not the live cells: even if traffic mutates a cell
+	// between captures, the document stays internally consistent and
+	// restorable (it is then simply a per-cell-consistent cut).
+	fps := make([]string, len(s.cells))
+	for i, c := range s.cells {
+		snap.Cells[i] = c.alloc.Snapshot()
+		fps[i] = snap.Cells[i].Fingerprint
+	}
+	snap.Fingerprint = combinedFingerprint(snap.N, snap.Shards, snap.Alg, fps)
+	return snap
+}
+
+// Restore reconstructs a service from a snapshot. The snapshot fixes the
+// topology and seed; cfg supplies only Workers, and its N/Shards/Alg/Seed
+// fields, when non-zero, must agree with the snapshot, so a service
+// restarted with conflicting flags fails loudly. Every cell's state is
+// verified against its stored fingerprint, and the reassembled service's
+// combined fingerprint must match Snapshot.Fingerprint.
+func Restore(snap *Snapshot, cfg Config) (*Service, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot version %d, this build reads %d", snap.Version, SnapshotVersion)
+	}
+	if cfg.N != 0 && cfg.N != snap.N {
+		return nil, fmt.Errorf("serve: snapshot has n=%d but config asks n=%d", snap.N, cfg.N)
+	}
+	if cfg.Shards != 0 && cfg.Shards != snap.Shards {
+		return nil, fmt.Errorf("serve: snapshot has %d shards but config asks %d (a snapshot cannot be re-sharded)", snap.Shards, cfg.Shards)
+	}
+	if cfg.Seed != 0 && cfg.Seed != snap.Seed {
+		return nil, fmt.Errorf("serve: snapshot has seed=%d but config asks seed=%d", snap.Seed, cfg.Seed)
+	}
+	canon, err := online.ResolveAlg(snap.Alg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Alg != "" {
+		askCanon, err := online.ResolveAlg(cfg.Alg)
+		if err != nil {
+			return nil, err
+		}
+		if askCanon != canon {
+			return nil, fmt.Errorf("serve: snapshot ran %s but config asks %s", canon, askCanon)
+		}
+	}
+	if snap.Shards < 1 || snap.Shards > snap.N {
+		return nil, fmt.Errorf("serve: snapshot topology invalid: %d shards over %d bins", snap.Shards, snap.N)
+	}
+	if len(snap.Cells) != snap.Shards {
+		return nil, fmt.Errorf("serve: snapshot declares %d shards but carries %d cells", snap.Shards, len(snap.Cells))
+	}
+	restored := Config{N: snap.N, Shards: snap.Shards, Alg: canon, Seed: snap.Seed, Workers: cfg.Workers}
+	svc, err := build(restored, func(i, cellN int) (*online.Allocator, error) {
+		cs := snap.Cells[i]
+		if cs.N != cellN {
+			return nil, fmt.Errorf("serve: cell %d snapshot has %d bins, topology expects %d", i, cs.N, cellN)
+		}
+		if cs.Alg != canon {
+			return nil, fmt.Errorf("serve: cell %d snapshot ran %s, service declares %s", i, cs.Alg, canon)
+		}
+		if want := cellSeed(snap.Seed, i, snap.Shards); cs.Seed != want {
+			return nil, fmt.Errorf("serve: cell %d snapshot seed %d does not derive from service seed %d", i, cs.Seed, snap.Seed)
+		}
+		a, err := cs.Restore(online.Config{Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("serve: cell %d: %w", i, err)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.nextReq = snap.NextReq
+	if got := svc.Fingerprint(); got != snap.Fingerprint {
+		svc.Close()
+		return nil, fmt.Errorf("serve: snapshot fingerprint mismatch: stored %s, state hashes to %s", snap.Fingerprint, got)
+	}
+	return svc, nil
+}
+
+// LoadSnapshot reads and decodes a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("serve: decoding snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// SaveSnapshot atomically writes the service snapshot to path
+// (write-to-temp then rename, so a crash mid-write never truncates a
+// good snapshot).
+func (s *Service) SaveSnapshot(path string) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

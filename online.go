@@ -10,7 +10,8 @@ type OnlineConfig = online.Config
 // incrementally over residual loads. Allocate admits a batch of jobs and
 // runs one epoch; Release departs jobs, freeing capacity. For a fixed
 // (seed, event trace) the allocation is bit-identical at any worker count.
-// cmd/pba-serve exposes the same allocator over HTTP/JSON.
+// cmd/pba-serve shards allocators into a concurrent HTTP/JSON service
+// (internal/serve) with snapshot/restore across restarts.
 type Online = online.Allocator
 
 // OnlineReport summarizes one Allocate epoch.
