@@ -92,6 +92,8 @@ func loadgen(cfg loadgenConfig) error {
 		percentile(all, 0.99).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
 
+	// The cheap lite path: steady-state telemetry must not pay the O(live)
+	// full-state hash (pass /stats?fingerprint=1 manually when you want it).
 	res, err := client.Get(cfg.Base + "/stats")
 	if err != nil {
 		return err
@@ -115,6 +117,7 @@ func loadgen(cfg loadgenConfig) error {
 func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]time.Duration, error) {
 	r := rng.New(rng.Mix64(cfg.Seed ^ (uint64(idx)+1)*0x1F83D9ABFB41BD6B))
 	lat := make([]time.Duration, 0, cfg.Batches)
+	var buf bytes.Buffer // reusable request-encode buffer for this client
 	var live []int64
 	for i := 0; i < cfg.Batches; i++ {
 		released := 0
@@ -127,7 +130,7 @@ func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]
 			var rel struct {
 				Released int `json:"released"`
 			}
-			if err := post(client, cfg.Base, "/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
+			if err := post(client, &buf, cfg.Base, "/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
 				return lat, err
 			}
 			released = rel.Released
@@ -135,7 +138,7 @@ func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]
 		}
 		start := time.Now()
 		var ar serve.Report
-		if err := post(client, cfg.Base, "/allocate", map[string]any{"count": cfg.Batch, "terse": true}, &ar); err != nil {
+		if err := post(client, &buf, cfg.Base, "/allocate", map[string]any{"count": cfg.Batch, "terse": true}, &ar); err != nil {
 			return lat, err
 		}
 		elapsed := time.Since(start)
@@ -187,12 +190,14 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func post(client *http.Client, base, path string, req, resp any) error {
-	b, err := json.Marshal(req)
-	if err != nil {
+// post encodes req into the caller's reusable buffer and POSTs it, so a
+// client's request path allocates no fresh body per epoch.
+func post(client *http.Client, buf *bytes.Buffer, base, path string, req, resp any) error {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(req); err != nil {
 		return err
 	}
-	res, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	res, err := client.Post(base+path, "application/json", bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,10 @@
 //	                              granted ID spans and (unless "terse")
 //	                              the per-ball placements
 //	POST /release  {"ids": [..]}  depart balls, freeing capacity
-//	GET  /stats                   aggregated snapshot + combined fingerprint
+//	GET  /stats                   aggregated O(1) snapshot (counters, load
+//	                              extremes, per-cell chain fingerprints);
+//	                              ?fingerprint=1 adds the O(live) full-state
+//	                              fingerprints + the combined service hash
 //	GET  /snapshot                versioned service snapshot document
 //	GET  /healthz                 readiness probe
 //

@@ -64,6 +64,21 @@ func getStats(t *testing.T, base string) map[string]any {
 	return stats
 }
 
+// getFingerprint fetches the combined full-state fingerprint, which is
+// opt-in on /stats (the default response is the cheap lite snapshot).
+func getFingerprint(t *testing.T, base string) string {
+	t.Helper()
+	var stats map[string]any
+	if code := getJSON(t, base+"/stats?fingerprint=1", &stats); code != http.StatusOK {
+		t.Fatalf("/stats?fingerprint=1: HTTP %d", code)
+	}
+	fp, _ := stats["fingerprint"].(string)
+	if fp == "" {
+		t.Fatalf("/stats?fingerprint=1 returned no fingerprint: %v", stats)
+	}
+	return fp
+}
+
 func TestSmoke(t *testing.T) {
 	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
 	_, base := startServer(t, bin, "-n", "32", "-shards", "4", "-alg", "aheavy", "-seed", "7")
@@ -142,7 +157,12 @@ func TestDeterministicAcrossProcesses(t *testing.T) {
 			}
 			postJSON(t, base+"/release", `{"ids": [`+strings.Join(strIDs, ",")+`]}`, nil)
 			postJSON(t, base+"/allocate", `{"count": 200, "terse": true}`, nil)
-			fps = append(fps, getStats(t, base)["fingerprint"].(string))
+			// The default /stats is fingerprint-free; make sure it still
+			// carries the O(1) chain before asking for the full hash.
+			if lite := getStats(t, base); lite["fingerprint"] != nil {
+				t.Fatalf("default /stats unexpectedly computed the full fingerprint: %v", lite)
+			}
+			fps = append(fps, getFingerprint(t, base))
 		}
 		if fps[0] != fps[1] || fps[0] == "" {
 			t.Fatalf("shards=%s: fingerprints differ across worker counts: %v", shards, fps)
@@ -162,7 +182,7 @@ func TestGracefulShutdownSnapshotRestore(t *testing.T) {
 	_, refBase := startServer(t, bin, "-n", "24", "-shards", "3", "-seed", "5")
 	postJSON(t, refBase+"/allocate", `{"count": 400, "terse": true}`, nil)
 	postJSON(t, refBase+"/allocate", `{"count": 100, "terse": true}`, nil)
-	want := getStats(t, refBase)["fingerprint"].(string)
+	want := getFingerprint(t, refBase)
 
 	// Interrupted server: prefix, SIGINT (snapshot), restart, suffix.
 	p1, base1 := startServer(t, bin, common...)
@@ -181,7 +201,7 @@ func TestGracefulShutdownSnapshotRestore(t *testing.T) {
 		t.Fatalf("restored server lost state: %v", stats)
 	}
 	postJSON(t, base2+"/allocate", `{"count": 100, "terse": true}`, nil)
-	if got := getStats(t, base2)["fingerprint"].(string); got != want {
+	if got := getFingerprint(t, base2); got != want {
 		t.Fatalf("restored fingerprint %s != uninterrupted %s", got, want)
 	}
 	// A clean second shutdown must round-trip the grown state too.

@@ -109,6 +109,29 @@ type Config struct {
 	// ball's final bin in Result.Placements. RunFast rejects it: the
 	// count-based path treats balls as exchangeable and has no identities.
 	RecordPlacements bool
+	// Scratch, if non-nil, supplies reusable per-run state (schedule
+	// buffers, protocol structs, and the two engine arenas) so repeated
+	// runs — the online layer's epoch-per-Allocate regime — allocate
+	// (almost) nothing. The returned Result is then valid only until the
+	// next run using the same Scratch; one Scratch serves one run at a
+	// time.
+	Scratch *Scratch
+}
+
+// Scratch pools every reusable buffer of one Run/RunFast invocation: the
+// threshold schedule, the phase-1 and phase-2 protocol values, the
+// cleanup's totals vector, and one sim.Arena per phase (both phases'
+// results are alive simultaneously while finish merges them, so they
+// cannot share an arena).
+type Scratch struct {
+	thresholds []int64
+	estimates  []float64
+	p1         phase1
+	mp1        massPhase1
+	cl         cleanup
+	totals     []int64
+	arenaP1    sim.Arena
+	arenaP2    sim.Arena
 }
 
 // validateBase checks a BaseLoads slice against the instance and returns
@@ -145,6 +168,12 @@ func Schedule(p model.Problem, params Params) (thresholds []int64, estimates []f
 // remaining-ball estimates track only the M balls being placed. With
 // baseTotal == 0 it is exactly Schedule.
 func ScheduleOffset(p model.Problem, baseTotal int64, params Params) (thresholds []int64, estimates []float64) {
+	return scheduleOffsetInto(p, baseTotal, params, nil, nil)
+}
+
+// scheduleOffsetInto is ScheduleOffset appending into caller-owned buffers
+// (pass length-0 slices to reuse their capacity across runs).
+func scheduleOffsetInto(p model.Problem, baseTotal int64, params Params, thresholds []int64, estimates []float64) ([]int64, []float64) {
 	params = params.withDefaults()
 	mu := (float64(baseTotal) + float64(p.M)) / float64(p.N)
 	ns := float64(p.N)
@@ -241,18 +270,31 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	thresholds, _ := ScheduleOffset(p, baseTotal, params)
+	scr := cfg.Scratch
+	thresholds := scheduleThresholds(p, baseTotal, params, scr)
 
 	var res *model.Result
 	if len(thresholds) > 0 {
-		p1 := &phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
 		// Degree-1 runs expose the count-based view too, so the engine can
 		// route instances beyond its agent limit to mass mode.
-		var proto sim.Protocol = p1
-		if params.Degree == 1 {
-			proto = massPhase1{p1}
+		var proto sim.Protocol
+		var arena *sim.Arena
+		if scr != nil {
+			scr.p1 = phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
+			proto = &scr.p1
+			if params.Degree == 1 {
+				scr.mp1 = massPhase1{&scr.p1}
+				proto = &scr.mp1
+			}
+			arena = &scr.arenaP1
+		} else {
+			p1 := &phase1{thresholds: thresholds, degree: params.Degree, base: cfg.BaseLoads}
+			proto = p1
+			if params.Degree == 1 {
+				proto = massPhase1{p1}
+			}
 		}
-		eng := sim.New(p, proto, sim.Config{
+		eng := sim.NewIn(arena, p, proto, sim.Config{
 			Seed:             cfg.Seed,
 			Workers:          cfg.Workers,
 			TieBreak:         cfg.TieBreak,
@@ -264,8 +306,12 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("core: phase 1: %w", err)
 		}
+	} else if scr != nil {
+		// Degenerate heavily-loaded ratio: everything goes to phase 2. This
+		// is also the small-batch churn regime (m̃_0 <= StopFactor·n), so the
+		// empty result comes from the arena instead of fresh O(n+m) slices.
+		res = scr.arenaP1.ResultBuffers(p, cfg.RecordPlacements)
 	} else {
-		// Degenerate heavily-loaded ratio: everything goes to phase 2.
 		res = &model.Result{Problem: p, Loads: make([]int64, p.N), Unallocated: p.M}
 		if cfg.RecordPlacements {
 			res.Placements = make([]int32, p.M)
@@ -276,6 +322,17 @@ func Run(p model.Problem, cfg Config) (*model.Result, error) {
 	}
 
 	return finish(p, res, params, cfg)
+}
+
+// scheduleThresholds computes the phase-1 schedule, reusing the scratch's
+// buffers when available.
+func scheduleThresholds(p model.Problem, baseTotal int64, params Params, scr *Scratch) []int64 {
+	if scr == nil {
+		thresholds, _ := ScheduleOffset(p, baseTotal, params)
+		return thresholds
+	}
+	scr.thresholds, scr.estimates = scheduleOffsetInto(p, baseTotal, params, scr.thresholds[:0], scr.estimates[:0])
+	return scr.thresholds
 }
 
 // finish dispatches phase 2: the Alight substrate for the batch case, the
@@ -374,22 +431,35 @@ func RunFast(p model.Problem, cfg Config) (*model.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	thresholds, _ := ScheduleOffset(p, baseTotal, params)
+	scr := cfg.Scratch
+	thresholds := scheduleThresholds(p, baseTotal, params, scr)
 
 	var res *model.Result
 	if len(thresholds) > 0 {
-		proto := massPhase1{&phase1{thresholds: thresholds, degree: 1, base: cfg.BaseLoads}}
+		var proto sim.MassProtocol
+		var arena *sim.Arena
+		if scr != nil {
+			scr.p1 = phase1{thresholds: thresholds, degree: 1, base: cfg.BaseLoads}
+			scr.mp1 = massPhase1{&scr.p1}
+			proto = &scr.mp1
+			arena = &scr.arenaP1
+		} else {
+			proto = massPhase1{&phase1{thresholds: thresholds, degree: 1, base: cfg.BaseLoads}}
+		}
 		res, err = sim.RunMass(p, proto, sim.Config{
 			Seed:      cfg.Seed,
 			Workers:   cfg.Workers,
 			Trace:     cfg.Trace,
 			MaxRounds: len(thresholds) + 1,
+			Arena:     arena,
 		})
 		if err != nil {
 			return res, fmt.Errorf("core: phase 1: %w", err)
 		}
-	} else {
+	} else if scr != nil {
 		// Degenerate heavily-loaded ratio: everything goes to phase 2.
+		res = scr.arenaP1.ResultBuffers(p, false)
+	} else {
 		res = &model.Result{Problem: p, Loads: make([]int64, p.N), Unallocated: p.M}
 	}
 	return finish(p, res, params, cfg)
@@ -426,7 +496,14 @@ func finishWithCleanup(p model.Problem, phase1Res *model.Result, cfg Config) (*m
 		return phase1Res, nil
 	}
 	n := p.N
-	totals := make([]int64, n)
+	scr := cfg.Scratch
+	var totals []int64
+	if scr != nil {
+		scr.totals = sim.GrowInt64(scr.totals, n)
+		totals = scr.totals
+	} else {
+		totals = make([]int64, n)
+	}
 	var total, maxTotal int64
 	for i := range totals {
 		totals[i] = cfg.BaseLoads[i] + phase1Res.Loads[i]
@@ -443,7 +520,18 @@ func finishWithCleanup(p model.Problem, phase1Res *model.Result, cfg Config) (*m
 	if over := maxTotal - ceilAvg; over > 0 {
 		maxRounds += int(over)
 	}
-	res, err := sim.New(model.Problem{M: leftover, N: n}, &cleanup{base: totals, ceilAvg: ceilAvg}, sim.Config{
+	var proto sim.Protocol
+	var arena *sim.Arena
+	if scr != nil {
+		// Phase 2 runs while the phase-1 result (arenaP1) is still live, so
+		// it gets its own arena.
+		scr.cl = cleanup{base: totals, ceilAvg: ceilAvg}
+		proto = &scr.cl
+		arena = &scr.arenaP2
+	} else {
+		proto = &cleanup{base: totals, ceilAvg: ceilAvg}
+	}
+	res, err := sim.NewIn(arena, model.Problem{M: leftover, N: n}, proto, sim.Config{
 		Seed:             rng.Mix64(cfg.Seed ^ 0xE07AB8F2C4D59A17),
 		Workers:          cfg.Workers,
 		TieBreak:         cfg.TieBreak,

@@ -15,16 +15,27 @@
 // capacity back to their bins; balls a protocol leaves unplaced re-enter
 // the next epoch automatically.
 //
+// The steady-state churn epoch is allocation-free and O(batch + Δbins):
+// ball IDs are consecutive grants, so placements live in a paged dense
+// id→bin table (table.go) instead of a hash map; the load extremes are
+// maintained incrementally by a bin-count-per-load histogram instead of
+// O(n) rescans; the epoch runners draw every buffer from per-allocator
+// scratch (the sim/core/threshold arena plumbing); and the state
+// fingerprint is an epoch-chained running hash updated from each epoch's
+// delta, with the full-state SHA-256 kept as the snapshot-verification
+// slow path (VerifyFingerprint).
+//
 // Determinism contract: for a fixed (seed, event trace) — the sequence of
 // Allocate and Release calls with their arguments — the allocation is
 // bit-identical at any worker count, exactly like the batch engine. Epoch
 // seeds are derived from (Config.Seed, epoch index) alone.
 //
 // The package is split by concern: allocator.go holds the live state
-// machine, registry.go the inner-algorithm registry and epoch runners,
-// report.go the epoch/stats vocabulary, and snapshot.go the versioned
-// snapshot/restore format that lets a serving process restart without
-// losing placements (see also internal/serve, which shards allocators).
+// machine, table.go the paged ID table and load histogram, registry.go
+// the inner-algorithm registry and epoch runners, report.go the
+// epoch/stats vocabulary, and snapshot.go the versioned snapshot/restore
+// format that lets a serving process restart without losing placements
+// (see also internal/serve, which shards allocators).
 package online
 
 import (
@@ -73,16 +84,23 @@ type Allocator struct {
 	cfg     Config
 	alg     string // canonical inner-algorithm name
 	run     epochRunner
-	loads   []int64         // live load per bin
-	placed  map[int64]int32 // live ball -> bin
-	pending []int64         // live but unplaced ball IDs, admission order
+	loads   []int64  // live load per bin
+	hist    loadHist // bins-per-load histogram: O(1) extremes
+	table   idTable  // dense id -> bin (placed) / pending marker
+	pending []int64  // live but unplaced ball IDs, admission order
 	nextID  int64
 	epoch   int
 
-	arrived, departed, placedCount int64
-	rounds                         int
-	metrics                        model.Metrics
-	trace                          []int64
+	arrived, departed int64
+	rounds            int
+	metrics           model.Metrics
+	trace             []int64
+
+	chain    [sha256.Size]byte // epoch-chained incremental fingerprint
+	chainBuf []byte            // reusable chain-delta encode buffer
+	idsBuf   []int64           // epoch working set (pending + fresh ids)
+	pendBuf  []int64           // permanent backing store of the pending list
+	scratch  epochScratch      // runner arenas and buffers, reused per epoch
 }
 
 // New constructs an allocator.
@@ -95,13 +113,14 @@ func New(cfg Config) (*Allocator, error) {
 		return nil, err
 	}
 	cfg.Alg = canon
-	return &Allocator{
-		cfg:    cfg,
-		alg:    canon,
-		run:    run,
-		loads:  make([]int64, cfg.N),
-		placed: make(map[int64]int32),
-	}, nil
+	a := &Allocator{
+		cfg:   cfg,
+		alg:   canon,
+		run:   run,
+		loads: make([]int64, cfg.N),
+	}
+	a.hist.init(cfg.N)
+	return a, nil
 }
 
 // Alg returns the canonical inner-algorithm name.
@@ -120,18 +139,20 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	defer a.mu.Unlock()
 
 	idBase := a.nextID
-	ids := make([]int64, 0, len(a.pending)+k)
-	ids = append(ids, a.pending...)
+	ids := append(a.idsBuf[:0], a.pending...)
 	for i := 0; i < k; i++ {
 		ids = append(ids, a.nextID)
+		a.table.admit(a.nextID)
 		a.nextID++
 	}
+	a.idsBuf = ids
 	a.arrived += int64(k)
 
 	rep := &Report{Epoch: a.epoch, IDBase: idBase, Admitted: k}
 	a.epoch++
 	if len(ids) == 0 {
-		rep.MaxLoad = a.maxLoad()
+		a.chainAllocate(rep)
+		rep.MaxLoad = a.hist.max
 		rep.Excess = rep.MaxLoad - a.ceilAvg()
 		return rep, nil
 	}
@@ -142,6 +163,7 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	seed := rng.Mix64(a.cfg.Seed ^ uint64(rep.Epoch)*0x9E3779B97F4A7C15)
 	res, err := a.run(model.Problem{M: int64(len(ids)), N: a.cfg.N}, a.loads, runOpts{
 		Seed: seed, Workers: a.cfg.Workers, TieBreak: a.cfg.TieBreak, Trace: a.cfg.Trace,
+		Scratch: &a.scratch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
@@ -149,11 +171,32 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	if res.Placements == nil {
 		return nil, fmt.Errorf("online: epoch %d: runner %s recorded no placements", rep.Epoch, a.alg)
 	}
-	if err := res.CheckPartial(); err != nil {
-		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
+	// Validate before mutating, so a misbehaving runner cannot corrupt the
+	// live state. This replaces the historical CheckPartial call with an
+	// O(batch) pass: the allocator's state is built purely from the
+	// placement vector, so bin ranges and the unallocated count are the
+	// invariants that matter here (the engines' own load/placement
+	// consistency is covered by their package tests, and VerifyFingerprint
+	// re-derives the full histogram as the slow-path audit).
+	if int64(len(res.Placements)) != int64(len(ids)) {
+		return nil, fmt.Errorf("online: epoch %d: runner %s returned %d placements for %d balls",
+			rep.Epoch, a.alg, len(res.Placements), len(ids))
+	}
+	var unplaced int64
+	for _, bin := range res.Placements {
+		if bin < 0 {
+			unplaced++
+		} else if int(bin) >= a.cfg.N {
+			return nil, fmt.Errorf("online: epoch %d: runner %s placed a ball in nonexistent bin %d",
+				rep.Epoch, a.alg, bin)
+		}
+	}
+	if unplaced != res.Unallocated {
+		return nil, fmt.Errorf("online: epoch %d: runner %s reports %d unallocated but left %d unplaced",
+			rep.Epoch, a.alg, res.Unallocated, unplaced)
 	}
 
-	var still []int64
+	still := a.pendBuf[:0]
 	rep.Placements = make([]Placement, 0, len(ids))
 	for i, id := range ids {
 		bin := res.Placements[i]
@@ -161,11 +204,16 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 			still = append(still, id)
 			continue
 		}
-		a.placed[id] = bin
+		a.table.place(id, bin)
 		a.loads[bin]++
-		a.placedCount++
+		a.hist.inc(a.loads[bin] - 1)
 		rep.Placements = append(rep.Placements, Placement{ID: id, Bin: bin})
 	}
+	// a.pending aliased the epoch working set (idsBuf) for failure safety;
+	// the survivors now live in pendBuf, the pending list's permanent
+	// backing store. The two arrays never overlap a read: the working set
+	// copies the pending list out before pendBuf is rewritten.
+	a.pendBuf = still
 	a.pending = still
 	a.rounds += res.Rounds
 	a.metrics.Add(res.Metrics)
@@ -173,8 +221,9 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 
 	rep.Pending = len(still)
 	rep.Rounds = res.Rounds
-	rep.MaxLoad = a.maxLoad()
+	rep.MaxLoad = a.hist.max
 	rep.Excess = rep.MaxLoad - a.ceilAvg()
+	a.chainAllocate(rep)
 	return rep, nil
 }
 
@@ -184,35 +233,40 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 func (a *Allocator) Release(ids []int64) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	released := 0
-	var fromPending map[int64]bool
+	released, pendingReleased := 0, 0
+	buf := a.chainStart('R')
 	for _, id := range ids {
-		if bin, ok := a.placed[id]; ok {
-			delete(a.placed, id)
-			a.loads[bin]--
-			a.placedCount--
-			a.departed++
-			released++
-		} else if len(a.pending) > 0 && !fromPending[id] {
-			if fromPending == nil {
-				fromPending = make(map[int64]bool)
-			}
-			fromPending[id] = true
+		prev, wasLive := a.table.release(id)
+		if !wasLive {
+			continue
+		}
+		released++
+		a.departed++
+		buf = appendI64(buf, id)
+		buf = appendI64(buf, int64(prev))
+		if prev >= 0 {
+			a.loads[prev]--
+			a.hist.dec(a.loads[prev] + 1)
+		} else {
+			pendingReleased++
 		}
 	}
-	if len(fromPending) > 0 {
+	if pendingReleased > 0 {
 		// One compaction pass keeps bulk releases linear even when the
-		// protocol has parked many balls in pending.
+		// protocol has parked many balls in pending: survivors are the ids
+		// still marked pending in the table.
 		kept := a.pending[:0]
 		for _, pid := range a.pending {
-			if fromPending[pid] {
-				a.departed++
-				released++
-			} else {
+			if a.table.get(pid) == slotPending {
 				kept = append(kept, pid)
 			}
 		}
 		a.pending = kept
+	}
+	if released > 0 {
+		a.chainCommit(buf)
+	} else {
+		a.chainBuf = buf[:0]
 	}
 	return released
 }
@@ -224,37 +278,46 @@ func (a *Allocator) Loads() []int64 {
 	return append([]int64(nil), a.loads...)
 }
 
-// Stats returns a snapshot including the state fingerprint.
+// Stats returns a snapshot including the full-state fingerprint (an
+// O(live) hash). Steady-state telemetry should use StatsLite, which is
+// O(1) and carries the incrementally maintained chain fingerprint instead.
 func (a *Allocator) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	min := int64(0)
-	if a.cfg.N > 0 {
-		min = a.loads[0]
-		for _, l := range a.loads[1:] {
-			if l < min {
-				min = l
-			}
-		}
+	return a.stats(true)
+}
+
+// StatsLite is Stats without the full-state fingerprint: every field is
+// maintained incrementally (the load extremes by the histogram, the chain
+// by the epoch deltas), so the call is O(1) regardless of live balls.
+func (a *Allocator) StatsLite() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats(false)
+}
+
+func (a *Allocator) stats(fingerprint bool) Stats {
+	st := Stats{
+		N:        a.cfg.N,
+		Alg:      a.alg,
+		Epoch:    a.epoch,
+		Arrived:  a.arrived,
+		Departed: a.departed,
+		Live:     a.arrived - a.departed,
+		Placed:   a.table.placed,
+		Pending:  int64(len(a.pending)),
+		MaxLoad:  a.hist.max,
+		MinLoad:  a.hist.min,
+		CeilAvg:  a.ceilAvg(),
+		Rounds:   a.rounds,
+		Messages: a.metrics.TotalMessages,
+		Chain:    hex.EncodeToString(a.chain[:]),
 	}
-	maxLoad := a.maxLoad()
-	return Stats{
-		N:           a.cfg.N,
-		Alg:         a.alg,
-		Epoch:       a.epoch,
-		Arrived:     a.arrived,
-		Departed:    a.departed,
-		Live:        a.arrived - a.departed,
-		Placed:      a.placedCount,
-		Pending:     int64(len(a.pending)),
-		MaxLoad:     maxLoad,
-		MinLoad:     min,
-		CeilAvg:     a.ceilAvg(),
-		Excess:      maxLoad - a.ceilAvg(),
-		Rounds:      a.rounds,
-		Messages:    a.metrics.TotalMessages,
-		Fingerprint: a.fingerprint(),
+	st.Excess = st.MaxLoad - st.CeilAvg
+	if fingerprint {
+		st.Fingerprint = a.fingerprint()
 	}
+	return st
 }
 
 // Result renders the live state as a model.Result: Problem.M is the live
@@ -276,24 +339,30 @@ func (a *Allocator) Result() *model.Result {
 	return res
 }
 
-func (a *Allocator) maxLoad() int64 {
-	var m int64
-	for _, l := range a.loads {
-		if l > m {
-			m = l
-		}
-	}
-	return m
+// Footprint returns the approximate resident bytes of the live state: the
+// paged ID table, the load vector and histogram, and the pending list.
+// Used by the churn benchmarks' bytes-per-live-ball accounting.
+func (a *Allocator) Footprint() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// a.pending aliases pendBuf (or, after a failed epoch, idsBuf), so
+	// only the two backing stores are counted.
+	return a.table.footprint() +
+		int64(cap(a.loads))*8 +
+		int64(cap(a.hist.counts))*8 +
+		int64(cap(a.idsBuf)+cap(a.pendBuf))*8
 }
 
 // ceilAvg is the best possible maximal load over the *placed* balls.
 func (a *Allocator) ceilAvg() int64 {
-	return (a.placedCount + int64(a.cfg.N) - 1) / int64(a.cfg.N)
+	return (a.table.placed + int64(a.cfg.N) - 1) / int64(a.cfg.N)
 }
 
-// Fingerprint hashes the live state — loads, the (id, bin) placement map,
+// Fingerprint hashes the live state — loads, the (id, bin) placement set,
 // pending IDs, and the epoch counter. Two allocators fed the same (seed,
-// event trace) have equal fingerprints at any worker count.
+// event trace) have equal fingerprints at any worker count. The paged
+// table iterates in ID order, so the historical sort is gone and the hash
+// is O(live); ChainFingerprint is the O(1) alternative for hot telemetry.
 func (a *Allocator) Fingerprint() string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -311,18 +380,140 @@ func (a *Allocator) fingerprint() string {
 	for _, l := range a.loads {
 		put(l)
 	}
-	ids := make([]int64, 0, len(a.placed))
-	for id := range a.placed {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	a.table.forEachPlaced(func(id int64, bin int32) {
 		put(id)
-		put(int64(a.placed[id]))
-	}
+		put(int64(bin))
+	})
 	put(-1)
 	for _, id := range a.pending {
 		put(id)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChainFingerprint returns the epoch-chained incremental fingerprint: a
+// running SHA-256 folded over every state-changing event's delta (epoch
+// header and placements on Allocate, released (id, bin) pairs on Release).
+// Equal event traces yield equal chains at any worker count, and the chain
+// survives snapshot/restore, so it is the O(1) replacement for Fingerprint
+// in steady-state telemetry. It is not derivable from the current state
+// alone — Fingerprint/VerifyFingerprint remain the state-content hash the
+// snapshot format verifies.
+func (a *Allocator) ChainFingerprint() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return hex.EncodeToString(a.chain[:])
+}
+
+// VerifyFingerprint is the slow-path audit: it recomputes the full-state
+// fingerprint through the historical route — collect every placed (id,
+// bin) pair, sort by ID, hash — and cross-checks the incremental
+// structures against it: the paged table's ID-ordered iteration must
+// produce the identical hash, the load vector must equal the placement
+// histogram, and the histogram extremes must match a full scan. It returns
+// the verified fingerprint, or an error naming the first inconsistency.
+func (a *Allocator) VerifyFingerprint() (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	// Reference hash: sorted-pair slow path, exactly the pre-paged-table
+	// spelling (sort.Slice over the collected pairs).
+	pairs := make([]Placement, 0, a.table.placed)
+	a.table.forEachPlaced(func(id int64, bin int32) {
+		pairs = append(pairs, Placement{ID: id, Bin: bin})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(a.epoch))
+	for _, l := range a.loads {
+		put(l)
+	}
+	for _, p := range pairs {
+		put(p.ID)
+		put(int64(p.Bin))
+	}
+	put(-1)
+	for _, id := range a.pending {
+		put(id)
+	}
+	want := hex.EncodeToString(h.Sum(nil))
+
+	if got := a.fingerprint(); got != want {
+		return "", fmt.Errorf("online: paged-table fingerprint %s != sorted recomputation %s", got, want)
+	}
+	if int64(len(pairs)) != a.table.placed {
+		return "", fmt.Errorf("online: table reports %d placed balls but iterates %d", a.table.placed, len(pairs))
+	}
+	hist := make([]int64, a.cfg.N)
+	for _, p := range pairs {
+		hist[p.Bin]++
+	}
+	var min, max int64
+	for b, l := range a.loads {
+		if hist[b] != l {
+			return "", fmt.Errorf("online: bin %d holds %d placements but load %d", b, hist[b], l)
+		}
+		if l > max {
+			max = l
+		}
+		if b == 0 || l < min {
+			min = l
+		}
+	}
+	if min != a.hist.min || max != a.hist.max {
+		return "", fmt.Errorf("online: histogram extremes (%d, %d) != scanned extremes (%d, %d)",
+			a.hist.min, a.hist.max, min, max)
+	}
+	for _, id := range a.pending {
+		if a.table.get(id) != slotPending {
+			return "", fmt.Errorf("online: pending ball %d not marked pending in the table", id)
+		}
+	}
+	// Reverse direction: every table pending marker must correspond to an
+	// entry in the pending list (no ghost admissions).
+	if tablePending := a.table.live - a.table.placed; tablePending != int64(len(a.pending)) {
+		return "", fmt.Errorf("online: table holds %d pending markers but the pending list has %d ids",
+			tablePending, len(a.pending))
+	}
+	return want, nil
+}
+
+// chainStart begins a chain-delta buffer: the previous chain value plus
+// the event tag.
+func (a *Allocator) chainStart(tag byte) []byte {
+	buf := append(a.chainBuf[:0], a.chain[:]...)
+	return append(buf, tag)
+}
+
+// chainCommit folds the assembled delta into the chain.
+func (a *Allocator) chainCommit(buf []byte) {
+	a.chainBuf = buf[:0]
+	a.chain = sha256.Sum256(buf)
+}
+
+// chainAllocate folds one committed Allocate epoch into the chain: the
+// epoch header, every placement resolved this epoch (in the deterministic
+// working-set order), and the surviving pending count.
+func (a *Allocator) chainAllocate(rep *Report) {
+	buf := a.chainStart('A')
+	buf = appendI64(buf, int64(rep.Epoch))
+	buf = appendI64(buf, rep.IDBase)
+	buf = appendI64(buf, int64(rep.Admitted))
+	for _, p := range rep.Placements {
+		buf = appendI64(buf, p.ID)
+		buf = appendI64(buf, int64(p.Bin))
+	}
+	buf = appendI64(buf, -1)
+	buf = appendI64(buf, int64(rep.Pending))
+	a.chainCommit(buf)
+}
+
+// appendI64 appends v's little-endian encoding to buf.
+func appendI64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
 }

@@ -19,6 +19,73 @@ type runOpts struct {
 	Workers  int
 	TieBreak sim.TieBreak
 	Trace    bool
+	// Scratch, if non-nil, supplies the allocator's reusable epoch buffers
+	// (engine arenas, runner protocol values, placement/load vectors), so
+	// steady-state epochs allocate (almost) nothing. Results produced
+	// against a scratch are valid only until its next epoch.
+	Scratch *epochScratch
+}
+
+// epochScratch pools every reusable buffer of the allocator's epoch path:
+// the core and threshold run scratches (each carrying sim engine arenas),
+// and the flat buffers of the self-contained runners (greedy, oneshot,
+// mass placement synthesis). One scratch serves one epoch at a time.
+type epochScratch struct {
+	core       core.Scratch
+	thr        threshold.Scratch
+	rand       rng.Rand
+	loads      []int64
+	placements []int32
+	res        model.Result
+}
+
+// coreScratch returns the core-layer scratch (nil-safe).
+func (o runOpts) coreScratch() *core.Scratch {
+	if o.Scratch == nil {
+		return nil
+	}
+	return &o.Scratch.core
+}
+
+// thrScratch returns the threshold-layer scratch (nil-safe).
+func (o runOpts) thrScratch() *threshold.Scratch {
+	if o.Scratch == nil {
+		return nil
+	}
+	return &o.Scratch.thr
+}
+
+// epochBuffers returns a zeroed n-bin load vector, an m-slot placement
+// vector (contents unspecified; runners overwrite every slot), and the
+// Result header — scratch-backed when available, freshly allocated
+// otherwise.
+func epochBuffers(scr *epochScratch, p model.Problem) (loads []int64, placements []int32, res *model.Result) {
+	if scr == nil {
+		return make([]int64, p.N), make([]int32, p.M), &model.Result{}
+	}
+	if cap(scr.loads) < p.N {
+		scr.loads = make([]int64, p.N)
+	}
+	scr.loads = scr.loads[:p.N]
+	for i := range scr.loads {
+		scr.loads[i] = 0
+	}
+	if cap(scr.placements) < int(p.M) {
+		scr.placements = make([]int32, p.M)
+	}
+	scr.placements = scr.placements[:p.M]
+	return scr.loads, scr.placements, &scr.res
+}
+
+// epochRand seeds a runner's generator — the scratch's in-place stream
+// when available (identical to rng.New by construction), a fresh one
+// otherwise.
+func epochRand(scr *epochScratch, seed uint64) *rng.Rand {
+	if scr == nil {
+		return rng.New(seed)
+	}
+	scr.rand.Seed(seed)
+	return &scr.rand
 }
 
 // epochRunner places p.M fresh balls on top of the base per-bin loads and
@@ -84,6 +151,7 @@ func resolveAlg(name string) (string, epochRunner, error) {
 				return core.RunFast(p, core.Config{
 					Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace,
 					Params: core.Params{Beta: beta}, BaseLoads: base,
+					Scratch: opt.coreScratch(),
 				})
 			}), nil
 		}
@@ -91,6 +159,7 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			return core.Run(p, core.Config{
 				Seed: opt.Seed, Workers: opt.Workers, TieBreak: opt.TieBreak, Trace: opt.Trace,
 				Params: core.Params{Beta: beta}, BaseLoads: base, RecordPlacements: true,
+				Scratch: opt.coreScratch(),
 			})
 		}, nil
 	case "adaptive":
@@ -111,6 +180,7 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			return canon + massSuffix, massEpoch(func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
 				return alg.RunMass(p, threshold.Config{
 					Seed: opt.Seed, Workers: opt.Workers, Trace: opt.Trace, BaseLoads: base,
+					Scratch: opt.thrScratch(),
 				})
 			}), nil
 		}
@@ -118,6 +188,7 @@ func resolveAlg(name string) (string, epochRunner, error) {
 			return alg.Run(p, threshold.Config{
 				Seed: opt.Seed, Workers: opt.Workers, TieBreak: opt.TieBreak, Trace: opt.Trace,
 				BaseLoads: base, RecordPlacements: true,
+				Scratch: opt.thrScratch(),
 			})
 		}, nil
 	case "greedy":
@@ -177,7 +248,17 @@ func massEpoch(run epochRunner) epochRunner {
 		if err != nil {
 			return nil, err
 		}
-		placements := make([]int32, p.M)
+		var placements []int32
+		if scr := opt.Scratch; scr != nil {
+			// The load/result buffers stay with the inner run; only the
+			// placement synthesis buffer is drawn here.
+			if cap(scr.placements) < int(p.M) {
+				scr.placements = make([]int32, p.M)
+			}
+			placements = scr.placements[:p.M]
+		} else {
+			placements = make([]int32, p.M)
+		}
 		i := 0
 		for b, l := range res.Loads {
 			for j := int64(0); j < l && i < len(placements); j++ {
@@ -188,7 +269,7 @@ func massEpoch(run epochRunner) epochRunner {
 		for ; i < len(placements); i++ {
 			placements[i] = -1
 		}
-		r := rng.New(rng.Mix64(opt.Seed ^ 0x9216D5D98979FB1B))
+		r := epochRand(opt.Scratch, rng.Mix64(opt.Seed^0x9216D5D98979FB1B))
 		r.Shuffle(len(placements), func(a, b int) {
 			placements[a], placements[b] = placements[b], placements[a]
 		})
@@ -201,9 +282,8 @@ func massEpoch(run epochRunner) epochRunner {
 // the textbook balancer, here churn-aware. One round by convention.
 func greedyRunner(d int) epochRunner {
 	return func(p model.Problem, base []int64, opt runOpts) (*model.Result, error) {
-		r := rng.New(rng.Mix64(opt.Seed ^ 0x6A09E667F3BCC909))
-		loads := make([]int64, p.N)
-		placements := make([]int32, p.M)
+		r := epochRand(opt.Scratch, rng.Mix64(opt.Seed^0x6A09E667F3BCC909))
+		loads, placements, res := epochBuffers(opt.Scratch, p)
 		for i := int64(0); i < p.M; i++ {
 			best := -1
 			var bestLoad int64
@@ -220,7 +300,7 @@ func greedyRunner(d int) epochRunner {
 			loads[best]++
 			placements[i] = int32(best)
 		}
-		res := &model.Result{
+		*res = model.Result{
 			Problem: p, Loads: loads, Rounds: 1, Placements: placements,
 			Metrics: model.Metrics{
 				BallRequests: p.M * int64(d), BinReplies: p.M * int64(d),
@@ -237,15 +317,14 @@ func greedyRunner(d int) epochRunner {
 // oneshotRunner hashes every ball to a uniform bin; no coordination, so
 // residual loads are ignored (that is the point of the foil).
 func oneshotRunner(p model.Problem, _ []int64, opt runOpts) (*model.Result, error) {
-	r := rng.New(rng.Mix64(opt.Seed ^ 0xBB67AE8584CAA73B))
-	loads := make([]int64, p.N)
-	placements := make([]int32, p.M)
+	r := epochRand(opt.Scratch, rng.Mix64(opt.Seed^0xBB67AE8584CAA73B))
+	loads, placements, res := epochBuffers(opt.Scratch, p)
 	for i := int64(0); i < p.M; i++ {
 		b := r.Intn(p.N)
 		loads[b]++
 		placements[i] = int32(b)
 	}
-	res := &model.Result{
+	*res = model.Result{
 		Problem: p, Loads: loads, Rounds: 1, Placements: placements,
 		Metrics: model.Metrics{BallRequests: p.M, TotalMessages: p.M, MaxBallSent: 1},
 	}

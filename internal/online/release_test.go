@@ -41,10 +41,11 @@ func pendingAlloc(t *testing.T) (*Allocator, []int64) {
 	moved := ids[len(ids)-2:]
 	a.mu.Lock()
 	for _, id := range moved {
-		bin := a.placed[id]
-		delete(a.placed, id)
+		bin := a.table.get(id)
+		a.table.release(id)
+		a.table.admit(id) // back to live-but-unplaced
 		a.loads[bin]--
-		a.placedCount--
+		a.hist.dec(a.loads[bin] + 1)
 		a.pending = append(a.pending, id)
 	}
 	a.mu.Unlock()

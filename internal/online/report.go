@@ -31,21 +31,28 @@ func (r *Report) IDs() []int64 {
 	return ids
 }
 
-// Stats is a point-in-time snapshot of the allocator.
+// Stats is a point-in-time snapshot of the allocator. Every numeric field
+// and Chain are maintained incrementally (O(1) to read); Fingerprint is
+// the O(live) full-state hash and is filled only by Stats, not StatsLite.
 type Stats struct {
-	N           int    `json:"n"`
-	Alg         string `json:"alg"`
-	Epoch       int    `json:"epoch"`
-	Arrived     int64  `json:"arrived"`
-	Departed    int64  `json:"departed"`
-	Live        int64  `json:"live"`
-	Placed      int64  `json:"placed"`
-	Pending     int64  `json:"pending"`
-	MaxLoad     int64  `json:"max_load"`
-	MinLoad     int64  `json:"min_load"`
-	CeilAvg     int64  `json:"ceil_avg"`
-	Excess      int64  `json:"excess"`
-	Rounds      int    `json:"rounds"`
-	Messages    int64  `json:"messages"`
-	Fingerprint string `json:"fingerprint"`
+	N        int    `json:"n"`
+	Alg      string `json:"alg"`
+	Epoch    int    `json:"epoch"`
+	Arrived  int64  `json:"arrived"`
+	Departed int64  `json:"departed"`
+	Live     int64  `json:"live"`
+	Placed   int64  `json:"placed"`
+	Pending  int64  `json:"pending"`
+	MaxLoad  int64  `json:"max_load"`
+	MinLoad  int64  `json:"min_load"`
+	CeilAvg  int64  `json:"ceil_avg"`
+	Excess   int64  `json:"excess"`
+	Rounds   int    `json:"rounds"`
+	Messages int64  `json:"messages"`
+	// Fingerprint is the full-state SHA-256 (see Allocator.Fingerprint);
+	// empty in StatsLite snapshots.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Chain is the epoch-chained incremental fingerprint (see
+	// Allocator.ChainFingerprint), always present and O(1) to produce.
+	Chain string `json:"chain"`
 }

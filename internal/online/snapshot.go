@@ -1,8 +1,8 @@
 package online
 
 import (
+	"encoding/hex"
 	"fmt"
-	"sort"
 
 	"repro/internal/model"
 )
@@ -19,7 +19,11 @@ const SnapshotVersion = 1
 // on restore. Fingerprint is the allocator's SHA-256 state fingerprint at
 // snapshot time; Restore recomputes it from the decoded state and refuses
 // a snapshot that does not verify, so a corrupted or hand-edited file can
-// never silently resurrect a different allocation.
+// never silently resurrect a different allocation. Chain carries the
+// epoch-chained incremental fingerprint so a restored stream's chain
+// continues exactly where the interrupted one left off (the chain folds
+// event history, so it cannot be recomputed from state; absent — e.g. in
+// a pre-chain snapshot — it restarts from zero).
 type Snapshot struct {
 	Version  int           `json:"version"`
 	N        int           `json:"n"`
@@ -39,6 +43,7 @@ type Snapshot struct {
 	// allocator was configured with Trace.
 	Trace       []int64 `json:"trace,omitempty"`
 	Fingerprint string  `json:"fingerprint"`
+	Chain       string  `json:"chain,omitempty"`
 }
 
 // Snapshot captures the allocator's live state. The result is safe to
@@ -50,12 +55,12 @@ type Snapshot struct {
 func (a *Allocator) Snapshot() *Snapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	placed := make([]Placement, 0, len(a.placed))
-	for id, bin := range a.placed {
+	// The paged table iterates in ascending ID order, which is exactly the
+	// canonical, diff-friendly serialization order.
+	placed := make([]Placement, 0, a.table.placed)
+	a.table.forEachPlaced(func(id int64, bin int32) {
 		placed = append(placed, Placement{ID: id, Bin: bin})
-	}
-	// Sort by ID for a canonical, diff-friendly serialization.
-	sort.Slice(placed, func(i, j int) bool { return placed[i].ID < placed[j].ID })
+	})
 	s := &Snapshot{
 		Version:     SnapshotVersion,
 		N:           a.cfg.N,
@@ -70,6 +75,7 @@ func (a *Allocator) Snapshot() *Snapshot {
 		Placed:      placed,
 		Pending:     append([]int64(nil), a.pending...),
 		Fingerprint: a.fingerprint(),
+		Chain:       hex.EncodeToString(a.chain[:]),
 	}
 	if a.cfg.Trace {
 		s.Trace = append([]int64(nil), a.trace...)
@@ -122,23 +128,30 @@ func (s *Snapshot) Restore(cfg Config) (*Allocator, error) {
 		if int(p.Bin) < 0 || int(p.Bin) >= s.N {
 			return nil, fmt.Errorf("online: snapshot places ball %d in nonexistent bin %d", p.ID, p.Bin)
 		}
-		if _, dup := a.placed[p.ID]; dup {
+		if !a.table.admit(p.ID) {
 			return nil, fmt.Errorf("online: snapshot places ball %d twice", p.ID)
 		}
-		a.placed[p.ID] = p.Bin
+		a.table.place(p.ID, p.Bin)
 		a.loads[p.Bin]++
-		a.placedCount++
+		a.hist.inc(a.loads[p.Bin] - 1)
 	}
 	for _, id := range s.Pending {
 		if id < 0 || id >= s.NextID {
 			return nil, fmt.Errorf("online: snapshot pends ball %d outside the issued ID range [0, %d)", id, s.NextID)
 		}
-		if _, dup := a.placed[id]; dup {
-			return nil, fmt.Errorf("online: snapshot has ball %d both placed and pending", id)
+		if !a.table.admit(id) {
+			return nil, fmt.Errorf("online: snapshot has ball %d both placed and pending (or pending twice)", id)
 		}
 	}
 	a.pending = append([]int64(nil), s.Pending...)
 	a.trace = append([]int64(nil), s.Trace...)
+	if s.Chain != "" {
+		chain, err := hex.DecodeString(s.Chain)
+		if err != nil || len(chain) != len(a.chain) {
+			return nil, fmt.Errorf("online: snapshot chain %q is not a %d-byte hex digest", s.Chain, len(a.chain))
+		}
+		copy(a.chain[:], chain)
+	}
 	if got := a.fingerprint(); got != s.Fingerprint {
 		return nil, fmt.Errorf("online: snapshot fingerprint mismatch: stored %s, state hashes to %s", s.Fingerprint, got)
 	}

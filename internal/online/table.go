@@ -1,0 +1,254 @@
+package online
+
+// This file holds the allocator's two O(1) hot-path structures:
+//
+//   - idTable, a paged dense id→bin table replacing the placed hash map.
+//     Ball IDs are consecutive nextID grants, so the id space is a dense
+//     prefix of the integers and churn retires it from the left: a flat
+//     array indexed by id is the right structure, paged so that retired ID
+//     ranges hand their memory back. Lookup, admit, place, and release are
+//     array reads/writes — no hashing anywhere in the churn path — and
+//     iteration is naturally ID-ordered, which is what lets the full-state
+//     fingerprint drop its O(live·log live) sort.
+//
+//   - loadHist, a bin-count-per-load histogram that maintains the load
+//     extremes incrementally: every placement/release moves one bin by ±1,
+//     so min/max maintenance is amortized O(1) and Stats no longer scans
+//     all n bins per epoch.
+
+const (
+	// pageBits sizes one table page at 2^14 ids (64 KiB of bins): small
+	// enough that a mostly-retired range frees promptly, large enough that
+	// the page directory stays tiny (8 bytes per 16384 ids).
+	pageBits = 14
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Entry sentinels. Non-negative entries are the ball's bin.
+const (
+	slotEmpty   int32 = -1 // never issued, or departed
+	slotPending int32 = -2 // live but unplaced (parked in Allocator.pending)
+)
+
+// idPage is one dense id-range slice of the table.
+type idPage struct {
+	bins [pageSize]int32
+	live int32 // entries that are placed or pending
+}
+
+// idTable maps ball IDs to bins without hashing. pages[i] covers ids
+// [(base+i)<<pageBits, (base+i+1)<<pageBits); a nil entry is a fully
+// retired (or never-touched) range. Pages whose last live ball departs are
+// returned to a small spare list and reused for new ID ranges, so steady
+// churn allocates no page memory at all; fully retired leading ranges also
+// advance base, keeping the directory proportional to the live ID span.
+type idTable struct {
+	base   int64 // page index of pages[0]
+	pages  []*idPage
+	placed int64     // entries >= 0
+	live   int64     // entries != slotEmpty (placed + pending)
+	spare  []*idPage // freed pages kept for reuse (bounded)
+}
+
+// maxSparePages bounds the freed-page cache; beyond it pages go to the GC.
+const maxSparePages = 4
+
+// get returns the entry for id (slotEmpty for ids outside the table).
+func (t *idTable) get(id int64) int32 {
+	if id < 0 {
+		return slotEmpty
+	}
+	pi := (id >> pageBits) - t.base
+	if pi < 0 || pi >= int64(len(t.pages)) || t.pages[pi] == nil {
+		return slotEmpty
+	}
+	return t.pages[pi].bins[id&pageMask]
+}
+
+// page returns the page covering id, materializing it if needed.
+func (t *idTable) page(id int64) *idPage {
+	pi := (id >> pageBits) - t.base
+	if pi < 0 {
+		// The watermark page was fully drained and trimmed, and a fresh id
+		// lands in it again: re-extend the directory downward. Only the
+		// newest retired range can overlap the monotone ID watermark, so
+		// this prepend is rare and small.
+		shift := -pi
+		grown := make([]*idPage, shift+int64(len(t.pages)))
+		copy(grown[shift:], t.pages)
+		t.pages = grown
+		t.base -= shift
+		pi = 0
+	}
+	for pi >= int64(len(t.pages)) {
+		t.pages = append(t.pages, nil)
+	}
+	pg := t.pages[pi]
+	if pg == nil {
+		if n := len(t.spare); n > 0 {
+			// Spare pages were freed with every entry back at slotEmpty, so
+			// they need no reinitialization.
+			pg = t.spare[n-1]
+			t.spare[n-1] = nil
+			t.spare = t.spare[:n-1]
+		} else {
+			pg = new(idPage)
+			for i := range pg.bins {
+				pg.bins[i] = slotEmpty
+			}
+		}
+		t.pages[pi] = pg
+	}
+	return pg
+}
+
+// admit marks id as live-but-unplaced. It reports false when the entry is
+// already live (used by snapshot restore to reject duplicates; the
+// allocator itself only admits fresh monotone ids).
+func (t *idTable) admit(id int64) bool {
+	pg := t.page(id)
+	if pg.bins[id&pageMask] != slotEmpty {
+		return false
+	}
+	pg.bins[id&pageMask] = slotPending
+	pg.live++
+	t.live++
+	return true
+}
+
+// place moves a pending id into bin. The id must be pending.
+func (t *idTable) place(id int64, bin int32) {
+	pg := t.pages[(id>>pageBits)-t.base]
+	pg.bins[id&pageMask] = bin
+	t.placed++
+}
+
+// release departs id. It returns the entry's previous value and whether
+// the id was live (placed or pending); releasing an empty/unknown id is a
+// no-op. Pages whose last live entry departs are reclaimed.
+func (t *idTable) release(id int64) (prev int32, wasLive bool) {
+	if id < 0 {
+		return slotEmpty, false
+	}
+	pi := (id >> pageBits) - t.base
+	if pi < 0 || pi >= int64(len(t.pages)) || t.pages[pi] == nil {
+		return slotEmpty, false
+	}
+	pg := t.pages[pi]
+	prev = pg.bins[id&pageMask]
+	if prev == slotEmpty {
+		return prev, false
+	}
+	pg.bins[id&pageMask] = slotEmpty
+	pg.live--
+	t.live--
+	if prev >= 0 {
+		t.placed--
+	}
+	if pg.live == 0 {
+		t.free(pi)
+	}
+	return prev, true
+}
+
+// free reclaims the (fully retired) page at directory index pi and trims
+// the directory: leading nil pages advance base, trailing nils shrink it.
+func (t *idTable) free(pi int64) {
+	if len(t.spare) < maxSparePages {
+		t.spare = append(t.spare, t.pages[pi])
+	}
+	t.pages[pi] = nil
+	for len(t.pages) > 0 && t.pages[0] == nil {
+		t.pages = t.pages[1:]
+		t.base++
+	}
+	for len(t.pages) > 0 && t.pages[len(t.pages)-1] == nil {
+		t.pages = t.pages[:len(t.pages)-1]
+	}
+}
+
+// forEachPlaced calls fn for every placed (id, bin) entry in ascending ID
+// order — the iteration order the full-state fingerprint hashes, with no
+// sort needed.
+func (t *idTable) forEachPlaced(fn func(id int64, bin int32)) {
+	for pi, pg := range t.pages {
+		if pg == nil {
+			continue
+		}
+		idBase := (t.base + int64(pi)) << pageBits
+		for k := range pg.bins {
+			if v := pg.bins[k]; v >= 0 {
+				fn(idBase+int64(k), v)
+			}
+		}
+	}
+}
+
+// footprint returns the table's approximate resident bytes: materialized
+// pages, the directory, and the spare cache.
+func (t *idTable) footprint() int64 {
+	var pages int64
+	for _, pg := range t.pages {
+		if pg != nil {
+			pages++
+		}
+	}
+	pages += int64(len(t.spare))
+	const pageBytes = pageSize*4 + 8
+	return pages*pageBytes + int64(cap(t.pages))*8
+}
+
+// loadHist tracks how many bins sit at each load value, plus the running
+// extremes. Placements and releases move one bin by exactly ±1, so the
+// incremental updates are amortized O(1): every retreat of max (or advance
+// of min) over an empty count is paid for by the ±1 step that created the
+// gap.
+type loadHist struct {
+	counts []int64 // counts[l] = number of bins with load l
+	min    int64
+	max    int64
+}
+
+// init resets the histogram to n bins at load 0.
+func (h *loadHist) init(n int) {
+	if cap(h.counts) < 1 {
+		h.counts = make([]int64, 1, 16)
+	}
+	h.counts = h.counts[:1]
+	h.counts[0] = int64(n)
+	h.min, h.max = 0, 0
+}
+
+// inc records one bin moving from load `from` to from+1.
+func (h *loadHist) inc(from int64) {
+	to := from + 1
+	if int64(len(h.counts)) <= to {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[from]--
+	h.counts[to]++
+	if to > h.max {
+		h.max = to
+	}
+	if from == h.min && h.counts[from] == 0 {
+		for h.counts[h.min] == 0 {
+			h.min++
+		}
+	}
+}
+
+// dec records one bin moving from load `from` (>= 1) to from-1.
+func (h *loadHist) dec(from int64) {
+	to := from - 1
+	h.counts[from]--
+	h.counts[to]++
+	if to < h.min {
+		h.min = to
+	}
+	if from == h.max && h.counts[from] == 0 {
+		for h.max > 0 && h.counts[h.max] == 0 {
+			h.max--
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestIDTableBasicOps covers the entry lifecycle: empty → pending →
+// placed → empty, with counts tracked at each step.
+func TestIDTableBasicOps(t *testing.T) {
+	var tb idTable
+	if got := tb.get(0); got != slotEmpty {
+		t.Fatalf("fresh table entry = %d, want empty", got)
+	}
+	if !tb.admit(0) {
+		t.Fatal("admit(0) on empty slot refused")
+	}
+	if tb.admit(0) {
+		t.Fatal("double admit accepted")
+	}
+	if got := tb.get(0); got != slotPending {
+		t.Fatalf("admitted entry = %d, want pending", got)
+	}
+	tb.place(0, 7)
+	if got := tb.get(0); got != 7 {
+		t.Fatalf("placed entry = %d, want 7", got)
+	}
+	if tb.placed != 1 || tb.live != 1 {
+		t.Fatalf("counts placed=%d live=%d, want 1/1", tb.placed, tb.live)
+	}
+	prev, ok := tb.release(0)
+	if !ok || prev != 7 {
+		t.Fatalf("release = (%d, %v), want (7, true)", prev, ok)
+	}
+	if _, ok := tb.release(0); ok {
+		t.Fatal("double release reported a live ball")
+	}
+	if tb.placed != 0 || tb.live != 0 {
+		t.Fatalf("counts after release placed=%d live=%d, want 0/0", tb.placed, tb.live)
+	}
+	// Junk IDs are no-ops.
+	if _, ok := tb.release(-1); ok {
+		t.Fatal("negative id released")
+	}
+	if _, ok := tb.release(1 << 40); ok {
+		t.Fatal("far-future id released")
+	}
+}
+
+// TestIDTablePageReclamation drives the churn pattern the table exists
+// for: consecutive ID ranges admitted, placed, and fully retired. Retired
+// pages must leave the directory (memory proportional to the live span,
+// not the ID watermark), and the freed pages must be reused for new
+// ranges.
+func TestIDTablePageReclamation(t *testing.T) {
+	var tb idTable
+	const pages = 6
+	id := int64(0)
+	for g := 0; g < pages; g++ {
+		start := id
+		for i := 0; i < pageSize; i++ {
+			tb.admit(id)
+			tb.place(id, int32(id%17))
+			id++
+		}
+		// Retire the whole range.
+		for r := start; r < id; r++ {
+			if _, ok := tb.release(r); !ok {
+				t.Fatalf("generation %d: id %d not live", g, r)
+			}
+		}
+		if tb.live != 0 || tb.placed != 0 {
+			t.Fatalf("generation %d: live=%d placed=%d after full retire", g, tb.live, tb.placed)
+		}
+		live := 0
+		for _, pg := range tb.pages {
+			if pg != nil {
+				live++
+			}
+		}
+		if live != 0 {
+			t.Fatalf("generation %d: %d pages still resident after full retire", g, live)
+		}
+	}
+	// Steady churn must not leak directory or page memory: the footprint
+	// after many retired generations stays bounded by the spare cache.
+	if fp := tb.footprint(); fp > (maxSparePages+2)*(pageSize*4+8)+1024 {
+		t.Fatalf("footprint %d bytes after full retire — pages not reclaimed", fp)
+	}
+	// The freed ranges stay dead: their entries read empty.
+	if got := tb.get(3); got != slotEmpty {
+		t.Fatalf("retired id reads %d, want empty", got)
+	}
+}
+
+// TestIDTableWatermarkPageDrain reproduces the mid-page drain: every live
+// ball departs while the ID watermark is still inside the page, then new
+// ids land in the same (reclaimed) page. The directory must re-extend.
+func TestIDTableWatermarkPageDrain(t *testing.T) {
+	var tb idTable
+	for id := int64(0); id < 40; id++ {
+		tb.admit(id)
+		tb.place(id, 3)
+	}
+	for id := int64(0); id < 40; id++ {
+		tb.release(id)
+	}
+	if len(tb.pages) != 0 {
+		t.Fatalf("%d pages resident after full drain", len(tb.pages))
+	}
+	// The watermark continues inside the drained page.
+	for id := int64(40); id < 80; id++ {
+		if !tb.admit(id) {
+			t.Fatalf("re-admission of id %d into drained page refused", id)
+		}
+		tb.place(id, 5)
+	}
+	if tb.live != 40 || tb.placed != 40 {
+		t.Fatalf("counts after re-extension live=%d placed=%d, want 40/40", tb.live, tb.placed)
+	}
+	for id := int64(0); id < 40; id++ {
+		if tb.get(id) != slotEmpty {
+			t.Fatalf("retired id %d resurrected", id)
+		}
+	}
+}
+
+// TestIDTableIterationIsSorted: forEachPlaced must yield ascending IDs —
+// the property that lets the fingerprint drop its sort.
+func TestIDTableIterationIsSorted(t *testing.T) {
+	var tb idTable
+	r := rng.New(99)
+	placed := make(map[int64]int32)
+	for id := int64(0); id < 3*pageSize; id++ {
+		tb.admit(id)
+		bin := int32(r.Intn(64))
+		tb.place(id, bin)
+		placed[id] = bin
+	}
+	// Punch random holes.
+	for id := int64(0); id < 3*pageSize; id++ {
+		if r.Bernoulli(0.6) {
+			tb.release(id)
+			delete(placed, id)
+		}
+	}
+	prev := int64(-1)
+	seen := 0
+	tb.forEachPlaced(func(id int64, bin int32) {
+		if id <= prev {
+			t.Fatalf("iteration not ascending: %d after %d", id, prev)
+		}
+		if want, ok := placed[id]; !ok || want != bin {
+			t.Fatalf("iteration yields (%d, %d), want (%d, %d)", id, bin, id, placed[id])
+		}
+		prev = id
+		seen++
+	})
+	if seen != len(placed) {
+		t.Fatalf("iterated %d placed balls, want %d", seen, len(placed))
+	}
+}
+
+// TestLoadHistExtremes drives random ±1 load walks and cross-checks the
+// histogram's min/max against full scans.
+func TestLoadHistExtremes(t *testing.T) {
+	const n = 37
+	loads := make([]int64, n)
+	var h loadHist
+	h.init(n)
+	r := rng.New(5)
+	check := func(step int) {
+		var min, max int64
+		for i, l := range loads {
+			if l > max {
+				max = l
+			}
+			if i == 0 || l < min {
+				min = l
+			}
+		}
+		if h.min != min || h.max != max {
+			t.Fatalf("step %d: hist extremes (%d, %d), scan says (%d, %d)", step, h.min, h.max, min, max)
+		}
+	}
+	for step := 0; step < 20000; step++ {
+		b := r.Intn(n)
+		if loads[b] == 0 || r.Bernoulli(0.55) {
+			h.inc(loads[b])
+			loads[b]++
+		} else {
+			h.dec(loads[b])
+			loads[b]--
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(20000)
+}

@@ -79,9 +79,18 @@ func (r *Rand) Seed(seed uint64) {
 // derived stream depends only on r's current state, so splitting is
 // deterministic and the parent may continue to be used afterwards.
 func (r *Rand) Split() *Rand {
+	dst := new(Rand)
+	r.SplitInto(dst)
+	return dst
+}
+
+// SplitInto reinitializes dst exactly as Split would initialize its result,
+// but into caller-owned storage, so hot paths can split streams without
+// allocating (dst may live in a reusable arena).
+func (r *Rand) SplitInto(dst *Rand) {
 	// Draw two words from the parent and mix them into a fresh seed.
 	a, b := r.Uint64(), r.Uint64()
-	return New(Mix64(a) ^ bits.RotateLeft64(Mix64(b), 32))
+	dst.Seed(Mix64(a) ^ bits.RotateLeft64(Mix64(b), 32))
 }
 
 // SplitN derives n independent generators, one per parallel worker.

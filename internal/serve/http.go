@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"sync"
 )
 
 // MaxBatch bounds one /allocate request; far above realistic batch sizes,
@@ -17,13 +20,52 @@ type HandlerConfig struct {
 	Verbose bool
 }
 
+// bufPool holds the reusable JSON encode/decode buffers: request bodies
+// are slurped into a pooled buffer and responses are encoded into one
+// before a single Write, so a steady-state request performs no
+// per-call buffer allocations in the HTTP layer.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// releaseReqPool pools /release request payloads so the decoded ID slice's
+// backing array is reused across calls (encoding/json appends into an
+// existing slice when the capacity suffices).
+var releaseReqPool = sync.Pool{New: func() any { return new(releaseReq) }}
+
+type releaseReq struct {
+	IDs []int64 `json:"ids"`
+}
+
+// readBody slurps the request body into a pooled buffer, unmarshals it,
+// and returns the buffer to the pool (json.Unmarshal copies everything it
+// decodes, so nothing aliases the buffer after it returns).
+func readBody(r *http.Request, v any) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := io.Copy(buf, r.Body)
+	if err == nil {
+		err = json.Unmarshal(buf.Bytes(), v)
+	}
+	putBuf(buf)
+	return err
+}
+
+func putBuf(buf *bytes.Buffer) {
+	// Oversized one-off bodies should not pin their memory in the pool.
+	if buf.Cap() <= 1<<20 {
+		bufPool.Put(buf)
+	}
+}
+
 // NewHandler exposes the service as an HTTP/JSON API:
 //
 //	POST /allocate {"count": k, "terse": bool}  admit k balls -> Report
 //	                                            (terse drops placements,
 //	                                            keeps the ID spans)
 //	POST /release  {"ids": [..]}                depart balls -> {"released": k}
-//	GET  /stats                                 aggregated Stats + fingerprint
+//	GET  /stats                                 aggregated StatsLite (O(1)
+//	                                            counters + chain fingerprints);
+//	                                            ?fingerprint=1 adds the O(live)
+//	                                            full-state fingerprints
 //	GET  /snapshot                              versioned service snapshot JSON
 //	GET  /healthz                               {"status":"ok", ...} once serving
 //
@@ -40,7 +82,7 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			Count int  `json:"count"`
 			Terse bool `json:"terse,omitempty"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readBody(r, &req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 			return
 		}
@@ -75,16 +117,18 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		var req struct {
-			IDs []int64 `json:"ids"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		req := releaseReqPool.Get().(*releaseReq)
+		req.IDs = req.IDs[:0]
+		if err := readBody(r, req); err != nil {
+			releaseReqPool.Put(req)
 			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 			return
 		}
 		released := s.Release(req.IDs)
+		total := len(req.IDs)
+		releaseReqPool.Put(req)
 		if hc.Verbose {
-			log.Printf("released %d of %d", released, len(req.IDs))
+			log.Printf("released %d of %d", released, total)
 		}
 		writeJSON(w, map[string]int{"released": released})
 	})
@@ -93,7 +137,13 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, s.Stats())
+		// The default is the O(1) lite path; full-state fingerprints are
+		// opt-in, so routine health polling never pays O(live) hashing.
+		if r.URL.Query().Get("fingerprint") == "1" {
+			writeJSON(w, s.Stats())
+			return
+		}
+		writeJSON(w, s.StatsLite())
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -112,11 +162,20 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	return mux
 }
 
+// writeJSON encodes v into a pooled buffer and writes it in one call, so
+// the response path reuses encoder memory across requests.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putBuf(buf)
 		log.Printf("serve: encoding response: %v", err)
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -71,7 +71,8 @@ type Service struct {
 	closed   bool
 	inflight sync.WaitGroup // Allocate calls between admission and reply
 
-	loops sync.WaitGroup // cell batcher goroutines
+	loops   sync.WaitGroup // cell batcher goroutines
+	relPool sync.Pool      // *releaseBufs: reusable Release partition buffers
 }
 
 // cell is one shard: a contiguous range of bins owned by one allocator.
@@ -128,6 +129,9 @@ func New(cfg Config) (*Service, error) {
 // mk (a fresh allocator for New, a restored one for Restore).
 func build(cfg Config, mk func(i, cellN int) (*online.Allocator, error)) (*Service, error) {
 	s := &Service{cfg: cfg, cells: make([]*cell, cfg.Shards)}
+	s.relPool.New = func() any {
+		return &releaseBufs{perCell: make([][]int64, cfg.Shards)}
+	}
 	base, per, rem := 0, cfg.N/cfg.Shards, cfg.N%cfg.Shards
 	for i := range s.cells {
 		cellN := per
@@ -180,18 +184,50 @@ func (s *Service) Close() {
 	s.loops.Wait()
 }
 
+// inlineReleaseMax bounds the batch size below which Release partitions
+// and releases inline on the calling goroutine: for the small batches that
+// dominate steady-state serving, a goroutine per touched cell costs more
+// than the releases themselves. Large batches keep the parallel fan-out.
+const inlineReleaseMax = 512
+
+// releaseBufs is one reusable partition workspace: per-cell local-ID
+// buffers, pooled so concurrent Release calls reuse allocations instead of
+// building fresh [][]int64 slices per call.
+type releaseBufs struct {
+	perCell [][]int64
+}
+
 // Release departs the given global ball IDs, crediting capacity back to
 // their cells' bins. Unknown, negative, or already-departed IDs are
 // ignored; the number of balls actually released is returned.
 func (s *Service) Release(ids []int64) int {
+	if len(s.cells) == 1 {
+		// Single cell: no partitioning, no buffers, no goroutines (global
+		// and local IDs coincide; the allocator ignores junk IDs itself).
+		return s.cells[0].alloc.Release(ids)
+	}
 	shards := int64(len(s.cells))
-	perCell := make([][]int64, len(s.cells))
+	bufs := s.relPool.Get().(*releaseBufs)
+	perCell := bufs.perCell
+	for i := range perCell {
+		perCell[i] = perCell[i][:0]
+	}
 	for _, id := range ids {
 		if id < 0 {
 			continue
 		}
 		c := id % shards
 		perCell[c] = append(perCell[c], id/shards)
+	}
+	total := 0
+	if len(ids) <= inlineReleaseMax {
+		for i, local := range perCell {
+			if len(local) > 0 {
+				total += s.cells[i].alloc.Release(local)
+			}
+		}
+		s.relPool.Put(bufs)
+		return total
 	}
 	released := make([]int, len(s.cells))
 	var wg sync.WaitGroup
@@ -206,7 +242,7 @@ func (s *Service) Release(ids []int64) int {
 		}(i, local)
 	}
 	wg.Wait()
-	total := 0
+	s.relPool.Put(bufs)
 	for _, r := range released {
 		total += r
 	}
@@ -266,15 +302,38 @@ type Stats struct {
 	Excess   int64  `json:"excess"`   // MaxLoad - CeilAvg, the global balance gap
 	Rounds   int    `json:"rounds"`
 	Messages int64  `json:"messages"`
-	// Fingerprint is the combined service fingerprint; Cells carries the
-	// per-cell snapshots (each with its own fingerprint).
-	Fingerprint string         `json:"fingerprint"`
+	// Fingerprint is the combined service fingerprint (empty in StatsLite
+	// snapshots); Cells carries the per-cell snapshots (each with its own
+	// fingerprint and incremental chain).
+	Fingerprint string         `json:"fingerprint,omitempty"`
 	Cells       []online.Stats `json:"cells,omitempty"`
 }
 
-// Stats returns the aggregated service snapshot. Quiescence caveats as
-// for Fingerprint.
+// Stats returns the aggregated service snapshot, including the per-cell
+// full-state fingerprints and the combined service fingerprint (O(live)
+// hashing work). Quiescence caveats as for Fingerprint. Steady-state
+// telemetry should use StatsLite.
 func (s *Service) Stats() Stats {
+	st := s.statsWith(func(a *online.Allocator) online.Stats { return a.Stats() })
+	// The combined hash is derived from the per-cell fingerprints already
+	// collected above — re-deriving them via s.Fingerprint() would hash
+	// every cell's live state a second time.
+	fps := make([]string, len(st.Cells))
+	for i, cs := range st.Cells {
+		fps[i] = cs.Fingerprint
+	}
+	st.Fingerprint = combinedFingerprint(s.cfg.N, len(s.cells), s.cfg.Alg, fps)
+	return st
+}
+
+// StatsLite is Stats without any full-state hashing: per-cell snapshots
+// come from the allocators' O(1) StatsLite (each carrying its incremental
+// chain fingerprint), and the combined fingerprint is left empty.
+func (s *Service) StatsLite() Stats {
+	return s.statsWith(func(a *online.Allocator) online.Stats { return a.StatsLite() })
+}
+
+func (s *Service) statsWith(snap func(*online.Allocator) online.Stats) Stats {
 	s.mu.Lock()
 	requests := s.nextReq
 	s.mu.Unlock()
@@ -283,7 +342,7 @@ func (s *Service) Stats() Stats {
 		Cells: make([]online.Stats, 0, len(s.cells)),
 	}
 	for i, c := range s.cells {
-		cs := c.alloc.Stats()
+		cs := snap(c.alloc)
 		st.Cells = append(st.Cells, cs)
 		st.Epochs += int64(cs.Epoch)
 		st.Arrived += cs.Arrived
@@ -302,6 +361,5 @@ func (s *Service) Stats() Stats {
 	}
 	st.CeilAvg = (st.Placed + int64(s.cfg.N) - 1) / int64(s.cfg.N)
 	st.Excess = st.MaxLoad - st.CeilAvg
-	st.Fingerprint = s.Fingerprint()
 	return st
 }

@@ -147,6 +147,7 @@ type agentRun struct {
 	accepts    []acceptRec
 	committed  int64
 	commitMsgs int64
+	serial     bool // commit step runs on one shard: skip the atomics
 
 	gatherFn  func(wi, lo, hi int)
 	processFn func(wi, lo, hi int)
@@ -155,17 +156,25 @@ type agentRun struct {
 
 // runAgent executes the agent-based engine: explicit per-ball agents,
 // sharded across workers, with all per-round working memory drawn from a
-// reusable scratch arena.
+// reusable scratch arena. With Config.Arena set, the run-state buffers
+// (and the Result itself) come from the caller's arena, so repeated runs
+// allocate nothing once the arena is warm.
 func (e *Engine) runAgent() (*model.Result, error) {
 	n := e.p.N
 	m := e.p.M
+
+	arena := e.cfg.Arena
+	if arena == nil {
+		arena = &Arena{}
+	}
 
 	// Ball streams are derived from a domain of the config seed disjoint
 	// from the (historical) worker-stream domain, so that results are
 	// identical for any worker count.
 	ballSeed := rng.Mix64(e.cfg.Seed ^ 0x5A5A5A5A5A5A5A5A)
 
-	balls := make([]Ball, m)
+	arena.balls = growBalls(arena.balls, int(m))
+	balls := arena.balls
 	for i := range balls {
 		balls[i] = Ball{ID: int64(i), seed: rng.Mix64(ballSeed + uint64(i)*0x9E3779B97F4A7C15)}
 		if e.cfg.InitState != nil {
@@ -173,35 +182,51 @@ func (e *Engine) runAgent() (*model.Result, error) {
 		}
 	}
 
-	ar := &agentRun{
-		e:           e,
-		scr:         newScratch(e.cfg.Workers, n),
-		balls:       balls,
-		loads:       make([]int64, n),
-		binReceived: make([]int64, n),
-		ballSent:    make([]int64, m),
-		active:      make([]int32, m),
+	ar := &arena.run
+	ar.e = e
+	if ar.scr == nil || ar.scr.workers != e.cfg.Workers {
+		ar.scr = newScratch(e.cfg.Workers, n)
+	} else {
+		ar.scr.ensureBins(n)
 	}
+	arena.loads = growZeroInt64(arena.loads, n)
+	arena.binReceived = growZeroInt64(arena.binReceived, n)
+	arena.ballSent = growZeroInt64(arena.ballSent, int(m))
+	arena.active = growInt32(arena.active, int(m))
+	ar.balls = balls
+	ar.loads = arena.loads
+	ar.binReceived = arena.binReceived
+	ar.ballSent = arena.ballSent
+	ar.active = arena.active
 	for i := range ar.active {
 		ar.active[i] = int32(i)
 	}
+	ar.placements = nil
 	if e.cfg.RecordPlacements {
-		ar.placements = make([]int32, m)
+		arena.placements = growInt32(arena.placements, int(m))
+		ar.placements = arena.placements
 		for i := range ar.placements {
 			ar.placements[i] = -1
 		}
 	}
-	// Bind the shard bodies once; the round loop reuses them.
-	ar.gatherFn = ar.gatherShard
-	ar.processFn = ar.processShard
-	ar.commitFn = ar.commitShard
+	// Bind the shard bodies once per arena; the receiver &arena.run is
+	// stable across runs, so the method-value closures are reusable.
+	if ar.gatherFn == nil {
+		ar.gatherFn = ar.gatherShard
+		ar.processFn = ar.processShard
+		ar.commitFn = ar.commitShard
+	}
 
-	var held []request // requests collected during Hold rounds
-	var maxLoad int64  // running maximum, updated at commit time
+	held := arena.held[:0] // requests collected during Hold rounds
+	var maxLoad int64      // running maximum, updated at commit time
 	var metrics model.Metrics
 	var trace []int64
+	if e.cfg.Trace {
+		trace = arena.trace[:0]
+	}
 
-	res := &model.Result{Problem: e.p, Loads: ar.loads}
+	res := &arena.res
+	*res = model.Result{Problem: e.p, Loads: ar.loads}
 
 	round := 0
 	hitLimit := true
@@ -220,7 +245,7 @@ func (e *Engine) runAgent() (*model.Result, error) {
 		ar.round = round
 
 		// Step 1: active balls emit requests (parallel over ball shards).
-		reqs := ar.gatherRequests()
+		reqs, perBall := ar.gatherRequests()
 		sentThisRound := int64(len(reqs))
 		metrics.BallRequests += sentThisRound
 		metrics.TotalMessages += sentThisRound
@@ -235,6 +260,9 @@ func (e *Engine) runAgent() (*model.Result, error) {
 			reqs = append(ar.scr.flush, reqs...)
 			ar.scr.flush = reqs
 			held = held[:0]
+			// Flushed rounds can repeat a ball across collection rounds, so
+			// the sort-free commit grouping does not apply.
+			perBall = 2
 		}
 		if len(reqs) == 0 {
 			e.emitRound(round, remaining, sentThisRound, 0, maxLoad)
@@ -248,7 +276,7 @@ func (e *Engine) runAgent() (*model.Result, error) {
 		metrics.TotalMessages += int64(len(reqs))
 
 		// Step 3: balls with accepts commit (parallel over accept groups).
-		commits, roundMax := ar.commitBalls(accepts, &metrics)
+		commits, roundMax := ar.commitBalls(accepts, &metrics, perBall <= 1)
 		if roundMax > maxLoad {
 			maxLoad = roundMax
 		}
@@ -260,6 +288,10 @@ func (e *Engine) runAgent() (*model.Result, error) {
 		e.emitRound(round, remaining, sentThisRound, int64(commits), maxLoad)
 	}
 
+	arena.held = held[:0]
+	if e.cfg.Trace {
+		arena.trace = trace
+	}
 	res.Rounds = round
 	res.Metrics = finishMetrics(metrics, ar.ballSent, ar.binReceived)
 	res.TraceRemaining = trace
@@ -284,32 +316,43 @@ func (r *agentRun) gatherShard(wi, lo, hi int) {
 	scr := r.scr
 	buf := scr.targetBuf[wi]
 	out := scr.reqShards[wi][:0]
+	perBall := 0
 	for _, bi := range r.active[lo:hi] {
 		b := &r.balls[bi]
 		buf = r.e.proto.Targets(r.round, b, r.e.p.N, buf[:0])
 		r.ballSent[bi] += int64(len(buf))
+		if len(buf) > perBall {
+			perBall = len(buf)
+		}
 		for _, bin := range buf {
 			out = append(out, request{ball: bi, bin: int32(bin)})
 		}
 	}
 	scr.targetBuf[wi] = buf
 	scr.reqShards[wi] = out
+	scr.gatherMax[wi] = perBall
 }
 
 // gatherRequests runs step 1 in parallel and returns the concatenated
-// request list in deterministic (worker-shard) order. All buffers come
-// from the scratch arena; the returned slice is valid until the next call.
-func (r *agentRun) gatherRequests() []request {
+// request list in deterministic (worker-shard) order, plus the maximum
+// number of requests any single ball sent (1 for degree-1 rounds — the
+// precondition for the sort-free commit grouping). All buffers come from
+// the scratch arena; the returned slice is valid until the next call.
+func (r *agentRun) gatherRequests() ([]request, int) {
 	w := r.scr.workers
 	chunk := (len(r.active) + w - 1) / w
 	shards := shard(len(r.active), chunk, w, r.gatherFn)
 
 	reqs := r.scr.reqs[:0]
+	perBall := 0
 	for wi := 0; wi < shards; wi++ {
 		reqs = append(reqs, r.scr.reqShards[wi]...)
+		if r.scr.gatherMax[wi] > perBall {
+			perBall = r.scr.gatherMax[wi]
+		}
 	}
 	r.scr.reqs = reqs
-	return reqs
+	return reqs, perBall
 }
 
 // processShard is the step-2 worker body: bins [lo, hi) answer their
@@ -343,10 +386,22 @@ func (r *agentRun) processShard(wi, lo, hi int) {
 	scr.accShards[wi] = out
 }
 
-// processRequests runs step 2 in parallel over bin shards, returning all
-// accepts in ascending-bin order (scratch-backed, valid until next call).
+// smallRoundMax bounds the sort-based small-round path: insertion sort is
+// quadratic, so only genuinely small request sets qualify.
+const smallRoundMax = 256
+
+// processRequests runs step 2, returning all accepts in ascending-bin
+// order (scratch-backed, valid until next call). Large rounds counting-sort
+// the requests and shard the bins across workers; small rounds (the
+// serving/churn regime: a handful of requests into many bins) instead sort
+// the requests by bin and walk only the touched bins, avoiding the
+// counting sort's O(n) per-round passes. Both paths produce bit-identical
+// accept sequences.
 func (r *agentRun) processRequests(reqs []request) []acceptRec {
 	n := r.e.p.N
+	if len(reqs) <= smallRoundMax && len(reqs)*8 < n {
+		return r.processSmall(reqs)
+	}
 	r.byBin, r.offsets = r.scr.groupByBin(reqs, n)
 	w := r.scr.workers
 	chunk := (n + w - 1) / w
@@ -358,6 +413,61 @@ func (r *agentRun) processRequests(reqs []request) []acceptRec {
 	}
 	r.scr.accepts = accepts
 	return accepts
+}
+
+// processSmall is the small-round step 2: requests are stable-sorted by
+// destination bin (preserving arrival order within a bin — exactly the
+// grouping the counting sort produces) and the touched bins are answered
+// inline, O(k log k + k·d) for k requests instead of O(n). Sequential by
+// design: rounds this small gain nothing from bin sharding.
+func (r *agentRun) processSmall(reqs []request) []acceptRec {
+	sortRequestsByBin(reqs)
+	scr := r.scr
+	accepts := scr.accepts[:0]
+	buf := scr.runBuf[:0]
+	for i := 0; i < len(reqs); {
+		bin := int(reqs[i].bin)
+		j := i + 1
+		for j < len(reqs) && int(reqs[j].bin) == bin {
+			j++
+		}
+		cnt := j - i
+		r.binReceived[bin] += int64(cnt)
+		capacity := r.e.proto.Capacity(r.round, bin, r.loads[bin])
+		if capacity > 0 {
+			buf = buf[:0]
+			for _, q := range reqs[i:j] {
+				buf = append(buf, q.ball)
+			}
+			k := int64(cnt)
+			if capacity < k {
+				k = capacity
+				r.e.applyTieBreak(r.round, bin, buf)
+			}
+			for x := int64(0); x < k; x++ {
+				accepts = append(accepts, acceptRec{
+					ball:    buf[x],
+					bin:     int32(bin),
+					payload: r.e.proto.Payload(r.round, bin, x),
+				})
+			}
+		}
+		i = j
+	}
+	scr.runBuf = buf
+	scr.accepts = accepts
+	return accepts
+}
+
+// sortRequestsByBin stable-insertion-sorts reqs by destination bin,
+// preserving arrival order within each bin. Bounded by smallRoundMax, so
+// the quadratic worst case stays tiny.
+func sortRequestsByBin(reqs []request) {
+	for i := 1; i < len(reqs); i++ {
+		for j := i; j > 0 && reqs[j].bin < reqs[j-1].bin; j-- {
+			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+		}
+	}
 }
 
 // shard runs fn(wi, lo, hi) over contiguous chunks of [0, total): shard 0
@@ -462,7 +572,14 @@ func (r *agentRun) commitShard(wi, lo, hi int) {
 			panic(fmt.Sprintf("sim: Choose returned invalid index %d of %d", choice, len(accBuf)))
 		}
 		place := r.e.proto.Place(accBuf[choice])
-		if v := atomic.AddInt64(&r.loads[place], 1); v > localMax {
+		var v int64
+		if r.serial {
+			r.loads[place]++
+			v = r.loads[place]
+		} else {
+			v = atomic.AddInt64(&r.loads[place], 1)
+		}
+		if v > localMax {
 			localMax = v
 		}
 		if r.placements != nil {
@@ -482,6 +599,11 @@ func (r *agentRun) commitShard(wi, lo, hi int) {
 	}
 	scr.accBuf[wi] = accBuf
 	scr.maxShard[wi] = localMax
+	if r.serial {
+		r.committed += localCommits
+		r.commitMsgs += localMsgs
+		return
+	}
 	atomic.AddInt64(&r.committed, localCommits)
 	atomic.AddInt64(&r.commitMsgs, localMsgs)
 }
@@ -489,13 +611,24 @@ func (r *agentRun) commitShard(wi, lo, hi int) {
 // commitBalls runs step 3: group accepts by ball, let each ball choose, and
 // apply placements. Returns the number of balls allocated this round and
 // the maximal load observed among the bins committed to.
-func (r *agentRun) commitBalls(accepts []acceptRec, metrics *model.Metrics) (int, int64) {
+//
+// singleReq asserts that every ball sent at most one request this round
+// (every degree-1 round without a held-request flush — the paper's main
+// algorithm, and the whole churn hot path). Then every ball has at most
+// one accept, groups are singletons whatever the order, and the by-ball
+// sort — the dominant per-round cost for small epochs — is skipped.
+// Commit outcomes are per-ball and order-independent, so results are
+// bit-identical with and without the sort.
+func (r *agentRun) commitBalls(accepts []acceptRec, metrics *model.Metrics, singleReq bool) (int, int64) {
 	if len(accepts) == 0 {
 		return 0, 0
 	}
 	// Group accepts by ball: accept lists are tiny (degree <= O(log n)), so
-	// sorting the accept slice by ball index (in-place heapsort) dominates.
-	sortAcceptsByBall(accepts)
+	// sorting the accept slice by ball index (in-place heapsort) dominates —
+	// hence the singleReq fast path above.
+	if !singleReq {
+		sortAcceptsByBall(accepts)
+	}
 	r.accepts = accepts
 
 	scr := r.scr
@@ -517,6 +650,9 @@ func (r *agentRun) commitBalls(accepts []acceptRec, metrics *model.Metrics) (int
 	}
 	w := scr.workers
 	chunk := (len(groups) + w - 1) / w
+	// shard runs a single inline shard exactly when w == 1 or everything
+	// fits one chunk; commitShard then skips its atomics.
+	r.serial = w == 1 || len(groups) <= chunk
 	shards := shard(len(groups), chunk, w, r.commitFn)
 	var roundMax int64
 	for wi := 0; wi < shards; wi++ {

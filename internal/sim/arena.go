@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Arena is a reusable pool of one engine execution's run state: the ball
+// array, per-bin and per-ball vectors, the worker scratch (scratch.go),
+// and the Result header itself. PR 3 made a *single run's* round loop
+// allocation-free; the arena extends that to *repeated runs* — the regime
+// of the online/churn layer, which executes one small engine run per
+// epoch, forever. A serving epoch over a warm arena performs no heap
+// allocations in the engine at all.
+//
+// Contract: an arena serves one run at a time (never share one arena
+// between concurrent engines), and the Result a run returns — including
+// Loads, Placements, and TraceRemaining — is valid only until the same
+// arena's next run. Callers that retain results must copy what they keep.
+// Both the agent engine (Engine.Run) and the mass engine (RunMass) draw
+// from the same Arena type; they use disjoint buffer sets, so one arena
+// may serve either mode run-by-run.
+type Arena struct {
+	eng Engine // NewIn's engine storage
+	run agentRun
+	res model.Result
+
+	// agent-mode buffers
+	balls       []Ball
+	active      []int32
+	loads       []int64
+	binReceived []int64
+	ballSent    []int64
+	placements  []int32
+	trace       []int64
+	held        []request
+
+	// mass-mode buffers
+	massLoads    []int64
+	massReceived []int64
+	massCounts   []int64
+	massCaps     []int64
+	massTrace    []int64
+	sampler      rng.Rand
+}
+
+// ResultBuffers hands out an arena-backed Result for degenerate runs that
+// bypass the engine entirely (e.g. Aheavy with an empty threshold
+// schedule, where every ball goes straight to phase 2): Loads is zeroed to
+// length N and, when requested, Placements is filled with -1 for all M
+// balls. The same validity contract as engine runs applies.
+func (a *Arena) ResultBuffers(p model.Problem, recordPlacements bool) *model.Result {
+	a.loads = growZeroInt64(a.loads, p.N)
+	a.res = model.Result{Problem: p, Loads: a.loads, Unallocated: p.M}
+	if recordPlacements {
+		a.placements = growInt32(a.placements, int(p.M))
+		for i := range a.placements {
+			a.placements[i] = -1
+		}
+		a.res.Placements = a.placements
+	}
+	return &a.res
+}
+
+// GrowInt64 returns buf resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified (callers overwrite
+// them). Shared by the scratch plumbing in core and threshold so the
+// grow-to-fit idiom has one spelling.
+func GrowInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// growZeroInt64 is GrowInt64 with all n entries zeroed.
+func growZeroInt64(buf []int64, n int) []int64 {
+	buf = GrowInt64(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInt32 returns buf resized to n entries (contents unspecified).
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growBalls returns buf resized to n balls (contents unspecified; the
+// engine fully reinitializes every entry).
+func growBalls(buf []Ball, n int) []Ball {
+	if cap(buf) < n {
+		return make([]Ball, n)
+	}
+	return buf[:n]
+}

@@ -57,6 +57,14 @@ type Config struct {
 	// OnRound, if non-nil, receives a RoundRecord after every executed
 	// round (called from the engine goroutine, in order).
 	OnRound func(RoundRecord)
+	// Arena, if non-nil, supplies reusable run-state buffers so repeated
+	// runs allocate (almost) nothing: the ball array, per-bin/per-ball
+	// vectors, worker scratch, and the Result itself are drawn from it.
+	// The returned Result (Loads, Placements, TraceRemaining included) is
+	// valid only until the arena's next run; an arena must not be shared
+	// by concurrent engines. Used by the online/churn layer, which runs
+	// one small engine execution per epoch in steady state.
+	Arena *Arena
 }
 
 // RoundRecord summarizes one executed round for observers.
@@ -87,6 +95,25 @@ type Engine struct {
 
 // New constructs an engine. It panics on an invalid problem.
 func New(p model.Problem, proto Protocol, cfg Config) *Engine {
+	e := new(Engine)
+	initEngine(e, p, proto, cfg)
+	return e
+}
+
+// NewIn is New with arena-owned engine storage: the returned engine lives
+// inside a (reclaimed by a's next NewIn call) and cfg.Arena is set to a,
+// so a repeated construct-and-run cycle allocates nothing at all. With a
+// nil arena it is exactly New.
+func NewIn(a *Arena, p model.Problem, proto Protocol, cfg Config) *Engine {
+	if a == nil {
+		return New(p, proto, cfg)
+	}
+	cfg.Arena = a
+	initEngine(&a.eng, p, proto, cfg)
+	return &a.eng
+}
+
+func initEngine(e *Engine, p model.Problem, proto Protocol, cfg Config) {
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
 	}
@@ -96,7 +123,7 @@ func New(p model.Problem, proto Protocol, cfg Config) *Engine {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
-	return &Engine{p: p, proto: proto, cfg: cfg}
+	*e = Engine{p: p, proto: proto, cfg: cfg}
 }
 
 // Run executes the protocol to completion and returns the result. If the

@@ -64,14 +64,33 @@ func RunMass(p model.Problem, proto MassProtocol, cfg Config) (*model.Result, er
 	// historical count-based path derived its worker streams from, so a
 	// fixed seed reproduces those results exactly — now at every worker
 	// count, not only one.
-	sampler := rng.New(rng.Mix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)).Split()
-
-	loads := make([]int64, n)
-	received := make([]int64, n)
-	counts := make([]int64, n)
-	caps := make([]int64, n)
+	var loads, received, counts, caps []int64
+	var sampler *rng.Rand
+	arena := cfg.Arena
+	if arena != nil {
+		// Arena-backed run: same streams, same results, no allocations
+		// once warm (SplitInto is Split into caller-owned storage).
+		var parent rng.Rand
+		parent.Seed(rng.Mix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5))
+		parent.SplitInto(&arena.sampler)
+		sampler = &arena.sampler
+		arena.massLoads = growZeroInt64(arena.massLoads, n)
+		arena.massReceived = growZeroInt64(arena.massReceived, n)
+		arena.massCounts = growZeroInt64(arena.massCounts, n)
+		arena.massCaps = growZeroInt64(arena.massCaps, n)
+		loads, received, counts, caps = arena.massLoads, arena.massReceived, arena.massCounts, arena.massCaps
+	} else {
+		sampler = rng.New(rng.Mix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)).Split()
+		loads = make([]int64, n)
+		received = make([]int64, n)
+		counts = make([]int64, n)
+		caps = make([]int64, n)
+	}
 	var metrics model.Metrics
 	var trace []int64
+	if cfg.Trace && arena != nil {
+		trace = arena.massTrace[:0]
+	}
 	var maxLoad int64
 
 	remaining := p.M
@@ -135,7 +154,14 @@ func RunMass(p model.Problem, proto MassProtocol, cfg Config) (*model.Result, er
 	// sent exactly `round` requests; an allocated ball sent at most that.
 	metrics.MaxBallSent = int64(round)
 
-	res := &model.Result{
+	res := &model.Result{}
+	if arena != nil {
+		if cfg.Trace {
+			arena.massTrace = trace
+		}
+		res = &arena.res
+	}
+	*res = model.Result{
 		Problem:        p,
 		Loads:          loads,
 		Rounds:         round,

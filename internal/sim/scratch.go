@@ -18,6 +18,8 @@ type scratch struct {
 	groups    []group       // per-ball accept groups
 	accBuf    [][]Accept    // per-worker Choose buffer
 	maxShard  []int64       // per-worker max load observed at commit
+	runBuf    []int32       // small-round per-bin ball-index buffer
+	gatherMax []int         // per-worker max requests one ball sent this round
 }
 
 // group is one ball's contiguous accept range in scratch.accepts.
@@ -33,12 +35,22 @@ func newScratch(workers, n int) *scratch {
 		accShards: make([][]acceptRec, workers),
 		accBuf:    make([][]Accept, workers),
 		maxShard:  make([]int64, workers),
+		gatherMax: make([]int, workers),
 	}
 	for wi := 0; wi < workers; wi++ {
 		s.targetBuf[wi] = make([]int, 0, 8)
 		s.accBuf[wi] = make([]Accept, 0, 8)
 	}
 	return s
+}
+
+// ensureBins grows the bin-indexed buffers to cover n bins, so one scratch
+// (reused across arena runs) can serve engines of varying bin counts.
+func (s *scratch) ensureBins(n int) {
+	if len(s.counts) < n+1 {
+		s.counts = make([]int32, n+1)
+		s.cursor = make([]int32, n)
+	}
 }
 
 // groupByBin counting-sorts requests by destination bin into the arena's

@@ -186,6 +186,20 @@ type Config struct {
 	// RecordPlacements records every ball's final bin in Result.Placements;
 	// see sim.Config.RecordPlacements.
 	RecordPlacements bool
+	// Scratch, if non-nil, supplies reusable per-run state (the protocol
+	// value and the engine arena) so repeated runs — the online layer's
+	// epoch-per-Allocate regime — allocate (almost) nothing. The returned
+	// Result is then valid only until the next run using the same Scratch;
+	// one Scratch serves one run at a time.
+	Scratch *Scratch
+}
+
+// Scratch pools the per-run protocol values and the engine arena reused
+// across repeated Run/RunMass invocations.
+type Scratch struct {
+	proto  protocol
+	mproto massProtocol
+	arena  sim.Arena
 }
 
 // protocol adapts Algorithm to sim.Protocol.
@@ -320,13 +334,23 @@ func (a Algorithm) RunMass(p model.Problem, cfg Config) (*model.Result, error) {
 	if cfg.BaseLoads != nil && len(cfg.BaseLoads) != p.N {
 		return nil, fmt.Errorf("threshold: BaseLoads has %d entries, want %d", len(cfg.BaseLoads), p.N)
 	}
-	proto := &massProtocol{alg: a, base: cfg.BaseLoads}
+	var proto *massProtocol
+	var arena *sim.Arena
+	if scr := cfg.Scratch; scr != nil {
+		proto = &scr.mproto
+		proto.alg = a
+		proto.base = cfg.BaseLoads
+		arena = &scr.arena
+	} else {
+		proto = &massProtocol{alg: a, base: cfg.BaseLoads}
+	}
 	if cfg.BaseLoads != nil {
-		proto.totals = make([]int64, p.N)
+		proto.totals = sim.GrowInt64(proto.totals, p.N)
 	}
 	return sim.RunMass(p, proto, sim.Config{
 		Seed:  cfg.Seed,
 		Trace: cfg.Trace,
+		Arena: arena,
 	})
 }
 
@@ -340,16 +364,29 @@ func (a Algorithm) Run(p model.Problem, cfg Config) (*model.Result, error) {
 	if cfg.BaseLoads != nil && len(cfg.BaseLoads) != p.N {
 		return nil, fmt.Errorf("threshold: BaseLoads has %d entries, want %d", len(cfg.BaseLoads), p.N)
 	}
-	sp, err := a.Protocol(p.N)
-	if err != nil {
-		return nil, err
+	var proto *protocol
+	var arena *sim.Arena
+	if scr := cfg.Scratch; scr != nil {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		proto = &scr.proto
+		proto.alg = a
+		proto.caps = sim.GrowInt64(proto.caps, p.N)
+		proto.base = nil
+		arena = &scr.arena
+	} else {
+		sp, err := a.Protocol(p.N)
+		if err != nil {
+			return nil, err
+		}
+		proto = sp.(*protocol)
 	}
-	proto := sp.(*protocol)
 	if cfg.BaseLoads != nil {
 		proto.base = cfg.BaseLoads
-		proto.totals = make([]int64, p.N)
+		proto.totals = sim.GrowInt64(proto.totals, p.N)
 	}
-	eng := sim.New(p, proto, sim.Config{
+	eng := sim.NewIn(arena, p, proto, sim.Config{
 		Seed:             cfg.Seed,
 		Workers:          cfg.Workers,
 		TieBreak:         cfg.TieBreak,
