@@ -5,22 +5,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
+	"os"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
 
 // loadgenConfig parameterizes the pba-serve load generator.
 type loadgenConfig struct {
-	Base    string  // server base URL
-	Clients int     // concurrent clients
-	Batches int     // allocate batches per client
-	Batch   int     // jobs per batch
-	Churn   float64 // fraction of a client's live jobs released before each batch
-	Seed    uint64  // client departure streams derive from it
+	Base       string  // server base URL
+	Clients    int     // concurrent clients
+	Batches    int     // allocate batches per client
+	Batch      int     // jobs per batch
+	Churn      float64 // fraction of a client's live jobs released before each batch
+	Seed       uint64  // client departure streams derive from it
+	MetricsOut string  // optional path for the server-side stage summary JSON
 }
 
 // loadgen drives a running pba-serve instance with a churn workload from
@@ -29,8 +31,15 @@ type loadgenConfig struct {
 // client's departure choices derive from (seed, client index), so a
 // single-client run against a fresh server is a reproducible (seed, event
 // trace) pair end to end; multiple clients exercise the server's
-// coalescing path. Reports per-epoch latency percentiles (p50/p95/p99)
-// and aggregate throughput (epochs/s, balls/s).
+// coalescing path.
+//
+// Client-side epoch latencies accumulate in per-client obs.Histograms
+// (O(1) record, exact merge) instead of per-epoch slices, so the loadgen
+// itself stays allocation-flat however long it runs. The server's
+// /metrics endpoint is scraped before and after the run and the delta is
+// printed as a per-stage breakdown — where inside the server (routing,
+// queueing, the epoch itself, reply assembly, encoding) the client-side
+// latency went. -metrics-out writes that breakdown as JSON for CI.
 func loadgen(cfg loadgenConfig) error {
 	if cfg.Clients < 1 || cfg.Batches < 1 || cfg.Batch < 1 {
 		return fmt.Errorf("loadgen needs clients, batches, and batch all >= 1")
@@ -57,7 +66,17 @@ func loadgen(cfg loadgenConfig) error {
 			"batch", "released", "admitted", "rounds", "max_load", "excess", "latency")
 	}
 
-	latencies := make([][]time.Duration, cfg.Clients)
+	// A server without /metrics (or an older build) degrades to the
+	// client-side report alone.
+	before, err := scrapeMetrics(client, cfg.Base)
+	if err != nil {
+		fmt.Printf("loadgen: no server metrics (%v); client-side report only\n", err)
+	}
+
+	hists := make([]*obs.Histogram, cfg.Clients)
+	for i := range hists {
+		hists[i] = &obs.Histogram{}
+	}
 	errs := make([]error, cfg.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -65,7 +84,7 @@ func loadgen(cfg loadgenConfig) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			latencies[c], errs[c] = runClient(client, cfg, c, single)
+			errs[c] = runClient(client, cfg, c, single, hists[c])
 		}(c)
 	}
 	wg.Wait()
@@ -76,21 +95,27 @@ func loadgen(cfg loadgenConfig) error {
 		}
 	}
 
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
+	var merged obs.Histogram
+	for _, h := range hists {
+		merged.Merge(h)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	epochs := len(all)
+	v := merged.View()
+	epochs := v.Count
 	balls := int64(epochs) * int64(cfg.Batch)
 	fmt.Printf("throughput: %d epochs, %d balls in %s -> %.1f epochs/s, %.0f balls/s\n",
 		epochs, balls, elapsed.Round(time.Millisecond),
 		float64(epochs)/elapsed.Seconds(), float64(balls)/elapsed.Seconds())
 	fmt.Printf("epoch latency: p50 %s  p95 %s  p99 %s  max %s\n",
-		percentile(all, 0.50).Round(time.Microsecond),
-		percentile(all, 0.95).Round(time.Microsecond),
-		percentile(all, 0.99).Round(time.Microsecond),
-		all[len(all)-1].Round(time.Microsecond))
+		time.Duration(v.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(v.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(v.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(v.Max).Round(time.Microsecond))
+
+	if before != nil {
+		if err := reportStages(client, cfg, before); err != nil {
+			fmt.Printf("loadgen: stage breakdown unavailable: %v\n", err)
+		}
+	}
 
 	// The cheap lite path: steady-state telemetry must not pay the O(live)
 	// full-state hash (pass /stats?fingerprint=1 manually when you want it).
@@ -112,11 +137,65 @@ func loadgen(cfg loadgenConfig) error {
 	return nil
 }
 
-// runClient plays one client's event trace and returns its per-epoch
-// allocate latencies.
-func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]time.Duration, error) {
+// scrapeMetrics fetches and parses the server's /metrics exposition.
+func scrapeMetrics(client *http.Client, base string) (*obs.Scrape, error) {
+	res, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", res.Status)
+	}
+	return obs.ParseText(res.Body)
+}
+
+// reportStages scrapes the post-run /metrics, diffs it against the pre-run
+// scrape, and prints where the server spent the run, stage by stage. The
+// per-stage deltas also go to cfg.MetricsOut as JSON when set.
+func reportStages(client *http.Client, cfg loadgenConfig, before *obs.Scrape) error {
+	after, err := scrapeMetrics(client, cfg.Base)
+	if err != nil {
+		return err
+	}
+	summary := make(map[string]obs.StageStats, len(serve.StageNames))
+	fmt.Printf("server stages (this run, from /metrics):\n")
+	fmt.Printf("  %-11s %9s %12s %11s %11s %11s\n", "stage", "count", "total", "p50", "p95", "p99")
+	for _, stage := range serve.StageNames {
+		d, ok := obs.DeltaStage(after, before, serve.StageMetricName, `{stage="`+stage+`"}`)
+		if !ok {
+			continue
+		}
+		summary[stage] = d
+		if d.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %9d %12s %11s %11s %11s\n", stage, d.Count,
+			seconds(d.TotalSeconds), seconds(d.P50), seconds(d.P95), seconds(d.P99))
+	}
+	if cfg.MetricsOut != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.MetricsOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: stage summary written to %s\n", cfg.MetricsOut)
+	}
+	return nil
+}
+
+// seconds renders a float seconds reading at microsecond resolution.
+func seconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// runClient plays one client's event trace, recording per-epoch allocate
+// latency into hist (allocation-free after the first few epochs warm the
+// live-ID slice).
+func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool, hist *obs.Histogram) error {
 	r := rng.New(rng.Mix64(cfg.Seed ^ (uint64(idx)+1)*0x1F83D9ABFB41BD6B))
-	lat := make([]time.Duration, 0, cfg.Batches)
 	var buf bytes.Buffer // reusable request-encode buffer for this client
 	var live []int64
 	for i := 0; i < cfg.Batches; i++ {
@@ -131,7 +210,7 @@ func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]
 				Released int `json:"released"`
 			}
 			if err := post(client, &buf, cfg.Base, "/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
-				return lat, err
+				return err
 			}
 			released = rel.Released
 			live = live[k:]
@@ -139,10 +218,10 @@ func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]
 		start := time.Now()
 		var ar serve.Report
 		if err := post(client, &buf, cfg.Base, "/allocate", map[string]any{"count": cfg.Batch, "terse": true}, &ar); err != nil {
-			return lat, err
+			return err
 		}
 		elapsed := time.Since(start)
-		lat = append(lat, elapsed)
+		hist.ObserveDuration(elapsed)
 		live = append(live, ar.IDs()...)
 		if report {
 			fmt.Printf("%-8d %-10d %-10d %-8d %-10d %-8d %-10s\n",
@@ -150,7 +229,7 @@ func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool) ([]
 				elapsed.Round(time.Microsecond))
 		}
 	}
-	return lat, nil
+	return nil
 }
 
 // waitHealthy polls /healthz until the server answers 200, so a loadgen
@@ -173,21 +252,6 @@ func waitHealthy(client *http.Client, base string, patience time.Duration) error
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-}
-
-// percentile returns the q-quantile of sorted (nearest-rank).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // post encodes req into the caller's reusable buffer and POSTs it, so a

@@ -15,8 +15,11 @@
 // fraction of their live jobs and allocate -batch fresh ones per batch
 // (probing /healthz first), reporting epoch-latency percentiles
 // (p50/p95/p99), aggregate throughput (epochs/s, balls/s), and the
-// server's final /stats. More than one client exercises the server's
-// per-cell epoch coalescing.
+// server's final /stats. The server's /metrics is scraped before and
+// after the run and the delta printed as a per-stage breakdown (route,
+// batch_wait, epoch_run, commit, encode) of where the client-side
+// latency went; -metrics-out writes that summary as JSON. More than one
+// client exercises the server's per-cell epoch coalescing.
 //
 //	pba-serve -n 512 -shards 4 &
 //	pba-bench -serve http://127.0.0.1:8380 -clients 4 -batches 20 -batch 5000 -churn 0.2
@@ -45,11 +48,12 @@ func main() {
 		baseSeed = flag.Uint64("seed", 0, "base seed offset")
 		mode     = flag.String("mode", "", "engine for the Aheavy sweeps: mass (default) or agent")
 
-		serveURL = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
-		clients  = flag.Int("clients", 1, "loadgen: concurrent clients (each plays its own churn trace)")
-		batches  = flag.Int("batches", 10, "loadgen: allocate batches (epochs) per client")
-		batch    = flag.Int("batch", 1000, "loadgen: jobs per batch")
-		churn    = flag.Float64("churn", 0.2, "loadgen: fraction of live jobs released before each batch")
+		serveURL   = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
+		clients    = flag.Int("clients", 1, "loadgen: concurrent clients (each plays its own churn trace)")
+		batches    = flag.Int("batches", 10, "loadgen: allocate batches (epochs) per client")
+		batch      = flag.Int("batch", 1000, "loadgen: jobs per batch")
+		churn      = flag.Float64("churn", 0.2, "loadgen: fraction of live jobs released before each batch")
+		metricsOut = flag.String("metrics-out", "", "loadgen: write the server-side stage summary (from /metrics deltas) to this JSON file")
 	)
 	flag.Parse()
 
@@ -57,6 +61,7 @@ func main() {
 		err := loadgen(loadgenConfig{
 			Base: *serveURL, Clients: *clients, Batches: *batches,
 			Batch: *batch, Churn: *churn, Seed: *baseSeed,
+			MetricsOut: *metricsOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pba-bench: loadgen: %v\n", err)

@@ -20,7 +20,15 @@
 //	                              ?fingerprint=1 adds the O(live) full-state
 //	                              fingerprints + the combined service hash
 //	GET  /snapshot                versioned service snapshot document
-//	GET  /healthz                 readiness probe
+//	GET  /healthz                 readiness probe: uptime, restore
+//	                              provenance, per-cell liveness
+//	GET  /metrics                 Prometheus text exposition (stage timing
+//	                              histograms, per-cell counters, runtime
+//	                              gauges); recording is allocation-free
+//
+// With -pprof the net/http/pprof profile endpoints are mounted under
+// /debug/pprof/ on the same listener (off by default: profiling handlers
+// do not belong on an unguarded production port).
 //
 // On SIGINT/SIGTERM the server drains in-flight requests via
 // http.Server.Shutdown and, when -snapshot is set, writes the final state
@@ -38,6 +46,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,16 +67,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence, shards) reproduces placements")
 		workers  = flag.Int("workers", 0, "per-epoch parallelism inside one cell (0 = GOMAXPROCS); never affects results")
 		snapPath = flag.String("snapshot", "", "snapshot file: restored on start when present, written on graceful shutdown")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener")
 		verbose  = flag.Bool("v", false, "log per-request progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *verbose); err != nil {
+	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *pprofOn, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, verbose bool) error {
+func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, pprofOn, verbose bool) error {
 	cfg := serve.Config{N: n, Shards: shards, Alg: alg, Seed: seed, Workers: workers}
 	svc, restored, err := open(cfg, snapPath)
 	if err != nil {
@@ -84,7 +94,21 @@ func run(addr string, n, shards int, alg string, seed uint64, workers int, snapP
 	fmt.Printf("pba-serve: listening on %s (n=%d shards=%d alg=%s seed=%d%s)\n",
 		ln.Addr(), svc.N(), svc.Shards(), svc.Alg(), svc.Seed(), restored)
 
-	srv := &http.Server{Handler: serve.NewHandler(svc, serve.HandlerConfig{Verbose: verbose})}
+	var handler http.Handler = serve.NewHandler(svc, serve.HandlerConfig{Verbose: verbose})
+	if pprofOn {
+		// Outer mux: the profile endpoints ride alongside the service API
+		// on the same listener; everything else falls through to it.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Printf("pba-serve: pprof mounted at /debug/pprof/\n")
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/cmdtest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -83,12 +84,15 @@ func TestSmoke(t *testing.T) {
 	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
 	_, base := startServer(t, bin, "-n", "32", "-shards", "4", "-alg", "aheavy", "-seed", "7")
 
-	var health map[string]any
+	var health serve.Health
 	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
 		t.Fatalf("/healthz: HTTP %d", code)
 	}
-	if health["status"] != "ok" || health["shards"].(float64) != 4 {
-		t.Fatalf("unexpected /healthz: %v", health)
+	if health.Status != "ok" || health.Shards != 4 {
+		t.Fatalf("unexpected /healthz: %+v", health)
+	}
+	if health.UptimeSeconds <= 0 || health.Restored || len(health.Cells) != 4 {
+		t.Fatalf("extended /healthz fields wrong: %+v", health)
 	}
 
 	var rep serve.Report
@@ -126,6 +130,26 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("stats shards: %v", stats["shards"])
 	}
 
+	// /metrics serves valid exposition reflecting the traffic above.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if v, ok := sc.Value("pba_allocate_requests_total"); !ok || v != 1 {
+		t.Errorf("pba_allocate_requests_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := sc.Value("pba_released_balls_total"); !ok || v != 100 {
+		t.Errorf("pba_released_balls_total = %v, %v; want 100", v, ok)
+	}
+	if hv, ok := sc.HistogramView(serve.StageMetricName, `{stage="allocate"}`); !ok || hv.Count != 1 {
+		t.Errorf("allocate stage histogram: %v, %v; want one sample", hv.Count, ok)
+	}
+
 	// Protocol errors: wrong method, bad JSON, out-of-range count.
 	if code := getJSON(t, base+"/allocate", nil); code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /allocate: HTTP %d, want 405", code)
@@ -135,6 +159,28 @@ func TestSmoke(t *testing.T) {
 	}
 	if code := postJSON(t, base+"/allocate", `{"count": -1}`, nil); code != http.StatusBadRequest {
 		t.Errorf("negative count: HTTP %d, want 400", code)
+	}
+}
+
+// TestPprofFlag: the profiling endpoints exist only when -pprof is passed.
+func TestPprofFlag(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/pba-serve")
+	_, plain := startServer(t, bin, "-n", "8")
+	if code := getJSON(t, plain+"/debug/pprof/", nil); code == http.StatusOK {
+		t.Fatalf("pprof served without -pprof: HTTP %d", code)
+	}
+	_, profiled := startServer(t, bin, "-n", "8", "-pprof")
+	resp, err := http.Get(profiled + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with -pprof: HTTP %d", resp.StatusCode)
+	}
+	// The service API still answers on the same listener.
+	if code := getJSON(t, profiled+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz alongside pprof: HTTP %d", code)
 	}
 }
 
@@ -200,6 +246,14 @@ func TestGracefulShutdownSnapshotRestore(t *testing.T) {
 	if stats["arrived"].(float64) != 400 {
 		t.Fatalf("restored server lost state: %v", stats)
 	}
+	// The restored process declares its provenance on /healthz.
+	var health serve.Health
+	if code := getJSON(t, base2+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz after restore: HTTP %d", code)
+	}
+	if !health.Restored || health.SnapshotAgeSeconds < 0 {
+		t.Fatalf("restored server's /healthz lacks provenance: %+v", health)
+	}
 	postJSON(t, base2+"/allocate", `{"count": 100, "terse": true}`, nil)
 	if got := getFingerprint(t, base2); got != want {
 		t.Fatalf("restored fingerprint %s != uninterrupted %s", got, want)
@@ -226,12 +280,32 @@ func TestLoadgenDrivesServer(t *testing.T) {
 	benchBin := cmdtest.Build(t, "repro/cmd/pba-bench")
 	_, base := startServer(t, serveBin, "-n", "32", "-shards", "4")
 
+	metricsOut := filepath.Join(t.TempDir(), "stages.json")
 	out := cmdtest.MustRun(t, benchBin, "-serve", base, "-clients", "3",
-		"-batches", "4", "-batch", "500", "-churn", "0.25")
-	for _, want := range []string{"throughput:", "epochs/s", "balls/s", "p50", "p99", "final /stats", `"pending": 0`} {
+		"-batches", "4", "-batch", "500", "-churn", "0.25", "-metrics-out", metricsOut)
+	for _, want := range []string{"throughput:", "epochs/s", "balls/s", "p50", "p99",
+		"server stages", "epoch_run", "batch_wait", "final /stats", `"pending": 0`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("loadgen output missing %q:\n%s", want, out)
 		}
+	}
+	// The stage summary lands on disk with every pipeline stage counted.
+	data, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages map[string]obs.StageStats
+	if err := json.Unmarshal(data, &stages); err != nil {
+		t.Fatalf("parsing %s: %v", metricsOut, err)
+	}
+	for _, stage := range serve.StageNames {
+		st, ok := stages[stage]
+		if !ok || st.Count == 0 {
+			t.Errorf("stage summary missing samples for %q: %+v", stage, st)
+		}
+	}
+	if stages["allocate"].Count != 3*4 {
+		t.Errorf("allocate stage count %d, want %d", stages["allocate"].Count, 3*4)
 	}
 	var stats struct {
 		Arrived float64 `json:"arrived"`

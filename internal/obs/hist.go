@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i covers
+// the value range (BucketBound(i-1), BucketBound(i)], with bounds spaced
+// a factor of two apart from 2^10 up to 2^(10+NumBuckets-1); one extra
+// overflow bucket catches everything above the last finite bound. For
+// durations recorded in nanoseconds that is ~1µs to ~36.7min per-bucket
+// resolution ≤ 2x — the right shape for latency tails — at a fixed
+// (NumBuckets+1)*8 bytes of state.
+const NumBuckets = 32
+
+// bucketShift is log2 of the first bound: BucketBound(0) = 1<<bucketShift.
+const bucketShift = 10
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) int64 {
+	return 1 << (bucketShift + uint(i))
+}
+
+// bucketIndex maps a value to its bucket: the smallest i with
+// v <= BucketBound(i), or NumBuckets (the overflow bucket) when the value
+// exceeds every finite bound. One bits.Len64 — O(1), no branches on the
+// bucket table.
+func bucketIndex(v int64) int {
+	if v <= BucketBound(0) {
+		return 0
+	}
+	i := bits.Len64(uint64(v-1)) - bucketShift
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Histogram is a fixed-size log-spaced histogram of non-negative int64
+// values (typically durations in nanoseconds). Observe is lock-free,
+// allocation-free, and O(1); Merge is exact (bucket-wise sums lose
+// nothing). The zero value is ready to use; histograms are normally
+// obtained from Registry.DurationHistogram so they render on /metrics.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Merge folds other's current contents into h, bucket by bucket — exact:
+// the merged histogram is identical to one that observed both value
+// streams. Concurrent writers to other during the merge may be partially
+// included; merge quiescent histograms for an exact cut.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		v, old := other.max.Load(), h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// View returns a consistent-enough copy for rendering and quantile math.
+// Under concurrent writers the bucket counts may straddle an Observe; the
+// view's Count is recomputed from the buckets so quantile ranks are
+// always in range.
+func (h *Histogram) View() HistView {
+	var v HistView
+	var total uint64
+	for i := range h.counts {
+		v.Counts[i] = h.counts[i].Load()
+		total += v.Counts[i]
+	}
+	v.Count = total
+	v.Sum = h.sum.Load()
+	v.Max = h.max.Load()
+	return v
+}
+
+// Count returns the number of observed values.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (exact, not bucket-rounded).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns the q-quantile estimate of the recorded values; see
+// HistView.Quantile.
+func (h *Histogram) Quantile(q float64) int64 { return h.View().Quantile(q) }
+
+// HistView is a point-in-time copy of a Histogram: Counts[NumBuckets] is
+// the overflow bucket. It is also the vocabulary for histograms
+// reconstructed from a /metrics scrape (see ParseText / StageStats).
+type HistView struct {
+	Counts [NumBuckets + 1]uint64
+	Count  uint64
+	Sum    int64
+	Max    int64
+}
+
+// Quantile returns the q-quantile estimate (q in [0, 1]): nearest-rank
+// over the buckets, linearly interpolated inside the landing bucket, so
+// the estimate is within one bucket width (a factor of two) of the exact
+// value and monotone non-decreasing in q. The overflow bucket reports
+// Max. Returns 0 for an empty view.
+func (v HistView) Quantile(q float64) int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(v.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > v.Count {
+		rank = v.Count
+	}
+	var cum uint64
+	for i, c := range v.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == NumBuckets {
+				return v.Max
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(float64(hi-lo)*frac)
+		}
+		cum += c
+	}
+	return v.Max
+}
+
+// Sub returns the view minus an earlier view of the same histogram — the
+// delta of a before/after scrape pair. Counters that went backwards
+// (a restarted process) clamp to zero.
+func (v HistView) Sub(prev HistView) HistView {
+	var out HistView
+	for i := range v.Counts {
+		if v.Counts[i] > prev.Counts[i] {
+			out.Counts[i] = v.Counts[i] - prev.Counts[i]
+		}
+		out.Count += out.Counts[i]
+	}
+	if v.Sum > prev.Sum {
+		out.Sum = v.Sum - prev.Sum
+	}
+	out.Max = v.Max
+	return out
+}

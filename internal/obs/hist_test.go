@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket map: values land in the first
+// bucket whose inclusive upper bound they do not exceed, boundary values
+// stay in their bucket, boundary+1 moves up, and everything past the last
+// finite bound lands in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {1023, 0}, {1024, 0},
+		{1025, 1}, {2048, 1}, {2049, 2},
+		{BucketBound(7), 7}, {BucketBound(7) + 1, 8},
+		{BucketBound(NumBuckets - 1), NumBuckets - 1},
+		{BucketBound(NumBuckets-1) + 1, NumBuckets},
+		{int64(1) << 62, NumBuckets},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps; bucketIndex expects non-negative
+		}
+		if got := bucketIndex(v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustive consistency: for every bucket, its bound is the largest
+	// value it holds.
+	for i := 0; i < NumBuckets; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bound of bucket %d maps to bucket %d", i, got)
+		}
+		if got := bucketIndex(BucketBound(i) + 1); got != i+1 {
+			t.Errorf("bound+1 of bucket %d maps to bucket %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramObserve checks count/sum/max bookkeeping and that View's
+// bucket counts match hand-placed values.
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	vals := []int64{0, 1000, 1024, 4096, 5000, 1 << 45}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	v := h.View()
+	if v.Count != uint64(len(vals)) {
+		t.Fatalf("count %d, want %d", v.Count, len(vals))
+	}
+	var wantSum int64
+	for _, x := range vals {
+		wantSum += x
+	}
+	if v.Sum != wantSum {
+		t.Fatalf("sum %d, want %d", v.Sum, wantSum)
+	}
+	if v.Max != 1<<45 {
+		t.Fatalf("max %d, want %d", v.Max, int64(1)<<45)
+	}
+	if v.Counts[0] != 3 { // 0, 1000, 1024
+		t.Fatalf("bucket 0 holds %d, want 3", v.Counts[0])
+	}
+	if v.Counts[2] != 1 { // 4096 is the (2048, 4096] bound
+		t.Fatalf("bucket 2 holds %d, want 1", v.Counts[2])
+	}
+	if v.Counts[3] != 1 { // 5000 lands in (4096, 8192]
+		t.Fatalf("bucket 3 holds %d, want 1", v.Counts[3])
+	}
+	if v.Counts[NumBuckets] != 1 {
+		t.Fatalf("overflow bucket holds %d, want 1", v.Counts[NumBuckets])
+	}
+}
+
+// TestMergeExactness: merging two histograms is identical, bucket for
+// bucket and in count/sum, to one histogram that observed both streams.
+func TestMergeExactness(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var a, b, both Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(r.ExpFloat64() * 100_000)
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for i := 0; i < 3000; i++ {
+		v := int64(r.ExpFloat64() * 50_000_000)
+		b.Observe(v)
+		both.Observe(v)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	mv, bv := merged.View(), both.View()
+	if mv != bv {
+		t.Fatalf("merged view diverges from single-stream view:\n merged %+v\n both   %+v", mv, bv)
+	}
+}
+
+// TestQuantileMonotonicity: quantile estimates never decrease as q grows,
+// bracket the true nearest-rank value within one bucket (a factor of
+// two), and hit the exact max at q=1 (overflow aside).
+func TestQuantileMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var h Histogram
+	var exact []int64
+	for i := 0; i < 10_000; i++ {
+		v := int64(r.ExpFloat64() * float64(uint64(1)<<uint(10+r.Intn(20))))
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		est := h.Quantile(q)
+		if est < prev {
+			t.Fatalf("quantile decreased: q=%.3f -> %d after %d", q, est, prev)
+		}
+		prev = est
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		est := h.Quantile(q)
+		rank := int(q*float64(len(exact))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := exact[rank]
+		lo, hi := truth/2, truth*2+BucketBound(0)
+		if est < lo || est > hi {
+			t.Errorf("q=%.2f estimate %d outside bucket-resolution window [%d, %d] of true %d",
+				q, est, lo, hi, truth)
+		}
+	}
+	// q=1 lands in the max's bucket: within bucket resolution (≤2x) above,
+	// never below the true maximum.
+	if got := h.Quantile(1); got < h.Max() || got > 2*h.Max()+BucketBound(0) {
+		t.Errorf("q=1 gave %d outside [max, 2*max] of max %d", got, h.Max())
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+// TestHistViewSub: the before/after delta drops exactly the earlier
+// observations.
+func TestHistViewSub(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(5000)
+	before := h.View()
+	h.Observe(7000)
+	h.Observe(1 << 40)
+	delta := h.View().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count %d, want 2", delta.Count)
+	}
+	if delta.Sum != 7000+(1<<40) {
+		t.Fatalf("delta sum %d", delta.Sum)
+	}
+}
+
+// TestHistogramRecordAllocs: the recording contract — Observe and the
+// counter/gauge paths perform zero heap allocations.
+func TestHistogramRecordAllocs(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		h.ObserveDuration(time.Since(start))
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-2)
+	}); allocs != 0 {
+		t.Fatalf("record path allocates %.1f times per op; the contract is 0", allocs)
+	}
+}

@@ -1,0 +1,60 @@
+// Package obs is the allocation-free observability substrate: atomic
+// counters and gauges padded to cache-line size, fixed-bucket log-spaced
+// histograms with O(1) record and exact merge, and a registry that
+// renders everything in the Prometheus text exposition format.
+//
+// The package exists to make a serving hot path observable without
+// perturbing it. The recording contract every instrument obeys:
+//
+//   - Record operations (Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe)
+//     perform zero heap allocations, take no locks, and are safe for any
+//     number of concurrent writers — they compile down to one or two
+//     atomic RMW instructions.
+//   - Hot single-writer instruments (one counter per cell, one gauge per
+//     queue) are padded so two instruments never share a cache line and
+//     independent writers never false-share.
+//   - All rendering cost (string formatting, sorting, ReadMemStats) is
+//     paid by the /metrics reader, never by the recording path.
+//
+// Registration (Registry.Counter and friends) allocates and is meant for
+// construction time; recording through the returned instruments is the
+// hot-path-safe part. See internal/serve for the canonical wiring: stage
+// histograms around the epoch pipeline, per-cell counters inside the
+// allocators, and a GET /metrics endpoint over Registry.WriteText.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing uint64, padded to a cache line so
+// adjacent instruments never false-share. The zero value is ready to use,
+// but counters are normally obtained from Registry.Counter so they render
+// on /metrics.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes: one counter per cache line
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative; counters only go up).
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (live balls, queue depth),
+// padded like Counter. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the rendered format exactly for a small
+// registry: family ordering (sorted by name), HELP/TYPE comments,
+// labeled series, histogram bucket/sum/count shape, and collector
+// output after the static families.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.", L("path", "/allocate"))
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_live", "Live balls.")
+	g.Set(-3)
+	h := r.DurationHistogram("test_wait_seconds", "Queue wait.", L("stage", "batch_wait"))
+	h.Observe(1000)            // bucket 0: le 1.024e-06
+	h.Observe(3 * 1024 * 1024) // bucket 12: le 4.194304e-03... (1<<22 ns)
+	r.AddCollector(func(emit EmitFunc) {
+		emit("test_dynamic", "Scrape-time value.", "gauge", 2.5)
+	})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	for _, want := range []string{
+		"# HELP test_requests_total Requests handled.\n# TYPE test_requests_total counter\ntest_requests_total{path=\"/allocate\"} 42\n",
+		"# TYPE test_live gauge\ntest_live -3\n",
+		"# TYPE test_wait_seconds histogram\n",
+		"test_wait_seconds_bucket{stage=\"batch_wait\",le=\"1.024e-06\"} 1\n",
+		"test_wait_seconds_bucket{stage=\"batch_wait\",le=\"+Inf\"} 2\n",
+		"test_wait_seconds_count{stage=\"batch_wait\"} 2\n",
+		"# TYPE test_dynamic gauge\ntest_dynamic 2.5\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n\nfull output:\n%s", want, got)
+		}
+	}
+	// Families render sorted by name; the collector family comes last.
+	order := []string{"# TYPE test_live", "# TYPE test_requests_total", "# TYPE test_wait_seconds", "# TYPE test_dynamic"}
+	last := -1
+	for _, marker := range order {
+		i := strings.Index(got, marker)
+		if i < 0 || i < last {
+			t.Fatalf("family order wrong: %q at %d (prev end %d)\n%s", marker, i, last, got)
+		}
+		last = i
+	}
+}
+
+// TestExpositionParsesAndRoundTrips: the renderer's output must satisfy
+// the package's own strict parser, and the parsed values must match the
+// instruments.
+func TestExpositionParsesAndRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rt_events_total", "Events.")
+	c.Add(7)
+	h := r.DurationHistogram("rt_lat_seconds", "Latency.", L("stage", "route"))
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 10_000) // 10µs .. 1ms
+	}
+	RegisterRuntime(r)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("renderer output rejected by parser: %v", err)
+	}
+	if v, ok := scrape.Value("rt_events_total"); !ok || v != 7 {
+		t.Fatalf("rt_events_total parsed as (%v, %v)", v, ok)
+	}
+	if typ := scrape.Types["rt_lat_seconds"]; typ != "histogram" {
+		t.Fatalf("rt_lat_seconds TYPE %q", typ)
+	}
+	if _, ok := scrape.Value("go_goroutines"); !ok {
+		t.Fatal("runtime collector emitted no go_goroutines")
+	}
+	if v, ok := scrape.Value("go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("go_heap_alloc_bytes parsed as (%v, %v)", v, ok)
+	}
+
+	// Histogram reconstruction: same count, sum within float rounding,
+	// quantiles match the live histogram bucket-for-bucket.
+	view, ok := scrape.HistogramView("rt_lat_seconds", `{stage="route"}`)
+	if !ok {
+		t.Fatal("HistogramView found no buckets")
+	}
+	live := h.View()
+	if view.Count != live.Count {
+		t.Fatalf("scraped count %d != live %d", view.Count, live.Count)
+	}
+	if view.Counts != live.Counts {
+		t.Fatalf("scraped buckets %v != live %v", view.Counts, live.Counts)
+	}
+	if math.Abs(float64(view.Sum-live.Sum)) > 1000 {
+		t.Fatalf("scraped sum %d too far from live %d", view.Sum, live.Sum)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if view.Quantile(q) != live.Quantile(q) {
+			t.Fatalf("q=%.2f: scraped %d != live %d", q, view.Quantile(q), live.Quantile(q))
+		}
+	}
+
+	// DeltaStage with a nil before is the absolute reading.
+	st, ok := DeltaStage(scrape, nil, "rt_lat_seconds", `{stage="route"}`)
+	if !ok || st.Count != 100 {
+		t.Fatalf("DeltaStage = %+v, %v", st, ok)
+	}
+	if st.P50 <= 0 || st.P95 < st.P50 || st.P99 < st.P95 {
+		t.Fatalf("stage quantiles not monotone: %+v", st)
+	}
+}
+
+// TestParseRejectsMalformed: the validator half of the parser.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "orphan_metric 1\n",
+		"bad value":            "# TYPE m gauge\nm not-a-number\n",
+		"bad name":             "# TYPE 0bad gauge\n0bad 1\n",
+		"duplicate TYPE":       "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+		"duplicate sample":     "# TYPE m gauge\nm 1\nm 2\n",
+		"unterminated labels":  "# TYPE m gauge\nm{a=\"x 1\n",
+		"unquoted label value": "# TYPE m gauge\nm{a=x} 1\n",
+		"unknown type":         "# TYPE m widget\nm 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, doc)
+		}
+	}
+}
+
+// TestRegistryPanics: invalid registration is a construction-time
+// programming error and must fail loudly.
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	expectPanic("invalid name", func() { r.Counter("0bad", "x") })
+	expectPanic("duplicate series", func() { r.Counter("ok_total", "x") })
+	expectPanic("type clash", func() { r.Gauge("ok_total", "x", L("a", "b")) })
+	expectPanic("bad label key", func() { r.Counter("lbl_total", "x", L("0bad", "v")) })
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines in label values
+// survive a render->parse round trip as a well-formed document.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "weird labels", L("path", `a"b\c`+"\n"))
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("escaped output rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), `path="a\"b\\c\n"`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime adds the Go runtime gauges to the registry: heap and GC
+// figures from one runtime.ReadMemStats per scrape, plus goroutine and
+// GOMAXPROCS counts. All cost is paid at scrape time — nothing records on
+// any hot path.
+func RegisterRuntime(r *Registry) {
+	r.AddCollector(func(emit EmitFunc) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit("go_goroutines", "Number of live goroutines.", "gauge", float64(runtime.NumGoroutine()))
+		emit("go_gomaxprocs", "Value of GOMAXPROCS.", "gauge", float64(runtime.GOMAXPROCS(0)))
+		emit("go_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge", float64(ms.HeapAlloc))
+		emit("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", "gauge", float64(ms.HeapSys))
+		emit("go_heap_objects", "Number of allocated heap objects.", "gauge", float64(ms.HeapObjects))
+		emit("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", "counter", float64(ms.TotalAlloc))
+		emit("go_gc_cycles_total", "Completed GC cycles.", "counter", float64(ms.NumGC))
+		emit("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter", float64(ms.PauseTotalNs)/1e9)
+	})
+}

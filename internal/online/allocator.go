@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -74,6 +75,10 @@ type Config struct {
 	// Trace accumulates the per-round remaining-ball trajectory across
 	// epochs in Result().TraceRemaining.
 	Trace bool
+	// Ins, when non-nil, receives allocation-free per-event telemetry
+	// (epoch counters and timing, admit/place/release counters, live-state
+	// gauges). It never affects results; see NewInstrumentation.
+	Ins *Instrumentation
 }
 
 // Allocator is the streaming allocator. All methods are safe for
@@ -154,6 +159,10 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 		a.chainAllocate(rep)
 		rep.MaxLoad = a.hist.max
 		rep.Excess = rep.MaxLoad - a.ceilAvg()
+		if a.cfg.Ins != nil {
+			a.cfg.Ins.Epochs.Inc()
+			a.syncGauges()
+		}
 		return rep, nil
 	}
 	// The pending balls are carried in a.pending until the run succeeds, so
@@ -161,10 +170,12 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	a.pending = ids
 
 	seed := rng.Mix64(a.cfg.Seed ^ uint64(rep.Epoch)*0x9E3779B97F4A7C15)
+	runStart := time.Now()
 	res, err := a.run(model.Problem{M: int64(len(ids)), N: a.cfg.N}, a.loads, runOpts{
 		Seed: seed, Workers: a.cfg.Workers, TieBreak: a.cfg.TieBreak, Trace: a.cfg.Trace,
 		Scratch: &a.scratch,
 	})
+	runDur := time.Since(runStart)
 	if err != nil {
 		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
 	}
@@ -224,6 +235,13 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	rep.MaxLoad = a.hist.max
 	rep.Excess = rep.MaxLoad - a.ceilAvg()
 	a.chainAllocate(rep)
+	if ins := a.cfg.Ins; ins != nil {
+		ins.Epochs.Inc()
+		ins.EpochRun.ObserveDuration(runDur)
+		ins.Admitted.Add(uint64(k))
+		ins.Placed.Add(uint64(len(rep.Placements)))
+		a.syncGauges()
+	}
 	return rep, nil
 }
 
@@ -267,6 +285,10 @@ func (a *Allocator) Release(ids []int64) int {
 		a.chainCommit(buf)
 	} else {
 		a.chainBuf = buf[:0]
+	}
+	if ins := a.cfg.Ins; ins != nil {
+		ins.Released.Add(uint64(released))
+		a.syncGauges()
 	}
 	return released
 }

@@ -3,6 +3,7 @@ package online
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -21,47 +22,60 @@ func releaseAll(a *Allocator, rep *Report, buf []int64) []int64 {
 // scratch is warm, a steady-state Allocate+Release cycle performs only the
 // per-epoch report allocations (the Report and its Placements slice, which
 // escape to the caller by contract) — no engine, runner, table, or
-// histogram allocations, independent of batch size.
+// histogram allocations, independent of batch size. The "instrumented"
+// variants re-assert the same bounds with the obs instrumentation wired
+// in: metric recording is atomic-only and must not add a single
+// allocation to the epoch hot path.
 func TestSteadyStateChurnAllocs(t *testing.T) {
 	for _, alg := range []string{"aheavy", "aheavy!mass", "adaptive:2", "greedy:2", "oneshot", "oneshot!mass"} {
-		alg := alg
-		t.Run(alg, func(t *testing.T) {
-			measure := func(batch int) float64 {
-				a, err := New(Config{N: 256, Alg: alg, Seed: 1, Workers: 1})
-				if err != nil {
-					t.Fatal(err)
-				}
-				buf := make([]int64, 0, batch)
-				var failed error
-				cycle := func() {
-					rep, err := a.Allocate(batch)
-					if err != nil {
-						failed = err
-						return
+		for _, instrumented := range []bool{false, true} {
+			alg, instrumented := alg, instrumented
+			name := alg
+			if instrumented {
+				name += "/instrumented"
+			}
+			t.Run(name, func(t *testing.T) {
+				measure := func(batch int) float64 {
+					var ins *Instrumentation
+					if instrumented {
+						ins = NewInstrumentation(obs.NewRegistry(), obs.L("cell", "0"))
 					}
-					buf = releaseAll(a, rep, buf)
+					a, err := New(Config{N: 256, Alg: alg, Seed: 1, Workers: 1, Ins: ins})
+					if err != nil {
+						t.Fatal(err)
+					}
+					buf := make([]int64, 0, batch)
+					var failed error
+					cycle := func() {
+						rep, err := a.Allocate(batch)
+						if err != nil {
+							failed = err
+							return
+						}
+						buf = releaseAll(a, rep, buf)
+					}
+					for i := 0; i < 20; i++ { // warm the scratch to its high-water mark
+						cycle()
+					}
+					allocs := testing.AllocsPerRun(50, cycle)
+					if failed != nil {
+						t.Fatal(failed)
+					}
+					return allocs
 				}
-				for i := 0; i < 20; i++ { // warm the scratch to its high-water mark
-					cycle()
+				small := measure(64)
+				large := measure(512)
+				// "~0" above the reporting contract: a handful of fixed-size
+				// allocations per epoch, none proportional to the batch.
+				if small > 10 {
+					t.Errorf("steady-state epoch allocates %.1f times (batch 64); want ~0 beyond the report", small)
 				}
-				allocs := testing.AllocsPerRun(50, cycle)
-				if failed != nil {
-					t.Fatal(failed)
+				if large > small+4 {
+					t.Errorf("allocations scale with batch size: %.1f at batch 64 vs %.1f at batch 512", small, large)
 				}
-				return allocs
-			}
-			small := measure(64)
-			large := measure(512)
-			// "~0" above the reporting contract: a handful of fixed-size
-			// allocations per epoch, none proportional to the batch.
-			if small > 10 {
-				t.Errorf("steady-state epoch allocates %.1f times (batch 64); want ~0 beyond the report", small)
-			}
-			if large > small+4 {
-				t.Errorf("allocations scale with batch size: %.1f at batch 64 vs %.1f at batch 512", small, large)
-			}
-			t.Logf("%s: %.1f allocs/epoch (batch 64), %.1f (batch 512)", alg, small, large)
-		})
+				t.Logf("%s: %.1f allocs/epoch (batch 64), %.1f (batch 512)", name, small, large)
+			})
+		}
 	}
 }
 

@@ -110,7 +110,7 @@ func (s *Snapshot) Restore(cfg Config) (*Allocator, error) {
 	}
 	a, err := New(Config{
 		N: s.N, Alg: s.Alg, Seed: s.Seed,
-		Workers: cfg.Workers, TieBreak: cfg.TieBreak, Trace: cfg.Trace,
+		Workers: cfg.Workers, TieBreak: cfg.TieBreak, Trace: cfg.Trace, Ins: cfg.Ins,
 	})
 	if err != nil {
 		return nil, err
@@ -154,6 +154,11 @@ func (s *Snapshot) Restore(cfg Config) (*Allocator, error) {
 	}
 	if got := a.fingerprint(); got != s.Fingerprint {
 		return nil, fmt.Errorf("online: snapshot fingerprint mismatch: stored %s, state hashes to %s", s.Fingerprint, got)
+	}
+	// Counters resume at zero after a restart (they are process-lifetime
+	// rates); the instantaneous gauges re-anchor to the restored state.
+	if a.cfg.Ins != nil {
+		a.syncGauges()
 	}
 	return a, nil
 }

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // MaxBatch bounds one /allocate request; far above realistic batch sizes,
@@ -67,13 +68,19 @@ func putBuf(buf *bytes.Buffer) {
 //	                                            ?fingerprint=1 adds the O(live)
 //	                                            full-state fingerprints
 //	GET  /snapshot                              versioned service snapshot JSON
-//	GET  /healthz                               {"status":"ok", ...} once serving
+//	GET  /healthz                               serve.Health: uptime, restore
+//	                                            provenance, per-cell liveness
+//	GET  /metrics                               Prometheus text exposition:
+//	                                            stage histograms, per-cell
+//	                                            counters, Go runtime gauges
 //
 // Errors are JSON {"error": ...} with 400 (bad request), 405 (wrong
 // method), or 500 (allocator failure).
 func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
+	m := s.metrics
 	mux.HandleFunc("/allocate", func(w http.ResponseWriter, r *http.Request) {
+		m.httpAllocate.Inc()
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -110,9 +117,10 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			log.Printf("allocate: admitted %d over %d cell epoch(s), pending %d, rounds %d, max load %d (excess %d)",
 				rep.Admitted, rep.Cells, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
 		}
-		writeJSON(w, rep)
+		writeJSON(w, m, rep)
 	})
 	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
+		m.httpRelease.Inc()
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -130,9 +138,10 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		if hc.Verbose {
 			log.Printf("released %d of %d", released, total)
 		}
-		writeJSON(w, map[string]int{"released": released})
+		writeJSON(w, m, map[string]int{"released": released})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		m.httpStats.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
@@ -140,34 +149,52 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		// The default is the O(1) lite path; full-state fingerprints are
 		// opt-in, so routine health polling never pays O(live) hashing.
 		if r.URL.Query().Get("fingerprint") == "1" {
-			writeJSON(w, s.Stats())
+			writeJSON(w, m, s.Stats())
 			return
 		}
-		writeJSON(w, s.StatsLite())
+		writeJSON(w, m, s.StatsLite())
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		m.httpSnapshot.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, s.Snapshot())
+		writeJSON(w, m, s.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m.httpHealthz.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, map[string]any{"status": "ok", "n": s.N(), "shards": s.Shards(), "alg": s.Alg()})
+		writeJSON(w, m, s.Health())
+	})
+	metricsHandler := s.metrics.reg.Handler()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m.httpMetrics.Inc()
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		metricsHandler.ServeHTTP(w, r)
 	})
 	return mux
 }
 
 // writeJSON encodes v into a pooled buffer and writes it in one call, so
-// the response path reuses encoder memory across requests.
-func writeJSON(w http.ResponseWriter, v any) {
+// the response path reuses encoder memory across requests. The encoding
+// (not the socket write) is recorded into the encode stage histogram when
+// m is non-nil.
+func writeJSON(w http.ResponseWriter, m *metrics, v any) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
+	start := time.Now()
+	err := json.NewEncoder(buf).Encode(v)
+	if m != nil {
+		m.stageEncode.ObserveDuration(time.Since(start))
+	}
+	if err != nil {
 		putBuf(buf)
 		log.Printf("serve: encoding response: %v", err)
 		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/online"
+)
+
+// StageNames lists the serving-pipeline stages instrumented under the
+// pba_stage_duration_seconds histogram family, in pipeline order. The
+// loadgen's server-side breakdown and the CI stage summary iterate this
+// list; keep it in sync with the instrumentation points below.
+//
+//	route       admission sequencing, the multinomial split draw, and the
+//	            fan-out of sub-requests onto the cell queues (Allocate)
+//	batch_wait  time a sub-request sat in a cell queue before its batcher
+//	            drained it into an epoch (cellLoop)
+//	epoch_run   the cell allocator's epoch over the coalesced batch,
+//	            including placement validation (cellLoop)
+//	commit      assembling the caller's report from cell replies: span
+//	            arithmetic and placement translation, excluding the time
+//	            blocked waiting on cells (Allocate)
+//	encode      JSON-encoding one HTTP response into the pooled buffer
+//	            (writeJSON)
+//	allocate    one whole Service.Allocate call, end to end
+//	release     one whole Service.Release call
+var StageNames = []string{"route", "batch_wait", "epoch_run", "commit", "encode", "allocate", "release"}
+
+// StageMetricName is the histogram family every stage records under.
+const StageMetricName = "pba_stage_duration_seconds"
+
+// metrics is the service's instrument set. All fields are registered at
+// construction; recording is allocation-free (see internal/obs).
+type metrics struct {
+	reg *obs.Registry
+
+	stageRoute     *obs.Histogram
+	stageBatchWait *obs.Histogram
+	stageEpochRun  *obs.Histogram
+	stageCommit    *obs.Histogram
+	stageEncode    *obs.Histogram
+	stageAllocate  *obs.Histogram
+	stageRelease   *obs.Histogram
+
+	httpAllocate *obs.Counter
+	httpRelease  *obs.Counter
+	httpStats    *obs.Counter
+	httpSnapshot *obs.Counter
+	httpHealthz  *obs.Counter
+	httpMetrics  *obs.Counter
+
+	requests *obs.Counter // allocate requests admitted by the sequencer
+	released *obs.Counter // balls released through Service.Release
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	stage := func(name string) *obs.Histogram {
+		return reg.DurationHistogram(StageMetricName,
+			"Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", name))
+	}
+	httpReq := func(path string) *obs.Counter {
+		return reg.Counter("pba_http_requests_total", "HTTP requests by path.", obs.L("path", path))
+	}
+	m := &metrics{
+		reg:            reg,
+		stageRoute:     stage("route"),
+		stageBatchWait: stage("batch_wait"),
+		stageEpochRun:  stage("epoch_run"),
+		stageCommit:    stage("commit"),
+		stageEncode:    stage("encode"),
+		stageAllocate:  stage("allocate"),
+		stageRelease:   stage("release"),
+		httpAllocate:   httpReq("/allocate"),
+		httpRelease:    httpReq("/release"),
+		httpStats:      httpReq("/stats"),
+		httpSnapshot:   httpReq("/snapshot"),
+		httpHealthz:    httpReq("/healthz"),
+		httpMetrics:    httpReq("/metrics"),
+		requests:       reg.Counter("pba_allocate_requests_total", "Allocate requests admitted by the router."),
+		released:       reg.Counter("pba_released_balls_total", "Balls released through the service."),
+	}
+	obs.RegisterRuntime(reg)
+	return m
+}
+
+// cellInstrumentation registers cell i's allocator instrument set,
+// labeled cell="i", on the service registry.
+func (m *metrics) cellInstrumentation(i int) *online.Instrumentation {
+	return online.NewInstrumentation(m.reg, obs.L("cell", strconv.Itoa(i)))
+}
+
+// Metrics returns the service's observability registry — the full
+// instrument set behind GET /metrics: stage histograms, per-cell
+// allocator counters and gauges, HTTP counters, and the Go runtime
+// gauges. Callers may register additional instruments on it before
+// serving.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/online"
 	"repro/internal/rng"
@@ -67,6 +68,7 @@ func (r *Report) IDs() []int64 {
 // subReq is one request's share of one cell's next epoch.
 type subReq struct {
 	count int
+	enq   time.Time // when the request entered the cell queue (batch_wait)
 	done  chan subRep
 }
 
@@ -108,6 +110,7 @@ func (s *Service) Allocate(k int) (*Report, error) {
 	// Admission: order the request and draw its split under the sequencer
 	// lock, so the (request index -> split) map is a pure function of the
 	// arrival order.
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -118,6 +121,7 @@ func (s *Service) Allocate(k int) (*Report, error) {
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
+	s.metrics.requests.Inc()
 	counts := s.split(reqIdx, k)
 
 	// Fan out to the targeted cells, then collect in shard order.
@@ -131,19 +135,23 @@ func (s *Service) Allocate(k int) (*Report, error) {
 			continue
 		}
 		ch := make(chan subRep, 1)
-		c.queue <- &subReq{count: int(counts[i]), done: ch}
+		c.queue <- &subReq{count: int(counts[i]), enq: time.Now(), done: ch}
 		waits = append(waits, wait{c, ch})
 	}
+	s.metrics.stageRoute.ObserveDuration(time.Since(start))
 
 	shards := int64(len(s.cells))
 	rep := &Report{Admitted: k}
 	var firstErr error
+	var commitNs int64
 	for _, w := range waits {
 		sr := <-w.ch
+		stepStart := time.Now()
 		if sr.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("serve: cell %d: %w", w.c.index, sr.err)
 			}
+			commitNs += time.Since(stepStart).Nanoseconds()
 			continue
 		}
 		rep.Cells++
@@ -180,7 +188,13 @@ func (s *Service) Allocate(k int) (*Report, error) {
 		if sr.rep.Excess > rep.Excess {
 			rep.Excess = sr.rep.Excess
 		}
+		commitNs += time.Since(stepStart).Nanoseconds()
 	}
+	// Commit is the reply-assembly work alone: the blocking receives above
+	// are excluded, so commit + epoch_run + batch_wait decompose the gap
+	// between route and the end-to-end allocate stage.
+	s.metrics.stageCommit.Observe(commitNs)
+	s.metrics.stageAllocate.ObserveDuration(time.Since(start))
 	if firstErr != nil {
 		// Cells that succeeded have admitted and placed their shares; the
 		// report carries those spans alongside the error so the caller can
@@ -220,10 +234,13 @@ func (s *Service) cellLoop(c *cell) {
 			}
 		}
 		total := 0
+		epochStart := time.Now()
 		for _, sb := range subs {
 			total += sb.count
+			s.metrics.stageBatchWait.ObserveDuration(epochStart.Sub(sb.enq))
 		}
 		rep, err := c.alloc.Allocate(total)
+		s.metrics.stageEpochRun.ObserveDuration(time.Since(epochStart))
 		if err != nil {
 			for _, sb := range subs {
 				sb.done <- subRep{err: err}

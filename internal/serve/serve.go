@@ -35,6 +35,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/online"
 	"repro/internal/rng"
@@ -73,6 +74,11 @@ type Service struct {
 
 	loops   sync.WaitGroup // cell batcher goroutines
 	relPool sync.Pool      // *releaseBufs: reusable Release partition buffers
+
+	metrics  *metrics  // observability instruments (see metrics.go)
+	started  time.Time // service construction time (uptime anchor)
+	restored bool      // built by Restore rather than New
+	snapTime int64     // unix seconds the restored snapshot was taken, 0 if unknown
 }
 
 // cell is one shard: a contiguous range of bins owned by one allocator.
@@ -118,17 +124,18 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	cfg.Alg = canon
-	return build(cfg, func(i, cellN int) (*online.Allocator, error) {
+	return build(cfg, func(i, cellN int, ins *online.Instrumentation) (*online.Allocator, error) {
 		return online.New(online.Config{
 			N: cellN, Alg: canon, Seed: cellSeed(cfg.Seed, i, cfg.Shards), Workers: cfg.Workers,
+			Ins: ins,
 		})
 	})
 }
 
 // build assembles the cell topology, obtaining each cell's allocator from
 // mk (a fresh allocator for New, a restored one for Restore).
-func build(cfg Config, mk func(i, cellN int) (*online.Allocator, error)) (*Service, error) {
-	s := &Service{cfg: cfg, cells: make([]*cell, cfg.Shards)}
+func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*online.Allocator, error)) (*Service, error) {
+	s := &Service{cfg: cfg, cells: make([]*cell, cfg.Shards), metrics: newMetrics(), started: time.Now()}
 	s.relPool.New = func() any {
 		return &releaseBufs{perCell: make([][]int64, cfg.Shards)}
 	}
@@ -138,7 +145,7 @@ func build(cfg Config, mk func(i, cellN int) (*online.Allocator, error)) (*Servi
 		if i < rem {
 			cellN++
 		}
-		alloc, err := mk(i, cellN)
+		alloc, err := mk(i, cellN, s.metrics.cellInstrumentation(i))
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +208,14 @@ type releaseBufs struct {
 // their cells' bins. Unknown, negative, or already-departed IDs are
 // ignored; the number of balls actually released is returned.
 func (s *Service) Release(ids []int64) int {
+	start := time.Now()
+	n := s.release(ids)
+	s.metrics.stageRelease.ObserveDuration(time.Since(start))
+	s.metrics.released.Add(uint64(n))
+	return n
+}
+
+func (s *Service) release(ids []int64) int {
 	if len(s.cells) == 1 {
 		// Single cell: no partitioning, no buffers, no goroutines (global
 		// and local IDs coincide; the allocator ignores junk IDs itself).
@@ -331,6 +346,65 @@ func (s *Service) Stats() Stats {
 // chain fingerprint), and the combined fingerprint is left empty.
 func (s *Service) StatsLite() Stats {
 	return s.statsWith(func(a *online.Allocator) online.Stats { return a.StatsLite() })
+}
+
+// CellHealth is one cell's liveness line in the /healthz report — the
+// O(1) signals a router or rebalancer checks before sending traffic.
+type CellHealth struct {
+	Cell    int   `json:"cell"`
+	Bins    int   `json:"bins"`
+	Epochs  int   `json:"epochs"`
+	Live    int64 `json:"live"`
+	Pending int64 `json:"pending"`
+	MaxLoad int64 `json:"max_load"`
+}
+
+// Health is the extended /healthz document: process-level liveness
+// (uptime, restore provenance) plus a per-cell breakdown. Every field is
+// O(1) per cell to produce — health polling never hashes state.
+type Health struct {
+	Status        string  `json:"status"`
+	N             int     `json:"n"`
+	Shards        int     `json:"shards"`
+	Alg           string  `json:"alg"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	// Restored reports whether this process resumed from a snapshot;
+	// SnapshotAgeSeconds is then the age of that snapshot document (how
+	// much history a crash before the next snapshot would lose).
+	Restored           bool         `json:"restored"`
+	SnapshotAgeSeconds float64      `json:"snapshot_age_seconds,omitempty"`
+	Cells              []CellHealth `json:"cells"`
+}
+
+// Health returns the liveness report served on /healthz.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	requests := s.nextReq
+	s.mu.Unlock()
+	h := Health{
+		Status:        "ok",
+		N:             s.cfg.N,
+		Shards:        len(s.cells),
+		Alg:           s.cfg.Alg,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      requests,
+		Restored:      s.restored,
+		Cells:         make([]CellHealth, 0, len(s.cells)),
+	}
+	if s.snapTime != 0 {
+		if age := time.Now().Unix() - s.snapTime; age > 0 {
+			h.SnapshotAgeSeconds = float64(age)
+		}
+	}
+	for _, c := range s.cells {
+		cs := c.alloc.StatsLite()
+		h.Cells = append(h.Cells, CellHealth{
+			Cell: c.index, Bins: c.n, Epochs: cs.Epoch,
+			Live: cs.Live, Pending: cs.Pending, MaxLoad: cs.MaxLoad,
+		})
+	}
+	return h
 }
 
 func (s *Service) statsWith(snap func(*online.Allocator) online.Stats) Stats {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/online"
 )
@@ -19,12 +20,16 @@ const SnapshotVersion = 1
 // combined service fingerprint; Restore re-derives it from the restored
 // cells and refuses a snapshot that does not verify.
 type Snapshot struct {
-	Version     int                `json:"version"`
-	N           int                `json:"n"`
-	Shards      int                `json:"shards"`
-	Alg         string             `json:"alg"`
-	Seed        uint64             `json:"seed"`
-	NextReq     uint64             `json:"next_req"`
+	Version int    `json:"version"`
+	N       int    `json:"n"`
+	Shards  int    `json:"shards"`
+	Alg     string `json:"alg"`
+	Seed    uint64 `json:"seed"`
+	NextReq uint64 `json:"next_req"`
+	// TakenUnix records when the snapshot was captured (Unix seconds).
+	// It is provenance, not state: the fingerprint does not cover it, and
+	// a pre-PR6 snapshot without it restores fine (age then reads 0).
+	TakenUnix   int64              `json:"taken_unix,omitempty"`
 	Cells       []*online.Snapshot `json:"cells"`
 	Fingerprint string             `json:"fingerprint"`
 }
@@ -38,13 +43,14 @@ func (s *Service) Snapshot() *Snapshot {
 	nextReq := s.nextReq
 	s.mu.Unlock()
 	snap := &Snapshot{
-		Version: SnapshotVersion,
-		N:       s.cfg.N,
-		Shards:  len(s.cells),
-		Alg:     s.cfg.Alg,
-		Seed:    s.cfg.Seed,
-		NextReq: nextReq,
-		Cells:   make([]*online.Snapshot, len(s.cells)),
+		Version:   SnapshotVersion,
+		N:         s.cfg.N,
+		Shards:    len(s.cells),
+		Alg:       s.cfg.Alg,
+		Seed:      s.cfg.Seed,
+		NextReq:   nextReq,
+		TakenUnix: time.Now().Unix(),
+		Cells:     make([]*online.Snapshot, len(s.cells)),
 	}
 	// The combined fingerprint is derived from the captured cell
 	// snapshots, not the live cells: even if traffic mutates a cell
@@ -98,7 +104,7 @@ func Restore(snap *Snapshot, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("serve: snapshot declares %d shards but carries %d cells", snap.Shards, len(snap.Cells))
 	}
 	restored := Config{N: snap.N, Shards: snap.Shards, Alg: canon, Seed: snap.Seed, Workers: cfg.Workers}
-	svc, err := build(restored, func(i, cellN int) (*online.Allocator, error) {
+	svc, err := build(restored, func(i, cellN int, ins *online.Instrumentation) (*online.Allocator, error) {
 		cs := snap.Cells[i]
 		if cs.N != cellN {
 			return nil, fmt.Errorf("serve: cell %d snapshot has %d bins, topology expects %d", i, cs.N, cellN)
@@ -109,7 +115,7 @@ func Restore(snap *Snapshot, cfg Config) (*Service, error) {
 		if want := cellSeed(snap.Seed, i, snap.Shards); cs.Seed != want {
 			return nil, fmt.Errorf("serve: cell %d snapshot seed %d does not derive from service seed %d", i, cs.Seed, snap.Seed)
 		}
-		a, err := cs.Restore(online.Config{Workers: cfg.Workers})
+		a, err := cs.Restore(online.Config{Workers: cfg.Workers, Ins: ins})
 		if err != nil {
 			return nil, fmt.Errorf("serve: cell %d: %w", i, err)
 		}
@@ -119,6 +125,8 @@ func Restore(snap *Snapshot, cfg Config) (*Service, error) {
 		return nil, err
 	}
 	svc.nextReq = snap.NextReq
+	svc.restored = true
+	svc.snapTime = snap.TakenUnix
 	if got := svc.Fingerprint(); got != snap.Fingerprint {
 		svc.Close()
 		return nil, fmt.Errorf("serve: snapshot fingerprint mismatch: stored %s, state hashes to %s", snap.Fingerprint, got)

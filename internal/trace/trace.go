@@ -8,20 +8,32 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
 
 // Collector accumulates RoundRecords; its Observe method plugs into
-// sim.Config.OnRound. Not safe for concurrent engines (one collector per
-// run).
+// sim.Config.OnRound. One collector serves one run at a time: Observe
+// enforces this (it panics on overlapping calls) rather than silently
+// interleaving records from concurrent engines into a corrupt trajectory.
+// Sequential reuse across runs is fine.
 type Collector struct {
 	Records []sim.RoundRecord
+	busy    atomic.Bool
 }
 
-// Observe appends a record (use as sim.Config{OnRound: c.Observe}).
+// Observe appends a record (use as sim.Config{OnRound: c.Observe}). It
+// panics if another Observe is in flight — two engines sharing one
+// collector is a wiring bug whose corrupt, interleaved trace would
+// otherwise surface much later (or never); give each run its own
+// Collector instead.
 func (c *Collector) Observe(r sim.RoundRecord) {
+	if !c.busy.CompareAndSwap(false, true) {
+		panic("trace: concurrent Observe on one Collector; use one Collector per run")
+	}
 	c.Records = append(c.Records, r)
+	c.busy.Store(false)
 }
 
 // Rounds returns the number of observed rounds.

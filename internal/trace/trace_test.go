@@ -163,3 +163,29 @@ func TestAcceptedNeverExceedsRemaining(t *testing.T) {
 		}
 	}
 }
+
+// TestObserveRejectsConcurrentUse pins the one-collector-per-run contract
+// as enforced behavior: an Observe arriving while another is in flight
+// (simulated deterministically via the busy flag) panics instead of
+// interleaving records, and sequential reuse keeps working.
+func TestObserveRejectsConcurrentUse(t *testing.T) {
+	c := &Collector{}
+	c.Observe(sim.RoundRecord{Round: 0})
+	c.Observe(sim.RoundRecord{Round: 1}) // sequential reuse is fine
+	if c.Rounds() != 2 {
+		t.Fatalf("sequential observes recorded %d rounds, want 2", c.Rounds())
+	}
+
+	c.busy.Store(true) // another Observe is mid-append
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe during an in-flight Observe did not panic")
+		}
+		c.busy.Store(false)
+		c.Observe(sim.RoundRecord{Round: 2}) // recovers once the flight clears
+		if c.Rounds() != 3 {
+			t.Fatalf("post-recovery observe recorded %d rounds, want 3", c.Rounds())
+		}
+	}()
+	c.Observe(sim.RoundRecord{Round: 99})
+}

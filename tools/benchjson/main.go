@@ -13,25 +13,61 @@
 //
 // becomes {"name": "E1AheavyLoad", "iterations": 3, "ns_per_op": 417935374,
 // "bytes_per_op": 56, "allocs_per_op": 2}; -benchmem columns are optional.
+//
+// -merge key=file (repeatable) embeds an auxiliary JSON document under a
+// top-level key alongside "benchmarks" — CI uses it to fold the loadgen's
+// server-side stage summary (pba-bench -metrics-out) into the same
+// BENCH_prN.json artifact:
+//
+//	... | go run ./tools/benchjson -merge serve_stages=stages.json > BENCH_pr6.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom b.ReportMetric columns
+// (epochs/s, balls/s, state-B/ball, ...) land in Extra and are flattened
+// into the JSON object with identifier-safe names (epochs_per_s, ...).
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64
 }
+
+// MarshalJSON flattens Extra metrics alongside the fixed columns.
+func (r Result) MarshalJSON() ([]byte, error) {
+	m := map[string]any{
+		"name":       r.Name,
+		"iterations": r.Iterations,
+		"ns_per_op":  r.NsPerOp,
+	}
+	if r.BytesPerOp != 0 {
+		m["bytes_per_op"] = r.BytesPerOp
+	}
+	if r.AllocsPerOp != 0 {
+		m["allocs_per_op"] = r.AllocsPerOp
+	}
+	for k, v := range r.Extra {
+		if _, taken := m[k]; !taken {
+			m[k] = v
+		}
+	}
+	return json.Marshal(m)
+}
+
+// metricKey turns a benchmark unit into a JSON identifier: "epochs/s" ->
+// "epochs_per_s", "state-B/ball" -> "state_B_per_ball".
+var metricKey = strings.NewReplacer("/", "_per_", "-", "_")
 
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
@@ -52,7 +88,7 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			ok = true
@@ -60,12 +96,55 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			// A custom b.ReportMetric column; "MB/s" etc. also land here.
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[metricKey.Replace(unit)] = v
 		}
 	}
 	return r, ok
 }
 
+// mergeFlags collects repeated -merge key=file pairs.
+type mergeFlags []string
+
+func (m *mergeFlags) String() string { return strings.Join(*m, ",") }
+func (m *mergeFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return fmt.Errorf("want key=file, got %q", s)
+	}
+	*m = append(*m, s)
+	return nil
+}
+
+// loadMerges decodes each key=file pair into a top-level entry. The file
+// must hold valid JSON; the document is embedded verbatim.
+func loadMerges(pairs mergeFlags, doc map[string]any) error {
+	for _, pair := range pairs {
+		key, path, _ := strings.Cut(pair, "=")
+		if key == "" || key == "benchmarks" {
+			return fmt.Errorf("-merge key %q invalid (empty or reserved)", key)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		doc[key] = v
+	}
+	return nil
+}
+
 func main() {
+	var merges mergeFlags
+	flag.Var(&merges, "merge", "key=file: embed file's JSON under a top-level key (repeatable)")
+	flag.Parse()
+
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -82,9 +161,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	doc := map[string]any{"benchmarks": results}
+	if err := loadMerges(merges, doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

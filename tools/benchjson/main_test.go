@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkE1AheavyLoad-8  \t 3\t 417935374 ns/op\t  56 B/op\t       2 allocs/op")
@@ -21,5 +26,62 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(noise); ok {
 			t.Fatalf("noise line %q parsed as benchmark", noise)
 		}
+	}
+}
+
+func TestLoadMerges(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stages.json")
+	if err := os.WriteFile(path, []byte(`{"epoch_run": {"count": 12}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := map[string]any{"benchmarks": []Result{}}
+	if err := loadMerges(mergeFlags{"serve_stages=" + path}, doc); err != nil {
+		t.Fatal(err)
+	}
+	stages, ok := doc["serve_stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("merged value has type %T", doc["serve_stages"])
+	}
+	if stages["epoch_run"].(map[string]any)["count"].(float64) != 12 {
+		t.Fatalf("merged document wrong: %v", stages)
+	}
+
+	// The reserved key, a missing file, and junk JSON all fail loudly.
+	if err := loadMerges(mergeFlags{"benchmarks=" + path}, doc); err == nil {
+		t.Error("reserved key accepted")
+	}
+	if err := loadMerges(mergeFlags{"x=" + filepath.Join(dir, "absent.json")}, doc); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := loadMerges(mergeFlags{"x=" + bad}, doc); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	var m mergeFlags
+	if err := m.Set("nokeyvalue"); err == nil {
+		t.Error("pair without '=' accepted")
+	}
+}
+
+func TestCustomMetricColumns(t *testing.T) {
+	r, ok := parseLine("BenchmarkChurnSteadyState/aheavy 	 200	 65718 ns/op	 7790806 balls/s	 15216 epochs/s	 8280 B/op	 3 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Extra["epochs_per_s"] != 15216 || r.Extra["balls_per_s"] != 7790806 {
+		t.Fatalf("custom metrics: %v", r.Extra)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat["epochs_per_s"].(float64) != 15216 || flat["allocs_per_op"].(float64) != 3 {
+		t.Fatalf("flattened JSON wrong: %s", data)
 	}
 }
