@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -22,6 +21,8 @@ type loadgenConfig struct {
 	Batch      int     // jobs per batch
 	Churn      float64 // fraction of a client's live jobs released before each batch
 	Seed       uint64  // client departure streams derive from it
+	Proto      string  // data-plane encoding: "json" or "binary"
+	Pipeline   bool    // persistent pipelined connection per client
 	MetricsOut string  // optional path for the server-side stage summary JSON
 }
 
@@ -47,9 +48,17 @@ func loadgen(cfg loadgenConfig) error {
 	if !(cfg.Churn >= 0 && cfg.Churn < 1) {
 		return fmt.Errorf("loadgen needs churn in [0, 1), got %v", cfg.Churn)
 	}
-	// The idle pool must hold one connection per client, or clients beyond
-	// the transport default (2) would pay a TCP handshake per epoch and
-	// the latency report would measure connection churn, not the server.
+	if cfg.Proto == "" {
+		cfg.Proto = protoJSON
+	}
+	if cfg.Proto != protoJSON && cfg.Proto != protoBinary {
+		return fmt.Errorf("loadgen needs -proto json or binary, got %q", cfg.Proto)
+	}
+	// The control plane (healthz, metrics, stats) and the -pipeline=false
+	// data plane share this keep-alive client. The idle pool must hold one
+	// connection per client, or clients beyond the transport default (2)
+	// would pay a TCP handshake per epoch and the latency report would
+	// measure connection churn, not the server.
 	client := &http.Client{
 		Timeout:   5 * time.Minute,
 		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Clients},
@@ -58,8 +67,12 @@ func loadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	fmt.Printf("loadgen: %d client(s) x %d batches x %d jobs, churn %.2f -> %s\n",
-		cfg.Clients, cfg.Batches, cfg.Batch, cfg.Churn, cfg.Base)
+	transport := "keep-alive"
+	if cfg.Pipeline {
+		transport = "pipelined"
+	}
+	fmt.Printf("loadgen: %d client(s) x %d batches x %d jobs, churn %.2f, proto %s (%s) -> %s\n",
+		cfg.Clients, cfg.Batches, cfg.Batch, cfg.Churn, cfg.Proto, transport, cfg.Base)
 	single := cfg.Clients == 1
 	if single {
 		fmt.Printf("%-8s %-10s %-10s %-8s %-10s %-8s %-10s\n",
@@ -123,9 +136,10 @@ func loadgen(cfg loadgenConfig) error {
 	if err != nil {
 		return err
 	}
-	defer res.Body.Close()
 	var stats map[string]any
-	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+	err = json.NewDecoder(res.Body).Decode(&stats)
+	finishBody(res)
+	if err != nil {
 		return err
 	}
 	delete(stats, "cells") // keep the summary readable at high shard counts
@@ -143,7 +157,7 @@ func scrapeMetrics(client *http.Client, base string) (*obs.Scrape, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer res.Body.Close()
+	defer finishBody(res)
 	if res.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("/metrics: %s", res.Status)
 	}
@@ -191,42 +205,40 @@ func seconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }
 
-// runClient plays one client's event trace, recording per-epoch allocate
-// latency into hist (allocation-free after the first few epochs warm the
-// live-ID slice).
+// runClient plays one client's event trace through its data plane (a
+// pipelined TCP connection or the shared keep-alive client), recording
+// per-epoch allocate latency into hist. The churn trace depends only on
+// (seed, client index), never on the transport or protocol, so every
+// (proto, pipeline) combination drives the server with the same events.
 func runClient(client *http.Client, cfg loadgenConfig, idx int, report bool, hist *obs.Histogram) error {
 	r := rng.New(rng.Mix64(cfg.Seed ^ (uint64(idx)+1)*0x1F83D9ABFB41BD6B))
-	var buf bytes.Buffer // reusable request-encode buffer for this client
+	plane, err := newPlane(client, cfg)
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
 	var live []int64
+	var rep serve.Report
 	for i := 0; i < cfg.Batches; i++ {
-		released := 0
+		k := 0
 		if cfg.Churn > 0 && len(live) > 0 {
-			k := int(cfg.Churn * float64(len(live)))
+			k = int(cfg.Churn * float64(len(live)))
 			for j := 0; j < k; j++ {
 				x := j + r.Intn(len(live)-j)
 				live[j], live[x] = live[x], live[j]
 			}
-			var rel struct {
-				Released int `json:"released"`
-			}
-			if err := post(client, &buf, cfg.Base, "/release", map[string]any{"ids": live[:k]}, &rel); err != nil {
-				return err
-			}
-			released = rel.Released
-			live = live[k:]
 		}
-		start := time.Now()
-		var ar serve.Report
-		if err := post(client, &buf, cfg.Base, "/allocate", map[string]any{"count": cfg.Batch, "terse": true}, &ar); err != nil {
+		sr, err := plane.step(live[:k], cfg.Batch, &rep)
+		if err != nil {
 			return err
 		}
-		elapsed := time.Since(start)
-		hist.ObserveDuration(elapsed)
-		live = append(live, ar.IDs()...)
+		live = live[k:]
+		hist.ObserveDuration(sr.allocLatency)
+		live = rep.AppendIDs(live)
 		if report {
 			fmt.Printf("%-8d %-10d %-10d %-8d %-10d %-8d %-10s\n",
-				i, released, ar.Admitted, ar.Rounds, ar.MaxLoad, ar.Excess,
-				elapsed.Round(time.Microsecond))
+				i, sr.released, rep.Admitted, rep.Rounds, rep.MaxLoad, rep.Excess,
+				sr.allocLatency.Round(time.Microsecond))
 		}
 	}
 	return nil
@@ -239,8 +251,9 @@ func waitHealthy(client *http.Client, base string, patience time.Duration) error
 	for {
 		res, err := client.Get(base + "/healthz")
 		if err == nil {
-			res.Body.Close()
-			if res.StatusCode == http.StatusOK {
+			status := res.StatusCode
+			finishBody(res)
+			if status == http.StatusOK {
 				return nil
 			}
 		}
@@ -252,26 +265,4 @@ func waitHealthy(client *http.Client, base string, patience time.Duration) error
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-}
-
-// post encodes req into the caller's reusable buffer and POSTs it, so a
-// client's request path allocates no fresh body per epoch.
-func post(client *http.Client, buf *bytes.Buffer, base, path string, req, resp any) error {
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(req); err != nil {
-		return err
-	}
-	res, err := client.Post(base+path, "application/json", bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		return err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(res.Body).Decode(&e)
-		return fmt.Errorf("%s: %s (%s)", path, res.Status, e.Error)
-	}
-	return json.NewDecoder(res.Body).Decode(resp)
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *serve.Service) {
+	t.Helper()
+	s, err := serve.New(serve.Config{N: 64, Shards: 4, Alg: "aheavy", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(serve.NewHandler(s, serve.HandlerConfig{}))
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// playSteps runs a fixed churn trace through a plane and returns the
+// total balls admitted.
+func playSteps(t *testing.T, plane dataPlane) int {
+	t.Helper()
+	var live []int64
+	var rep serve.Report
+	admitted := 0
+	for i, batch := range []int{40, 30, 50, 0, 25} {
+		k := len(live) / 3
+		sr, err := plane.step(live[:k], batch, &rep)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if sr.released != k {
+			t.Fatalf("step %d: released %d of %d", i, sr.released, k)
+		}
+		if rep.Admitted != batch {
+			t.Fatalf("step %d: admitted %d, want %d", i, rep.Admitted, batch)
+		}
+		live = rep.AppendIDs(live[k:])
+		admitted += batch
+	}
+	return admitted
+}
+
+// TestLoadgenConnectionReuse: the keep-alive data plane must hold one
+// TCP connection across the whole request loop — the drained response
+// bodies are what makes net/http return connections to the idle pool.
+func TestLoadgenConnectionReuse(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, proto := range []string{protoJSON, protoBinary} {
+		t.Run(proto, func(t *testing.T) {
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+			defer client.CloseIdleConnections()
+			var dials, gets, reuses atomic.Int64
+			trace := &httptrace.ClientTrace{
+				ConnectStart: func(network, addr string) { dials.Add(1) },
+				GotConn: func(info httptrace.GotConnInfo) {
+					gets.Add(1)
+					if info.Reused {
+						reuses.Add(1)
+					}
+				},
+			}
+			p := newStdPlane(client, ts.URL, proto)
+			p.ctx = httptrace.WithClientTrace(context.Background(), trace)
+			playSteps(t, p)
+			if d := dials.Load(); d != 1 {
+				t.Errorf("request loop dialed %d connections, want 1 (bodies not drained?)", d)
+			}
+			if g, r := gets.Load(), reuses.Load(); r != g-1 {
+				t.Errorf("%d of %d requests reused the connection, want all but the first", r, g)
+			}
+		})
+	}
+}
+
+// TestPipePlane: the pipelined plane plays the same trace correctly on
+// both protocols over its single hand-rolled HTTP/1.1 connection.
+func TestPipePlane(t *testing.T) {
+	for _, proto := range []string{protoJSON, protoBinary} {
+		t.Run(proto, func(t *testing.T) {
+			ts, s := newTestServer(t)
+			p, err := newPipePlane(ts.URL, proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			admitted := playSteps(t, p)
+			if st := s.StatsLite(); st.Arrived != int64(admitted) {
+				t.Errorf("server saw %d arrivals, trace sent %d", st.Arrived, admitted)
+			}
+		})
+	}
+}
+
+// TestPlaneEquivalence: every (plane, proto) combination drives the
+// server into the same state on the same trace — transport and encoding
+// are invisible to the service.
+func TestPlaneEquivalence(t *testing.T) {
+	fingerprint := func(t *testing.T, mk func(ts *httptest.Server) dataPlane) string {
+		ts, _ := newTestServer(t)
+		plane := mk(ts)
+		defer plane.Close()
+		playSteps(t, plane)
+		res, err := http.Get(ts.URL + "/stats?fingerprint=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Fingerprint string `json:"fingerprint"`
+		}
+		err = json.NewDecoder(res.Body).Decode(&st)
+		finishBody(res)
+		if err != nil || st.Fingerprint == "" {
+			t.Fatalf("stats fingerprint: %v (%q)", err, st.Fingerprint)
+		}
+		return st.Fingerprint
+	}
+
+	fps := map[string]string{}
+	for _, proto := range []string{protoJSON, protoBinary} {
+		proto := proto
+		fps["std/"+proto] = fingerprint(t, func(ts *httptest.Server) dataPlane {
+			return newStdPlane(&http.Client{}, ts.URL, proto)
+		})
+		fps["pipe/"+proto] = fingerprint(t, func(ts *httptest.Server) dataPlane {
+			p, err := newPipePlane(ts.URL, proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		})
+	}
+	want := fps["std/"+protoJSON]
+	for k, fp := range fps {
+		if fp != want {
+			t.Errorf("%s fingerprint %s != std/json %s", k, fp, want)
+		}
+	}
+}
+
+// TestLoadgenEndToEnd runs the whole loadgen (health probe, metrics
+// scrape, stage report) against an in-process server on both protocols.
+func TestLoadgenEndToEnd(t *testing.T) {
+	for _, proto := range []string{protoJSON, protoBinary} {
+		for _, pipeline := range []bool{false, true} {
+			t.Run(fmt.Sprintf("proto=%s/pipeline=%v", proto, pipeline), func(t *testing.T) {
+				ts, s := newTestServer(t)
+				err := loadgen(loadgenConfig{
+					Base: ts.URL, Clients: 2, Batches: 3, Batch: 20,
+					Churn: 0.3, Seed: 42, Proto: proto, Pipeline: pipeline,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st := s.StatsLite(); st.Arrived != 2*3*20 {
+					t.Errorf("server saw %d arrivals, want %d", st.Arrived, 2*3*20)
+				}
+			})
+		}
+	}
+}

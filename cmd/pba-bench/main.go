@@ -15,14 +15,18 @@
 // fraction of their live jobs and allocate -batch fresh ones per batch
 // (probing /healthz first), reporting epoch-latency percentiles
 // (p50/p95/p99), aggregate throughput (epochs/s, balls/s), and the
-// server's final /stats. The server's /metrics is scraped before and
-// after the run and the delta printed as a per-stage breakdown (route,
+// server's final /stats. Each client drives the data plane over one
+// persistent pipelined TCP connection (release and allocate flushed
+// together; -pipeline=false falls back to net/http keep-alive), speaking
+// either the JSON API or the compact binary wire framing (-proto
+// json|binary). The server's /metrics is scraped before and after the
+// run and the delta printed as a per-stage breakdown (decode, route,
 // batch_wait, epoch_run, commit, encode) of where the client-side
 // latency went; -metrics-out writes that summary as JSON. More than one
 // client exercises the server's per-cell epoch coalescing.
 //
 //	pba-serve -n 512 -shards 4 &
-//	pba-bench -serve http://127.0.0.1:8380 -clients 4 -batches 20 -batch 5000 -churn 0.2
+//	pba-bench -serve http://127.0.0.1:8380 -clients 4 -batches 20 -batch 5000 -churn 0.2 -proto binary
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 		batches    = flag.Int("batches", 10, "loadgen: allocate batches (epochs) per client")
 		batch      = flag.Int("batch", 1000, "loadgen: jobs per batch")
 		churn      = flag.Float64("churn", 0.2, "loadgen: fraction of live jobs released before each batch")
+		proto      = flag.String("proto", "json", "loadgen: data-plane encoding, json or binary (the compact wire framing)")
+		pipeline   = flag.Bool("pipeline", true, "loadgen: one persistent pipelined connection per client (release+allocate flushed together); false uses net/http keep-alive")
 		metricsOut = flag.String("metrics-out", "", "loadgen: write the server-side stage summary (from /metrics deltas) to this JSON file")
 	)
 	flag.Parse()
@@ -61,6 +67,7 @@ func main() {
 		err := loadgen(loadgenConfig{
 			Base: *serveURL, Clients: *clients, Batches: *batches,
 			Batch: *batch, Churn: *churn, Seed: *baseSeed,
+			Proto: *proto, Pipeline: *pipeline,
 			MetricsOut: *metricsOut,
 		})
 		if err != nil {

@@ -9,7 +9,10 @@
 //	pba-serve -n 512 -shards 4 -alg aheavy -seed 1 -addr 127.0.0.1:8380 \
 //	          -snapshot state.json
 //
-// Endpoints (JSON; see DESIGN.md for the full schema):
+// Endpoints (JSON everywhere; POST /allocate and /release also speak the
+// compact binary wire framing of internal/wire when the request
+// Content-Type is application/x-pba-wire — see DESIGN.md for both
+// schemas):
 //
 //	POST /allocate {"count": k}   admit k balls; the response carries the
 //	                              granted ID spans and (unless "terse")

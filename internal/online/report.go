@@ -24,11 +24,17 @@ type Report struct {
 
 // IDs returns the ball IDs admitted this epoch.
 func (r *Report) IDs() []int64 {
-	ids := make([]int64, r.Admitted)
-	for i := range ids {
-		ids[i] = r.IDBase + int64(i)
+	return r.AppendIDs(make([]int64, 0, r.Admitted))
+}
+
+// AppendIDs appends the epoch's admitted ball IDs to dst and returns the
+// extended slice. Wire encoders and pooled callers use it to expand the
+// contiguous [IDBase, IDBase+Admitted) range without allocating.
+func (r *Report) AppendIDs(dst []int64) []int64 {
+	for i := 0; i < r.Admitted; i++ {
+		dst = append(dst, r.IDBase+int64(i))
 	}
-	return ids
+	return dst
 }
 
 // Stats is a point-in-time snapshot of the allocator. Every numeric field

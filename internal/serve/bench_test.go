@@ -101,9 +101,12 @@ func BenchmarkServeSmallBatch(b *testing.B) {
 }
 
 // BenchmarkServeAllocateLatency measures one sequential allocate+release
-// round trip per shard count — the per-request latency floor (no
-// concurrency, no coalescing).
+// round trip — the per-request latency floor (no concurrency, no
+// coalescing). The plain shards=N runs hit the Service directly; the
+// proto=json|binary runs go through the full HTTP handler in-memory, so
+// their delta is the boundary cost each protocol adds.
 func BenchmarkServeAllocateLatency(b *testing.B) {
+	const batch = 512
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			s, err := New(Config{N: 1024, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
@@ -111,15 +114,73 @@ func BenchmarkServeAllocateLatency(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer s.Close()
+			var ids []int64
+			rep := new(Report)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rep, err := s.Allocate(512)
+				if err := s.AllocateInto(batch, rep); err != nil {
+					b.Fatal(err)
+				}
+				ids = rep.AppendIDs(ids[:0])
+				s.Release(ids)
+			}
+		})
+	}
+	for _, proto := range []string{"json", "binary"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("proto=%s/shards=%d", proto, shards), func(b *testing.B) {
+				s, err := New(Config{N: 1024, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				s.Release(rep.IDs())
-			}
-		})
+				defer s.Close()
+				d := newProtoDriver(NewHandler(s, HandlerConfig{}), proto)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := d.step(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServeThroughput drives the full HTTP handler from GOMAXPROCS
+// concurrent clients per protocol and shard count — the serving shape
+// the shards=4-vs-1 comparison is about. (The *NShard(s) variants above
+// measure the Service without the HTTP boundary.)
+func BenchmarkServeThroughput(b *testing.B) {
+	const batch = 512
+	for _, proto := range []string{"json", "binary"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("proto=%s/shards=%d", proto, shards), func(b *testing.B) {
+				s, err := New(Config{N: 1024, Shards: shards, Alg: "aheavy", Seed: 1, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				h := NewHandler(s, HandlerConfig{})
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					d := newProtoDriver(h, proto)
+					for pb.Next() {
+						if err := d.step(batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				st := s.StatsLite()
+				if st.Live != 0 {
+					b.Fatalf("bench left %d balls live", st.Live)
+				}
+				b.ReportMetric(float64(st.Arrived)/b.Elapsed().Seconds(), "balls/s")
+			})
+		}
 	}
 }

@@ -3,17 +3,25 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // MaxBatch bounds one /allocate request; far above realistic batch sizes,
 // low enough that a bad request cannot wedge a cell in one epoch.
 const MaxBatch = 1 << 22
+
+// MaxBody caps one POST body. 16 MiB covers a binary /release of ~2M IDs
+// and any realistic JSON payload; anything larger is rejected with 413
+// before it can balloon server memory.
+const MaxBody = 16 << 20
 
 // HandlerConfig tunes the HTTP front end.
 type HandlerConfig struct {
@@ -32,14 +40,55 @@ var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // existing slice when the capacity suffices).
 var releaseReqPool = sync.Pool{New: func() any { return new(releaseReq) }}
 
+// repPool pools allocate reports: AllocateInto refills a pooled report in
+// place, reusing its span and placement arrays across requests.
+var repPool = sync.Pool{New: func() any { return new(Report) }}
+
 type releaseReq struct {
 	IDs []int64 `json:"ids"`
 }
 
+// wireScratch is one binary-protocol request's complete workspace: the
+// body slurp buffer, a bounded reader over it, the decoded ID slice, the
+// reply report, and the outgoing frame. Pooled as a unit, the binary
+// /allocate and /release paths run allocation-free in steady state.
+type wireScratch struct {
+	lr  io.LimitedReader
+	in  bytes.Buffer
+	ids []int64
+	rep Report
+	out []byte
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wireScratch) }}
+
+// wireCTValue is the preboxed Content-Type header value for binary
+// replies: assigning a shared slice into the header map avoids the
+// per-request []string allocation http.Header.Set would make.
+var wireCTValue = []string{wire.ContentType}
+
+func putWire(sc *wireScratch) {
+	// As with putBuf: one oversized body must not pin its memory forever.
+	if sc.in.Cap() > 1<<20 {
+		sc.in = bytes.Buffer{}
+	}
+	if cap(sc.ids) > 1<<17 {
+		sc.ids = nil
+	}
+	if cap(sc.out) > 1<<20 {
+		sc.out = nil
+	}
+	sc.lr.R = nil
+	wirePool.Put(sc)
+}
+
 // readBody slurps the request body into a pooled buffer, unmarshals it,
 // and returns the buffer to the pool (json.Unmarshal copies everything it
-// decodes, so nothing aliases the buffer after it returns).
-func readBody(r *http.Request, v any) error {
+// decodes, so nothing aliases the buffer after it returns). The body is
+// capped at MaxBody via http.MaxBytesReader; overruns surface as
+// *http.MaxBytesError for bodyError to turn into a 413.
+func readBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBody)
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	_, err := io.Copy(buf, r.Body)
@@ -50,6 +99,35 @@ func readBody(r *http.Request, v any) error {
 	return err
 }
 
+// bodyError maps a readBody failure onto the JSON error shape: 413 for
+// bodies over the cap, 400 for everything else.
+func bodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+}
+
+// readWireBody slurps a binary frame into the scratch buffer, reading at
+// most MaxBody+1 bytes so an oversized body is detected (and 413'd)
+// without ever being held in memory past the cap.
+func readWireBody(sc *wireScratch, w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	sc.lr.R = r.Body
+	sc.lr.N = MaxBody + 1
+	sc.in.Reset()
+	if _, err := sc.in.ReadFrom(&sc.lr); err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if sc.in.Len() > MaxBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", MaxBody)
+		return nil, false
+	}
+	return sc.in.Bytes(), true
+}
+
 func putBuf(buf *bytes.Buffer) {
 	// Oversized one-off bodies should not pin their memory in the pool.
 	if buf.Cap() <= 1<<20 {
@@ -57,7 +135,25 @@ func putBuf(buf *bytes.Buffer) {
 	}
 }
 
-// NewHandler exposes the service as an HTTP/JSON API:
+// writePartialFailure reports a partial /allocate failure: 500 with the
+// JSON error shape, carrying the spans the successful cells granted so
+// those balls remain releasable by the client. Binary requests receive
+// the same JSON document — error paths are never binary.
+func writePartialFailure(w http.ResponseWriter, err error, spans []Span) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	body := map[string]any{"error": fmt.Sprintf("allocate: %v", err)}
+	if len(spans) > 0 {
+		body["spans"] = spans
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// NewHandler exposes the service over HTTP. Every endpoint speaks JSON;
+// POST /allocate and /release also speak the compact binary framing of
+// internal/wire — a request whose Content-Type is wire.ContentType is
+// decoded as a binary frame and answered with one (error responses stay
+// JSON regardless of protocol):
 //
 //	POST /allocate {"count": k, "terse": bool}  admit k balls -> Report
 //	                                            (terse drops placements,
@@ -74,8 +170,9 @@ func putBuf(buf *bytes.Buffer) {
 //	                                            stage histograms, per-cell
 //	                                            counters, Go runtime gauges
 //
-// Errors are JSON {"error": ...} with 400 (bad request), 405 (wrong
-// method), or 500 (allocator failure).
+// Errors are JSON {"error": ...} with 400 (bad request or bad frame),
+// 405 (wrong method), 413 (body over MaxBody), or 500 (allocator
+// failure; carries the granted spans, see writePartialFailure).
 func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	m := s.metrics
@@ -85,39 +182,42 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			wireAllocate(s, m, hc, w, r)
+			return
+		}
 		var req struct {
 			Count int  `json:"count"`
 			Terse bool `json:"terse,omitempty"`
 		}
-		if err := readBody(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		start := time.Now()
+		err := readBody(w, r, &req)
+		m.stageDecode.ObserveDuration(time.Since(start))
+		if err != nil {
+			bodyError(w, err)
 			return
 		}
 		if req.Count < 0 || req.Count > MaxBatch {
 			httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", MaxBatch, req.Count)
 			return
 		}
-		rep, err := s.Allocate(req.Count)
-		if err != nil {
-			// A partial failure still granted the spans in rep; hand them
-			// to the client so the balls remain releasable.
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusInternalServerError)
-			body := map[string]any{"error": fmt.Sprintf("allocate: %v", err)}
-			if rep != nil && len(rep.Spans) > 0 {
-				body["spans"] = rep.Spans
-			}
-			_ = json.NewEncoder(w).Encode(body)
+		rep := repPool.Get().(*Report)
+		if err := s.AllocateInto(req.Count, rep); err != nil {
+			writePartialFailure(w, err, rep.Spans)
+			repPool.Put(rep)
 			return
 		}
 		if req.Terse {
-			rep.Placements = nil
+			// Empty-not-nil keeps the pooled backing array; omitempty still
+			// drops the field from the JSON document.
+			rep.Placements = rep.Placements[:0]
 		}
 		if hc.Verbose {
 			log.Printf("allocate: admitted %d over %d cell epoch(s), pending %d, rounds %d, max load %d (excess %d)",
 				rep.Admitted, rep.Cells, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
 		}
 		writeJSON(w, m, rep)
+		repPool.Put(rep)
 	})
 	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
 		m.httpRelease.Inc()
@@ -125,11 +225,18 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			wireRelease(s, m, hc, w, r)
+			return
+		}
 		req := releaseReqPool.Get().(*releaseReq)
 		req.IDs = req.IDs[:0]
-		if err := readBody(r, req); err != nil {
+		start := time.Now()
+		err := readBody(w, r, req)
+		m.stageDecode.ObserveDuration(time.Since(start))
+		if err != nil {
 			releaseReqPool.Put(req)
-			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			bodyError(w, err)
 			return
 		}
 		released := s.Release(req.IDs)
@@ -180,6 +287,77 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		metricsHandler.ServeHTTP(w, r)
 	})
 	return mux
+}
+
+// wireAllocate is the binary-protocol /allocate path: parse the frame out
+// of the pooled scratch, allocate into the scratch report, encode the
+// reply frame in place, one Write. Steady state allocates nothing.
+func wireAllocate(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+	sc := wirePool.Get().(*wireScratch)
+	start := time.Now()
+	frame, ok := readWireBody(sc, w, r)
+	if !ok {
+		putWire(sc)
+		return
+	}
+	count, terse, err := wire.ParseAllocateRequest(frame)
+	m.stageDecode.ObserveDuration(time.Since(start))
+	if err != nil {
+		putWire(sc)
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	if count > MaxBatch {
+		putWire(sc)
+		httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", MaxBatch, count)
+		return
+	}
+	rep := &sc.rep
+	if err := s.AllocateInto(count, rep); err != nil {
+		writePartialFailure(w, err, rep.Spans)
+		putWire(sc)
+		return
+	}
+	if hc.Verbose {
+		log.Printf("allocate: admitted %d over %d cell epoch(s), pending %d, rounds %d, max load %d (excess %d)",
+			rep.Admitted, rep.Cells, rep.Pending, rep.Rounds, rep.MaxLoad, rep.Excess)
+	}
+	start = time.Now()
+	sc.out = wire.AppendReport(sc.out[:0], rep, terse)
+	m.stageEncode.ObserveDuration(time.Since(start))
+	w.Header()["Content-Type"] = wireCTValue
+	_, _ = w.Write(sc.out)
+	putWire(sc)
+}
+
+// wireRelease is the binary-protocol /release path; like wireAllocate it
+// runs entirely out of the pooled scratch.
+func wireRelease(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+	sc := wirePool.Get().(*wireScratch)
+	start := time.Now()
+	frame, ok := readWireBody(sc, w, r)
+	if !ok {
+		putWire(sc)
+		return
+	}
+	ids, err := wire.ParseReleaseRequest(frame, sc.ids[:0])
+	m.stageDecode.ObserveDuration(time.Since(start))
+	if err != nil {
+		putWire(sc)
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	sc.ids = ids
+	released := s.Release(ids)
+	if hc.Verbose {
+		log.Printf("released %d of %d", released, len(ids))
+	}
+	start = time.Now()
+	sc.out = wire.AppendReleaseReply(sc.out[:0], released)
+	m.stageEncode.ObserveDuration(time.Since(start))
+	w.Header()["Content-Type"] = wireCTValue
+	_, _ = w.Write(sc.out)
+	putWire(sc)
 }
 
 // writeJSON encodes v into a pooled buffer and writes it in one call, so

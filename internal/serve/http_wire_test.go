@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/online"
+	"repro/internal/wire"
+)
+
+// failingAlloc wraps a cell's allocator and fails every epoch, leaving
+// the wrapped allocator's state untouched — the injectable failure mode
+// the real allocator does not offer from outside.
+type failingAlloc struct {
+	cellAllocator
+	fail bool
+}
+
+func (f *failingAlloc) Allocate(k int) (*online.Report, error) {
+	if f.fail {
+		return nil, errors.New("injected epoch failure")
+	}
+	return f.cellAllocator.Allocate(k)
+}
+
+// benchRW is a reusable in-memory ResponseWriter: header map and body
+// buffer persist across requests so driving the handler allocates
+// nothing on the recorder side.
+type benchRW struct {
+	h    http.Header
+	body []byte
+	code int
+}
+
+func (w *benchRW) Header() http.Header         { return w.h }
+func (w *benchRW) Write(p []byte) (int, error) { w.body = append(w.body, p...); return len(p), nil }
+func (w *benchRW) WriteHeader(c int)           { w.code = c }
+func (w *benchRW) reset()                      { w.body = w.body[:0]; w.code = http.StatusOK }
+
+// rcReader is a no-op-close ReadCloser over a resettable bytes.Reader.
+// Its single pointer field keeps the interface conversion allocation-free.
+type rcReader struct{ *bytes.Reader }
+
+func (rcReader) Close() error { return nil }
+
+// protoDriver drives a handler in-memory over one protocol, reusing
+// every request, buffer, and reply structure across calls. It is the
+// client half of the zero-allocation claim: with proto "binary" a warm
+// driver performs no allocations per allocate/release round trip beyond
+// what the service core itself does.
+type protoDriver struct {
+	h     http.Handler
+	proto string
+	w     benchRW
+
+	areq  *http.Request
+	abody *bytes.Reader
+	rreq  *http.Request
+	rbody *bytes.Reader
+
+	frame []byte
+	jbuf  bytes.Buffer
+	ids   []int64
+	rep   Report
+}
+
+func newProtoDriver(h http.Handler, proto string) *protoDriver {
+	d := &protoDriver{h: h, proto: proto}
+	d.w.h = make(http.Header)
+	d.abody = bytes.NewReader(nil)
+	d.rbody = bytes.NewReader(nil)
+	d.areq = httptest.NewRequest(http.MethodPost, "/allocate", nil)
+	d.rreq = httptest.NewRequest(http.MethodPost, "/release", nil)
+	ct := "application/json"
+	if proto == "binary" {
+		ct = wire.ContentType
+	}
+	d.areq.Header.Set("Content-Type", ct)
+	d.rreq.Header.Set("Content-Type", ct)
+	return d
+}
+
+func (d *protoDriver) do(req *http.Request, body *bytes.Reader, payload []byte) int {
+	body.Reset(payload)
+	// Reassign every call: the JSON path swaps in a stateful
+	// MaxBytesReader, which must not leak into the next request.
+	req.Body = rcReader{body}
+	d.w.reset()
+	d.h.ServeHTTP(&d.w, req)
+	return d.w.code
+}
+
+// allocate admits count balls and decodes the reply into d.rep.
+func (d *protoDriver) allocate(count int, terse bool) error {
+	var payload []byte
+	if d.proto == "binary" {
+		d.frame = wire.AppendAllocateRequest(d.frame[:0], count, terse)
+		payload = d.frame
+	} else {
+		d.jbuf.Reset()
+		fmt.Fprintf(&d.jbuf, `{"count":%d,"terse":%v}`, count, terse)
+		payload = d.jbuf.Bytes()
+	}
+	if code := d.do(d.areq, d.abody, payload); code != http.StatusOK {
+		return fmt.Errorf("/allocate: status %d: %s", code, d.w.body)
+	}
+	if d.proto == "binary" {
+		return wire.ParseReport(d.w.body, &d.rep)
+	}
+	d.rep.Reset()
+	return json.Unmarshal(d.w.body, &d.rep)
+}
+
+// release departs ids and returns the server's released count.
+func (d *protoDriver) release(ids []int64) (int, error) {
+	var payload []byte
+	if d.proto == "binary" {
+		d.frame = wire.AppendReleaseRequest(d.frame[:0], ids)
+		payload = d.frame
+	} else {
+		d.jbuf.Reset()
+		if err := json.NewEncoder(&d.jbuf).Encode(struct {
+			IDs []int64 `json:"ids"`
+		}{ids}); err != nil {
+			return 0, err
+		}
+		payload = d.jbuf.Bytes()
+	}
+	if code := d.do(d.rreq, d.rbody, payload); code != http.StatusOK {
+		return 0, fmt.Errorf("/release: status %d: %s", code, d.w.body)
+	}
+	if d.proto == "binary" {
+		return wire.ParseReleaseReply(d.w.body)
+	}
+	var rel struct {
+		Released int `json:"released"`
+	}
+	err := json.Unmarshal(d.w.body, &rel)
+	return rel.Released, err
+}
+
+// step is one steady-state serving round trip: allocate a terse batch,
+// release every granted ball.
+func (d *protoDriver) step(batch int) error {
+	if err := d.allocate(batch, true); err != nil {
+		return err
+	}
+	d.ids = d.rep.AppendIDs(d.ids[:0])
+	released, err := d.release(d.ids)
+	if err != nil {
+		return err
+	}
+	if released != len(d.ids) {
+		return fmt.Errorf("released %d of %d", released, len(d.ids))
+	}
+	return nil
+}
+
+// TestPartialFailureAccounting: when one cell's epoch fails, Admitted
+// must equal the sum of the granted span counts (not the requested k),
+// and the granted balls must be live and releasable.
+func TestPartialFailureAccounting(t *testing.T) {
+	s, err := New(Config{N: 64, Shards: 4, Alg: "aheavy", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Swap before any traffic: the cell loop reads c.alloc only after a
+	// queue receive, which the fan-out's send happens-before.
+	s.cells[2].alloc = &failingAlloc{cellAllocator: s.cells[2].alloc, fail: true}
+
+	const k = 1000
+	rep, err := s.Allocate(k)
+	if err == nil {
+		t.Fatal("allocate with a failing cell returned no error")
+	}
+	if !strings.Contains(err.Error(), "cell 2") {
+		t.Errorf("error %q does not name the failing cell", err)
+	}
+	sum := 0
+	for _, sp := range rep.Spans {
+		sum += sp.Count
+	}
+	if rep.Admitted != sum {
+		t.Fatalf("Admitted %d != span total %d", rep.Admitted, sum)
+	}
+	if sum <= 0 || sum >= k {
+		t.Fatalf("span total %d; want in (0, %d) with one failing cell of four", sum, k)
+	}
+	if got := len(rep.IDs()); got != sum {
+		t.Fatalf("spans expand to %d IDs, want %d", got, sum)
+	}
+	// Every granted ball is live: releasing them all succeeds exactly.
+	if released := s.Release(rep.IDs()); released != sum {
+		t.Fatalf("released %d of %d granted balls", released, sum)
+	}
+
+	// The HTTP layer serves the same contract: 500 with a JSON error body
+	// carrying the granted spans — for binary requests too (error
+	// responses are never binary).
+	h := NewHandler(s, HandlerConfig{})
+	d := newProtoDriver(h, "binary")
+	d.frame = wire.AppendAllocateRequest(d.frame[:0], k, false)
+	if code := d.do(d.areq, d.abody, d.frame); code != http.StatusInternalServerError {
+		t.Fatalf("partial failure served status %d, want 500", code)
+	}
+	if ct := d.w.h.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("partial-failure Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(d.w.body, &body); err != nil {
+		t.Fatalf("500 body is not the JSON error shape: %v", err)
+	}
+	if body.Error == "" || len(body.Spans) == 0 {
+		t.Fatalf("500 body %+v; want error text and granted spans", body)
+	}
+	granted := 0
+	ids := []int64{}
+	for _, sp := range body.Spans {
+		granted += sp.Count
+		for i := 0; i < sp.Count; i++ {
+			ids = append(ids, sp.Start+int64(i)*sp.Stride)
+		}
+	}
+	released, err := d.release(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != granted {
+		t.Fatalf("released %d of %d balls granted alongside the 500", released, granted)
+	}
+}
+
+// TestOversizedBody413: both POST endpoints reject bodies over MaxBody
+// with 413 and the JSON error shape, on both protocols.
+func TestOversizedBody413(t *testing.T) {
+	s, err := New(Config{N: 16, Shards: 2, Alg: "aheavy", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHandler(s, HandlerConfig{})
+	big := bytes.Repeat([]byte{'1'}, MaxBody+2)
+	for _, path := range []string{"/allocate", "/release"} {
+		for _, ct := range []string{"application/json", wire.ContentType} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(big))
+			req.Header.Set("Content-Type", ct)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusRequestEntityTooLarge {
+				t.Errorf("POST %s (%s) with %d-byte body: status %d, want 413", path, ct, len(big), rec.Code)
+				continue
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("POST %s (%s): 413 body %q is not the JSON error shape", path, ct, rec.Body.String())
+			}
+		}
+	}
+	// A body exactly at the cap is not rejected for its size.
+	req := httptest.NewRequest(http.MethodPost, "/allocate", bytes.NewReader(big[:MaxBody]))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusRequestEntityTooLarge {
+		t.Errorf("body of exactly MaxBody bytes rejected with 413")
+	}
+}
+
+// TestProtocolEquivalence: the same request sequence driven through the
+// JSON API, the binary wire framing, and the Service directly must leave
+// fingerprint-identical state — the codecs are pure encodings of one
+// service, never a second code path with its own semantics.
+func TestProtocolEquivalence(t *testing.T) {
+	cfg := Config{N: 96, Shards: 4, Alg: "aheavy", Seed: 11}
+	steps := []struct {
+		arrive  int
+		release int
+	}{
+		{400, 0}, {300, 100}, {0, 50}, {500, 200}, {100, 0}, {0, 300}, {257, 128},
+	}
+
+	viaHTTP := func(proto string) string {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		h := NewHandler(s, HandlerConfig{})
+		d := newProtoDriver(h, proto)
+		var live []int64
+		for _, st := range steps {
+			if st.release > 0 {
+				released, err := d.release(live[:st.release])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if released != st.release {
+					t.Fatalf("%s: released %d of %d", proto, released, st.release)
+				}
+				live = live[st.release:]
+			}
+			if err := d.allocate(st.arrive, true); err != nil {
+				t.Fatal(err)
+			}
+			if d.rep.Admitted != st.arrive {
+				t.Fatalf("%s: admitted %d, want %d", proto, d.rep.Admitted, st.arrive)
+			}
+			live = d.rep.AppendIDs(live)
+		}
+		return s.Fingerprint()
+	}
+
+	direct := func() string {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var live []int64
+		for _, st := range steps {
+			if st.release > 0 {
+				if got := s.Release(live[:st.release]); got != st.release {
+					t.Fatalf("direct: released %d of %d", got, st.release)
+				}
+				live = live[st.release:]
+			}
+			rep, err := s.Allocate(st.arrive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = rep.AppendIDs(live)
+		}
+		return s.Fingerprint()
+	}()
+
+	jsonFP, binFP := viaHTTP("json"), viaHTTP("binary")
+	if jsonFP != binFP {
+		t.Errorf("JSON-driven fingerprint %s != binary-driven %s", jsonFP, binFP)
+	}
+	if jsonFP != direct {
+		t.Errorf("HTTP-driven fingerprint %s != directly-driven %s", jsonFP, direct)
+	}
+}
+
+// TestBinaryHandlerAllocFree: in steady state, the binary HTTP+codec
+// layer adds zero allocations per allocate/release round trip over what
+// the service core itself performs.
+func TestBinaryHandlerAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	s, err := New(Config{N: 256, Shards: 4, Alg: "aheavy", Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHandler(s, HandlerConfig{})
+	d := newProtoDriver(h, "binary")
+	const batch = 64
+	// Warm every pool and slice capacity on both paths.
+	rep := new(Report)
+	var scratch []int64
+	for i := 0; i < 50; i++ {
+		if err := d.step(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AllocateInto(batch, rep); err != nil {
+			t.Fatal(err)
+		}
+		scratch = rep.AppendIDs(scratch[:0])
+		s.Release(scratch)
+	}
+	direct := testing.AllocsPerRun(200, func() {
+		if err := s.AllocateInto(batch, rep); err != nil {
+			t.Fatal(err)
+		}
+		scratch = rep.AppendIDs(scratch[:0])
+		s.Release(scratch)
+	})
+	viaHTTP := testing.AllocsPerRun(200, func() {
+		if err := d.step(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if delta := viaHTTP - direct; delta >= 1 {
+		t.Errorf("binary HTTP layer adds %.2f allocs/op (handler %.2f, service core %.2f); want 0",
+			delta, viaHTTP, direct)
+	}
+}
+
+// TestHandlerWireOverTCP drives the binary protocol through a real TCP
+// server: framed round trips, protocol-correct reply Content-Type, and
+// the JSON error shape on a malformed frame.
+func TestHandlerWireOverTCP(t *testing.T) {
+	s, err := New(Config{N: 64, Shards: 4, Alg: "aheavy", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer ts.Close()
+
+	frame := wire.AppendAllocateRequest(nil, 321, false)
+	res, err := http.Post(ts.URL+"/allocate", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, raw)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("binary request answered with Content-Type %q", ct)
+	}
+	var rep Report
+	if err := wire.ParseReport(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 321 || len(rep.IDs()) != 321 {
+		t.Fatalf("admitted %d (%d ids), want 321", rep.Admitted, len(rep.IDs()))
+	}
+	if len(rep.Placements) == 0 {
+		t.Error("non-terse binary reply carries no placements")
+	}
+
+	relFrame := wire.AppendReleaseRequest(nil, rep.IDs())
+	res, err = http.Post(ts.URL+"/release", wire.ContentType, bytes.NewReader(relFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	released, err := wire.ParseReleaseReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 321 {
+		t.Fatalf("released %d, want 321", released)
+	}
+
+	// A malformed frame is a 400 with the JSON error shape.
+	res, err = http.Post(ts.URL+"/allocate", wire.ContentType, bytes.NewReader(frame[:3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated frame: status %d, want 400", res.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("truncated frame: body %q is not the JSON error shape", raw)
+	}
+}

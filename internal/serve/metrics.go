@@ -12,6 +12,8 @@ import (
 // loadgen's server-side breakdown and the CI stage summary iterate this
 // list; keep it in sync with the instrumentation points below.
 //
+//	decode      reading and decoding one HTTP request body, JSON or binary
+//	            (handleAllocate/handleRelease)
 //	route       admission sequencing, the multinomial split draw, and the
 //	            fan-out of sub-requests onto the cell queues (Allocate)
 //	batch_wait  time a sub-request sat in a cell queue before its batcher
@@ -21,11 +23,11 @@ import (
 //	commit      assembling the caller's report from cell replies: span
 //	            arithmetic and placement translation, excluding the time
 //	            blocked waiting on cells (Allocate)
-//	encode      JSON-encoding one HTTP response into the pooled buffer
-//	            (writeJSON)
+//	encode      encoding one HTTP response (JSON or binary) into the pooled
+//	            buffer (writeJSON/writeWire)
 //	allocate    one whole Service.Allocate call, end to end
 //	release     one whole Service.Release call
-var StageNames = []string{"route", "batch_wait", "epoch_run", "commit", "encode", "allocate", "release"}
+var StageNames = []string{"decode", "route", "batch_wait", "epoch_run", "commit", "encode", "allocate", "release"}
 
 // StageMetricName is the histogram family every stage records under.
 const StageMetricName = "pba_stage_duration_seconds"
@@ -35,6 +37,7 @@ const StageMetricName = "pba_stage_duration_seconds"
 type metrics struct {
 	reg *obs.Registry
 
+	stageDecode    *obs.Histogram
 	stageRoute     *obs.Histogram
 	stageBatchWait *obs.Histogram
 	stageEpochRun  *obs.Histogram
@@ -65,6 +68,7 @@ func newMetrics() *metrics {
 	}
 	m := &metrics{
 		reg:            reg,
+		stageDecode:    stage("decode"),
 		stageRoute:     stage("route"),
 		stageBatchWait: stage("batch_wait"),
 		stageEpochRun:  stage("epoch_run"),

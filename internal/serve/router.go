@@ -3,11 +3,11 @@ package serve
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/online"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // routerSalt separates the per-request split draws from every other seed
@@ -17,55 +17,19 @@ const routerSalt = 0xD1B54A32D192ED03
 // Placement reports where one ball landed, in global coordinates.
 type Placement = online.Placement
 
-// Span is an arithmetic progression of global ball IDs: Start, then
-// Start+Stride, Count values in total. One cell's admitted balls form one
-// span (global IDs interleave cells: global = local*shards + cell), so a
-// request's ID grant is a handful of spans instead of a flat list — a
-// terse /allocate response stays O(shards), not O(batch).
-type Span struct {
-	Start  int64 `json:"start"`
-	Stride int64 `json:"stride"`
-	Count  int   `json:"count"`
-}
+// Span and Report form the serving vocabulary. They live in
+// internal/wire so the JSON and binary codecs render the one type;
+// see wire.Span and wire.Report for the field contracts.
+type (
+	Span   = wire.Span
+	Report = wire.Report
+)
 
-// Report summarizes one Allocate call.
-type Report struct {
-	// Admitted is the number of fresh balls granted IDs; Spans carries the
-	// IDs (see Span). Use IDs to expand them.
-	Admitted int    `json:"admitted"`
-	Spans    []Span `json:"spans,omitempty"`
-	// Placements lists global (id, bin) pairs resolved by the epochs this
-	// request coalesced into: all of this request's placed balls plus any
-	// formerly-pending balls those epochs placed (attributed to the first
-	// request of each coalesced epoch).
-	Placements []Placement `json:"placements,omitempty"`
-	// Pending counts this request's balls left unplaced; they re-enter
-	// their cell's next epoch automatically.
-	Pending int `json:"pending"`
-	// Cells is the number of cell epochs this request participated in;
-	// Rounds is the max round count among them (they run in parallel).
-	Cells  int `json:"cells"`
-	Rounds int `json:"rounds"`
-	// MaxLoad and Excess are the maxima over the touched cells (each
-	// cell's excess is relative to its own placed/bin ratio — the per-cell
-	// O(1) bound is the guarantee that survives partitioning).
-	MaxLoad int64 `json:"max_load"`
-	Excess  int64 `json:"excess"`
-}
-
-// IDs expands the report's spans into the admitted global IDs, ascending.
-func (r *Report) IDs() []int64 {
-	ids := make([]int64, 0, r.Admitted)
-	for _, sp := range r.Spans {
-		for j := 0; j < sp.Count; j++ {
-			ids = append(ids, sp.Start+int64(j)*sp.Stride)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// subReq is one request's share of one cell's next epoch.
+// subReq is one request's share of one cell's next epoch. The structs
+// live inside a pooled allocScratch (one per cell) and their reply
+// channels are reused across requests: every use receives exactly one
+// subRep, and the batcher never touches a subReq after replying, so a
+// recycled struct can be rewritten as soon as its reply is consumed.
 type subReq struct {
 	count int
 	enq   time.Time // when the request entered the cell queue (batch_wait)
@@ -81,22 +45,48 @@ type subRep struct {
 	err   error
 }
 
+// allocScratch is one request's reusable router workspace: the split
+// counts, the per-request splittable-RNG stream (seeded in place, never
+// reallocated), and one subReq per cell with a preallocated reply
+// channel. Pooled on Service.allocPool, it makes the admission path —
+// split draw, fan-out, reply collection — allocation-free.
+type allocScratch struct {
+	counts []int64
+	rnd    rng.Rand
+	subs   []subReq
+}
+
+func (s *Service) newAllocScratch() *allocScratch {
+	sc := &allocScratch{
+		counts: make([]int64, len(s.cells)),
+		subs:   make([]subReq, len(s.cells)),
+	}
+	for i := range sc.subs {
+		sc.subs[i].done = make(chan subRep, 1)
+	}
+	return sc
+}
+
 // split draws the deterministic multinomial split of k balls over the
-// cells, weighted by cell size. The draw depends only on (seed, request
-// index, topology): a splittable-RNG stream is derived per request, so
-// replaying the same admission order reproduces every split exactly.
-func (s *Service) split(reqIdx uint64, k int) []int64 {
-	counts := make([]int64, len(s.cells))
+// cells, weighted by cell size, into the scratch counts. The draw
+// depends only on (seed, request index, topology): the scratch RNG is
+// re-seeded per request exactly as a freshly constructed stream would
+// be, so the conditional-binomial chain behind MultinomialWeighted
+// (Hörmann 1993 binomials) draws bit-identical splits to the historical
+// per-request rng.New — replaying the same admission order reproduces
+// every split exactly, now without the three per-request heap
+// allocations (RNG, weights, counts) this path used to pay.
+func (s *Service) split(sc *allocScratch, reqIdx uint64, k int) []int64 {
+	counts := sc.counts
 	if len(s.cells) == 1 || k == 0 {
+		for i := range counts {
+			counts[i] = 0
+		}
 		counts[0] = int64(k)
 		return counts
 	}
-	r := rng.New(rng.Mix64(s.cfg.Seed ^ (reqIdx+1)*routerSalt))
-	weights := make([]float64, len(s.cells))
-	for i, c := range s.cells {
-		weights[i] = float64(c.n)
-	}
-	r.MultinomialWeighted(int64(k), weights, counts)
+	sc.rnd.Seed(rng.Mix64(s.cfg.Seed ^ (reqIdx+1)*routerSalt))
+	sc.rnd.MultinomialWeighted(int64(k), s.weights, counts)
 	return counts
 }
 
@@ -104,8 +94,21 @@ func (s *Service) split(reqIdx uint64, k int) []int64 {
 // (or joins) one epoch per targeted cell. k == 0 offers a zero batch to
 // every cell, re-offering pending balls and advancing every cell's epoch.
 func (s *Service) Allocate(k int) (*Report, error) {
+	rep := new(Report)
+	err := s.AllocateInto(k, rep)
+	return rep, err
+}
+
+// AllocateInto is Allocate writing into a caller-owned report: rep is
+// Reset and refilled, reusing its span and placement backing arrays, so
+// a pooled report makes the whole service boundary allocation-free in
+// steady state. On partial cell failure the error is non-nil and rep
+// still carries the successful cells' spans (see the partial-failure
+// contract below).
+func (s *Service) AllocateInto(k int, rep *Report) error {
+	rep.Reset()
 	if k < 0 {
-		return nil, fmt.Errorf("serve: negative arrival count %d", k)
+		return fmt.Errorf("serve: negative arrival count %d", k)
 	}
 	// Admission: order the request and draw its split under the sequencer
 	// lock, so the (request index -> split) map is a pure function of the
@@ -114,7 +117,7 @@ func (s *Service) Allocate(k int) (*Report, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: service closed")
+		return fmt.Errorf("serve: service closed")
 	}
 	reqIdx := s.nextReq
 	s.nextReq++
@@ -122,42 +125,52 @@ func (s *Service) Allocate(k int) (*Report, error) {
 	s.mu.Unlock()
 	defer s.inflight.Done()
 	s.metrics.requests.Inc()
-	counts := s.split(reqIdx, k)
 
-	// Fan out to the targeted cells, then collect in shard order.
-	type wait struct {
-		c  *cell
-		ch chan subRep
-	}
-	waits := make([]wait, 0, len(s.cells))
+	sc := s.allocPool.Get().(*allocScratch)
+	counts := s.split(sc, reqIdx, k)
+
+	// Fan out to the targeted cells. The enqueue timestamp feeds both the
+	// batch_wait stage histogram and the per-cell arrival-rate estimate
+	// driving the adaptive group-commit window (cellLoop).
+	now := time.Now()
+	nowNs := now.Sub(s.started).Nanoseconds()
 	for i, c := range s.cells {
 		if counts[i] == 0 && k != 0 {
 			continue
 		}
-		ch := make(chan subRep, 1)
-		c.queue <- &subReq{count: int(counts[i]), enq: time.Now(), done: ch}
-		waits = append(waits, wait{c, ch})
+		sub := &sc.subs[i]
+		sub.count = int(counts[i])
+		sub.enq = now
+		c.noteArrival(nowNs)
+		c.queue <- sub
 	}
 	s.metrics.stageRoute.ObserveDuration(time.Since(start))
 
+	// Collect in shard order. Every targeted cell sends exactly one reply,
+	// so the scratch (including the reply channels) is quiescent and
+	// reusable once this loop finishes.
 	shards := int64(len(s.cells))
-	rep := &Report{Admitted: k}
 	var firstErr error
 	var commitNs int64
-	for _, w := range waits {
-		sr := <-w.ch
+	admitted := 0
+	for i, c := range s.cells {
+		if counts[i] == 0 && k != 0 {
+			continue
+		}
+		sr := <-sc.subs[i].done
 		stepStart := time.Now()
 		if sr.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("serve: cell %d: %w", w.c.index, sr.err)
+				firstErr = fmt.Errorf("serve: cell %d: %w", c.index, sr.err)
 			}
 			commitNs += time.Since(stepStart).Nanoseconds()
 			continue
 		}
 		rep.Cells++
+		admitted += sr.count
 		if sr.count > 0 {
 			rep.Spans = append(rep.Spans, Span{
-				Start:  sr.base*shards + int64(w.c.index),
+				Start:  sr.base*shards + int64(c.index),
 				Stride: shards,
 				Count:  sr.count,
 			})
@@ -173,8 +186,8 @@ func (s *Service) Allocate(k int) (*Report, error) {
 			// eventual placement is not lost.
 			if mine || (sr.first && p.ID < sr.rep.IDBase) {
 				rep.Placements = append(rep.Placements, Placement{
-					ID:  p.ID*shards + int64(w.c.index),
-					Bin: int32(w.c.binBase) + p.Bin,
+					ID:  p.ID*shards + int64(c.index),
+					Bin: int32(c.binBase) + p.Bin,
 				})
 			}
 		}
@@ -190,42 +203,114 @@ func (s *Service) Allocate(k int) (*Report, error) {
 		}
 		commitNs += time.Since(stepStart).Nanoseconds()
 	}
+	s.allocPool.Put(sc)
+	// Partial-failure contract: Admitted is the sum of the span counts —
+	// the balls actually granted IDs — so a failing cell (which granted
+	// nothing; its share stays pending inside that cell per the
+	// allocator's failed-epoch contract) never inflates the count. The
+	// spans of the cells that succeeded ride alongside the error, and
+	// those balls are live and releasable.
+	rep.Admitted = admitted
 	// Commit is the reply-assembly work alone: the blocking receives above
 	// are excluded, so commit + epoch_run + batch_wait decompose the gap
 	// between route and the end-to-end allocate stage.
 	s.metrics.stageCommit.Observe(commitNs)
 	s.metrics.stageAllocate.ObserveDuration(time.Since(start))
-	if firstErr != nil {
-		// Cells that succeeded have admitted and placed their shares; the
-		// report carries those spans alongside the error so the caller can
-		// still Release them (the failing cell's balls stay pending in
-		// that cell, per the allocator's failed-epoch contract).
-		return rep, firstErr
+	return firstErr
+}
+
+// Adaptive group-commit tunables (see cellLoop).
+const (
+	// maxCoalesce caps contributors per epoch so a wait window cannot
+	// grow a batch without bound under sustained overload.
+	maxCoalesce = 128
+	// coalesceOn is the contributors-per-epoch EWMA (in 1/256ths) above
+	// which a cell considers waiting productive: 320/256 = 1.25 — epochs
+	// have recently merged concurrent requests.
+	coalesceOn = 320
+	// Window clamp: at least one scheduler pass, at most a fraction of a
+	// typical epoch, so the window can only trade latency it wins back by
+	// coalescing.
+	minWindow = 2 * time.Microsecond
+	maxWindow = 100 * time.Microsecond
+	// maxGapNs clamps the inter-arrival EWMA so one idle stretch does not
+	// poison the estimate for the next burst.
+	maxGapNs = int64(10 * time.Millisecond)
+)
+
+// noteArrival folds one enqueue timestamp (nanoseconds since service
+// start) into the cell's inter-arrival EWMA. Lost updates under
+// concurrent arrivals only soften the estimate; the window logic treats
+// it as a hint, never a correctness input.
+func (c *cell) noteArrival(nowNs int64) {
+	prev := c.lastEnq.Swap(nowNs)
+	if prev == 0 {
+		return
 	}
-	return rep, nil
+	gap := nowNs - prev
+	if gap < 0 {
+		gap = 0
+	}
+	if gap > maxGapNs {
+		gap = maxGapNs
+	}
+	old := c.ewmaGap.Load()
+	if old == 0 {
+		old = gap
+	}
+	c.ewmaGap.Store((3*old + gap) / 4)
+}
+
+// window sizes the cell's batch-wait window from the observed arrival
+// pattern: zero unless recent epochs actually coalesced concurrent
+// contributors, otherwise a few inter-arrival gaps, clamped. A lone
+// sequential caller drives the contributor EWMA to 1 and pays no window
+// at all — the PR6 stage data showed the old unconditional yield taxing
+// exactly that path.
+func (c *cell) window() time.Duration {
+	if c.ewmaSubs.Load() < coalesceOn {
+		return 0
+	}
+	gap := c.ewmaGap.Load()
+	if gap <= 0 {
+		return 0
+	}
+	w := time.Duration(4 * gap)
+	if w < minWindow {
+		return minWindow
+	}
+	if w > maxWindow {
+		return maxWindow
+	}
+	return w
 }
 
 // cellLoop is cell c's batcher: it blocks for one sub-request, coalesces
-// everything else already queued into the same epoch, runs the cell's
-// allocator once over the combined batch, and slices the admitted ID
-// range back out to the contributors in arrival order.
+// everything else already queued into the same epoch — holding the batch
+// open for an adaptive, bounded wait window when the observed arrival
+// rate says more contributors are imminent — runs the cell's allocator
+// once over the combined batch, and slices the admitted ID range back
+// out to the contributors in arrival order.
+//
+// The window replaces the old unconditional runtime.Gosched: it opens
+// only when recent epochs merged more than one request (contributor
+// EWMA), and then spans a few observed inter-arrival gaps, so batch
+// formation follows the offered concurrency instead of taxing every
+// epoch with a yield. A lone sequential caller is blocked on its reply
+// here, so no window setting can change what an epoch contains under
+// sequential replay; timing only widens real concurrent batches.
 func (s *Service) cellLoop(c *cell) {
 	defer s.loops.Done()
+	subs := make([]*subReq, 0, maxCoalesce)
 	for first := range c.queue {
-		subs := append(make([]*subReq, 0, 4), first)
-		// Group-commit window: yield once so clients already committed to
-		// this cell (sent, or about to send, a sub-request) get scheduled
-		// and enqueue before the drain — without it, on few cores the
-		// batcher almost always wins the race and coalescing never
-		// engages. A lone sequential caller is blocked on its reply here,
-		// so this cannot change what an epoch contains under sequential
-		// replay; it only widens real concurrent batches.
-		runtime.Gosched()
+		subs = append(subs[:0], first)
+		open := true
 	drain:
-		for {
+		for len(subs) < maxCoalesce {
 			select {
 			case more, ok := <-c.queue:
 				if !ok {
+					open = false
 					break drain
 				}
 				subs = append(subs, more)
@@ -233,6 +318,34 @@ func (s *Service) cellLoop(c *cell) {
 				break drain
 			}
 		}
+		if open && len(subs) < maxCoalesce {
+			if w := c.window(); w > 0 {
+				deadline := time.Now().Add(w)
+			wait:
+				for len(subs) < maxCoalesce {
+					select {
+					case more, ok := <-c.queue:
+						if !ok {
+							break wait
+						}
+						subs = append(subs, more)
+					default:
+						if !time.Now().Before(deadline) {
+							break wait
+						}
+						runtime.Gosched()
+					}
+				}
+			}
+		}
+		// Fold this epoch's contributor count into the coalescing EWMA
+		// (x256 fixed point); it decays back to 1 under sequential load.
+		oldSubs := c.ewmaSubs.Load()
+		if oldSubs == 0 {
+			oldSubs = 256
+		}
+		c.ewmaSubs.Store((3*oldSubs + int64(len(subs))*256) / 4)
+
 		total := 0
 		epochStart := time.Now()
 		for _, sb := range subs {
@@ -249,8 +362,11 @@ func (s *Service) cellLoop(c *cell) {
 		}
 		base := rep.IDBase
 		for i, sb := range subs {
-			sb.done <- subRep{rep: rep, base: base, count: sb.count, first: i == 0}
-			base += int64(sb.count)
+			// Read the count before replying: the reply hands the pooled
+			// subReq back to its request, which may recycle it immediately.
+			cnt := sb.count
+			sb.done <- subRep{rep: rep, base: base, count: cnt, first: i == 0}
+			base += int64(cnt)
 		}
 	}
 }

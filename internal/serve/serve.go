@@ -35,6 +35,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/online"
@@ -64,16 +65,18 @@ type Config struct {
 // concurrent use. Close must be called to stop the cell batchers; after
 // Close every method returns an error (or a zero result).
 type Service struct {
-	cfg   Config // Alg canonicalized, Shards materialized
-	cells []*cell
+	cfg     Config // Alg canonicalized, Shards materialized
+	cells   []*cell
+	weights []float64 // router split weights: cell sizes, fixed at build
 
 	mu       sync.Mutex // admission sequencer: orders requests, guards cursor
 	nextReq  uint64     // router cursor: requests admitted so far
 	closed   bool
 	inflight sync.WaitGroup // Allocate calls between admission and reply
 
-	loops   sync.WaitGroup // cell batcher goroutines
-	relPool sync.Pool      // *releaseBufs: reusable Release partition buffers
+	loops     sync.WaitGroup // cell batcher goroutines
+	relPool   sync.Pool      // *releaseBufs: reusable Release partition buffers
+	allocPool sync.Pool      // *allocScratch: reusable router workspaces
 
 	metrics  *metrics  // observability instruments (see metrics.go)
 	started  time.Time // service construction time (uptime anchor)
@@ -81,13 +84,35 @@ type Service struct {
 	snapTime int64     // unix seconds the restored snapshot was taken, 0 if unknown
 }
 
+// cellAllocator is the allocator surface a cell consumes; *online.Allocator
+// implements it. Narrowing the dependency to an interface lets tests inject
+// failing allocators to exercise the partial-failure contract, which the
+// real allocator cannot be driven into from outside.
+type cellAllocator interface {
+	Allocate(k int) (*online.Report, error)
+	Release(ids []int64) int
+	Loads() []int64
+	Stats() online.Stats
+	StatsLite() online.Stats
+	Fingerprint() string
+	Snapshot() *online.Snapshot
+}
+
 // cell is one shard: a contiguous range of bins owned by one allocator.
 type cell struct {
 	index   int
 	binBase int // global index of the cell's first bin
 	n       int
-	alloc   *online.Allocator
+	alloc   cellAllocator
 	queue   chan *subReq
+
+	// Arrival-rate estimate feeding the adaptive group-commit window
+	// (router.go): lastEnq is the service-relative nanosecond timestamp of
+	// the latest enqueue, ewmaGap the smoothed inter-arrival gap in
+	// nanoseconds, ewmaSubs the smoothed contributors-per-epoch in 1/256ths.
+	lastEnq  atomic.Int64
+	ewmaGap  atomic.Int64
+	ewmaSubs atomic.Int64
 }
 
 // queueDepth bounds how many sub-batches can wait at a cell before
@@ -135,10 +160,15 @@ func New(cfg Config) (*Service, error) {
 // build assembles the cell topology, obtaining each cell's allocator from
 // mk (a fresh allocator for New, a restored one for Restore).
 func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*online.Allocator, error)) (*Service, error) {
-	s := &Service{cfg: cfg, cells: make([]*cell, cfg.Shards), metrics: newMetrics(), started: time.Now()}
+	s := &Service{
+		cfg: cfg, cells: make([]*cell, cfg.Shards),
+		weights: make([]float64, cfg.Shards),
+		metrics: newMetrics(), started: time.Now(),
+	}
 	s.relPool.New = func() any {
 		return &releaseBufs{perCell: make([][]int64, cfg.Shards)}
 	}
+	s.allocPool.New = func() any { return s.newAllocScratch() }
 	base, per, rem := 0, cfg.N/cfg.Shards, cfg.N%cfg.Shards
 	for i := range s.cells {
 		cellN := per
@@ -153,6 +183,7 @@ func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*onli
 			index: i, binBase: base, n: cellN, alloc: alloc,
 			queue: make(chan *subReq, queueDepth),
 		}
+		s.weights[i] = float64(cellN)
 		base += cellN
 	}
 	s.loops.Add(len(s.cells))
@@ -329,7 +360,7 @@ type Stats struct {
 // hashing work). Quiescence caveats as for Fingerprint. Steady-state
 // telemetry should use StatsLite.
 func (s *Service) Stats() Stats {
-	st := s.statsWith(func(a *online.Allocator) online.Stats { return a.Stats() })
+	st := s.statsWith(func(a cellAllocator) online.Stats { return a.Stats() })
 	// The combined hash is derived from the per-cell fingerprints already
 	// collected above — re-deriving them via s.Fingerprint() would hash
 	// every cell's live state a second time.
@@ -345,7 +376,7 @@ func (s *Service) Stats() Stats {
 // come from the allocators' O(1) StatsLite (each carrying its incremental
 // chain fingerprint), and the combined fingerprint is left empty.
 func (s *Service) StatsLite() Stats {
-	return s.statsWith(func(a *online.Allocator) online.Stats { return a.StatsLite() })
+	return s.statsWith(func(a cellAllocator) online.Stats { return a.StatsLite() })
 }
 
 // CellHealth is one cell's liveness line in the /healthz report — the
@@ -407,7 +438,7 @@ func (s *Service) Health() Health {
 	return h
 }
 
-func (s *Service) statsWith(snap func(*online.Allocator) online.Stats) Stats {
+func (s *Service) statsWith(snap func(cellAllocator) online.Stats) Stats {
 	s.mu.Lock()
 	requests := s.nextReq
 	s.mu.Unlock()

@@ -14,12 +14,27 @@
 // becomes {"name": "E1AheavyLoad", "iterations": 3, "ns_per_op": 417935374,
 // "bytes_per_op": 56, "allocs_per_op": 2}; -benchmem columns are optional.
 //
+// The "-N" GOMAXPROCS suffix go test appends under -cpu becomes a
+// "gomaxprocs" field (1 when absent), so the same benchmark run at
+// -cpu 1,4 yields two distinguishable records instead of a collision.
+//
 // -merge key=file (repeatable) embeds an auxiliary JSON document under a
 // top-level key alongside "benchmarks" — CI uses it to fold the loadgen's
 // server-side stage summary (pba-bench -metrics-out) into the same
 // BENCH_prN.json artifact:
 //
 //	... | go run ./tools/benchjson -merge serve_stages=stages.json > BENCH_pr6.json
+//
+// -ratio key=refA|refB (repeatable) records ns_per_op(refA)/ns_per_op(refB)
+// under a top-level "ratios" object. A ref is a benchmark name, optionally
+// "@N" to pin gomaxprocs; a ref matching zero or several records is an
+// error. CI uses this for the shards=4-vs-1 record:
+//
+//	-ratio 'shards4_vs_1_latency=ServeThroughput/proto=binary/shards=4@4|ServeThroughput/proto=binary/shards=1@4'
+//
+// -assert-le 'metric:refA<=refB' (repeatable) exits 1 when refA's metric
+// exceeds refB's — the regression gate CI uses to fail loudly if the
+// binary protocol's allocs/op ever rises above the JSON baseline.
 package main
 
 import (
@@ -37,6 +52,7 @@ import (
 // into the JSON object with identifier-safe names (epochs_per_s, ...).
 type Result struct {
 	Name        string  `json:"name"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
@@ -48,6 +64,7 @@ type Result struct {
 func (r Result) MarshalJSON() ([]byte, error) {
 	m := map[string]any{
 		"name":       r.Name,
+		"gomaxprocs": r.Gomaxprocs,
 		"iterations": r.Iterations,
 		"ns_per_op":  r.NsPerOp,
 	}
@@ -78,8 +95,18 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
+	// go test appends "-GOMAXPROCS" when it is not 1; peel it off the name
+	// into its own field (sub-benchmark names can themselves contain "-",
+	// so only an all-digits tail counts).
+	name, procs := strings.TrimPrefix(fields[0], "Benchmark"), 1
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
+		}
+	}
 	r := Result{
-		Name:       strings.TrimPrefix(strings.SplitN(fields[0], "-", 2)[0], "Benchmark"),
+		Name:       name,
+		Gomaxprocs: procs,
 		Iterations: iters,
 	}
 	ok := false
@@ -119,6 +146,111 @@ func (m *mergeFlags) Set(s string) error {
 	return nil
 }
 
+// listFlag collects any repeatable flag's raw values.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+// findResult resolves a "name" or "name@gomaxprocs" reference to exactly
+// one parsed result; zero or several matches are an error so a typo or a
+// missing -cpu pin cannot silently compare the wrong records.
+func findResult(results []Result, ref string) (Result, error) {
+	name, cpuStr, hasCPU := strings.Cut(ref, "@")
+	cpu := 0
+	if hasCPU {
+		var err error
+		if cpu, err = strconv.Atoi(cpuStr); err != nil {
+			return Result{}, fmt.Errorf("ref %q: bad gomaxprocs %q", ref, cpuStr)
+		}
+	}
+	var match Result
+	found := 0
+	for _, r := range results {
+		if r.Name != name || (hasCPU && r.Gomaxprocs != cpu) {
+			continue
+		}
+		match = r
+		found++
+	}
+	switch {
+	case found == 0:
+		return Result{}, fmt.Errorf("no benchmark matches %q", ref)
+	case found > 1:
+		return Result{}, fmt.Errorf("%d benchmarks match %q; pin one with name@gomaxprocs", found, ref)
+	}
+	return match, nil
+}
+
+// metric reads one of a result's numeric columns by its JSON name.
+func (r Result) metric(key string) (float64, bool) {
+	switch key {
+	case "ns_per_op":
+		return r.NsPerOp, true
+	case "bytes_per_op":
+		return float64(r.BytesPerOp), true
+	case "allocs_per_op":
+		return float64(r.AllocsPerOp), true
+	}
+	v, ok := r.Extra[key]
+	return v, ok
+}
+
+// computeRatios evaluates -ratio key=refA|refB pairs into a map of
+// ns_per_op quotients.
+func computeRatios(pairs listFlag, results []Result) (map[string]float64, error) {
+	ratios := make(map[string]float64, len(pairs))
+	for _, pair := range pairs {
+		key, refs, ok := strings.Cut(pair, "=")
+		refA, refB, ok2 := strings.Cut(refs, "|")
+		if !ok || !ok2 || key == "" {
+			return nil, fmt.Errorf("-ratio wants key=refA|refB, got %q", pair)
+		}
+		a, err := findResult(results, refA)
+		if err != nil {
+			return nil, err
+		}
+		b, err := findResult(results, refB)
+		if err != nil {
+			return nil, err
+		}
+		if b.NsPerOp == 0 {
+			return nil, fmt.Errorf("-ratio %s: %q has ns_per_op 0", key, refB)
+		}
+		ratios[key] = a.NsPerOp / b.NsPerOp
+	}
+	return ratios, nil
+}
+
+// checkAsserts evaluates -assert-le "metric:refA<=refB" gates, returning
+// an error for the first violated (or malformed) one.
+func checkAsserts(asserts listFlag, results []Result) error {
+	for _, a := range asserts {
+		metric, refs, ok := strings.Cut(a, ":")
+		refA, refB, ok2 := strings.Cut(refs, "<=")
+		if !ok || !ok2 {
+			return fmt.Errorf("-assert-le wants metric:refA<=refB, got %q", a)
+		}
+		ra, err := findResult(results, refA)
+		if err != nil {
+			return err
+		}
+		rb, err := findResult(results, refB)
+		if err != nil {
+			return err
+		}
+		va, okA := ra.metric(metric)
+		vb, okB := rb.metric(metric)
+		if !okA || !okB {
+			return fmt.Errorf("-assert-le %q: metric %q missing (have a=%v b=%v)", a, metric, okA, okB)
+		}
+		if va > vb {
+			return fmt.Errorf("assertion failed: %s of %q (%v) > %q (%v)", metric, refA, va, refB, vb)
+		}
+	}
+	return nil
+}
+
 // loadMerges decodes each key=file pair into a top-level entry. The file
 // must hold valid JSON; the document is embedded verbatim.
 func loadMerges(pairs mergeFlags, doc map[string]any) error {
@@ -142,7 +274,10 @@ func loadMerges(pairs mergeFlags, doc map[string]any) error {
 
 func main() {
 	var merges mergeFlags
+	var ratios, asserts listFlag
 	flag.Var(&merges, "merge", "key=file: embed file's JSON under a top-level key (repeatable)")
+	flag.Var(&ratios, "ratio", "key=refA|refB: record ns_per_op(refA)/ns_per_op(refB) under ratios.key (refs accept name@gomaxprocs; repeatable)")
+	flag.Var(&asserts, "assert-le", "metric:refA<=refB: exit 1 unless refA's metric <= refB's (repeatable)")
 	flag.Parse()
 
 	var results []Result
@@ -166,9 +301,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if len(ratios) > 0 {
+		r, err := computeRatios(ratios, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc["ratios"] = r
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// The gates run after the document is written, so a failed assertion
+	// still leaves the full record for diagnosis.
+	if err := checkAsserts(asserts, results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

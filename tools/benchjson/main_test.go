@@ -12,12 +12,19 @@ func TestParseLine(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark line not parsed")
 	}
-	if r.Name != "E1AheavyLoad" || r.Iterations != 3 || r.NsPerOp != 417935374 || r.BytesPerOp != 56 || r.AllocsPerOp != 2 {
+	if r.Name != "E1AheavyLoad" || r.Gomaxprocs != 8 || r.Iterations != 3 || r.NsPerOp != 417935374 || r.BytesPerOp != 56 || r.AllocsPerOp != 2 {
 		t.Fatalf("parsed %+v", r)
 	}
-	// Without -benchmem columns.
+	// Without -benchmem columns or the "-N" suffix (go test omits it at
+	// GOMAXPROCS=1, so that must be the default).
 	r, ok = parseLine("BenchmarkE5OneShot 	      10	 101202303 ns/op")
-	if !ok || r.NsPerOp != 101202303 || r.AllocsPerOp != 0 {
+	if !ok || r.Gomaxprocs != 1 || r.NsPerOp != 101202303 || r.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+	// Sub-benchmark names keep their own hyphens; only the digit tail is
+	// the GOMAXPROCS suffix.
+	r, ok = parseLine("BenchmarkServeThroughput/proto=binary/shards=4-4 	 100	 2000 ns/op")
+	if !ok || r.Name != "ServeThroughput/proto=binary/shards=4" || r.Gomaxprocs != 4 {
 		t.Fatalf("parsed %+v ok=%v", r, ok)
 	}
 	for _, noise := range []string{
@@ -62,6 +69,72 @@ func TestLoadMerges(t *testing.T) {
 	var m mergeFlags
 	if err := m.Set("nokeyvalue"); err == nil {
 		t.Error("pair without '=' accepted")
+	}
+}
+
+func TestFindResult(t *testing.T) {
+	results := []Result{
+		{Name: "ServeThroughput/proto=binary/shards=4", Gomaxprocs: 1, NsPerOp: 400},
+		{Name: "ServeThroughput/proto=binary/shards=4", Gomaxprocs: 4, NsPerOp: 100},
+		{Name: "ServeThroughput/proto=binary/shards=1", Gomaxprocs: 4, NsPerOp: 300},
+	}
+	r, err := findResult(results, "ServeThroughput/proto=binary/shards=4@4")
+	if err != nil || r.NsPerOp != 100 {
+		t.Fatalf("pinned ref: %+v, %v", r, err)
+	}
+	r, err = findResult(results, "ServeThroughput/proto=binary/shards=1")
+	if err != nil || r.NsPerOp != 300 {
+		t.Fatalf("unambiguous bare ref: %+v, %v", r, err)
+	}
+	if _, err := findResult(results, "ServeThroughput/proto=binary/shards=4"); err == nil {
+		t.Error("ambiguous bare ref accepted")
+	}
+	if _, err := findResult(results, "NoSuchBench@4"); err == nil {
+		t.Error("unknown ref accepted")
+	}
+	if _, err := findResult(results, "ServeThroughput/proto=binary/shards=4@x"); err == nil {
+		t.Error("malformed gomaxprocs accepted")
+	}
+}
+
+func TestComputeRatios(t *testing.T) {
+	results := []Result{
+		{Name: "ServeThroughput/proto=binary/shards=4", Gomaxprocs: 4, NsPerOp: 100},
+		{Name: "ServeThroughput/proto=binary/shards=1", Gomaxprocs: 4, NsPerOp: 300},
+	}
+	ratios, err := computeRatios(listFlag{
+		"shards4_vs_1=ServeThroughput/proto=binary/shards=4@4|ServeThroughput/proto=binary/shards=1@4",
+	}, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ratios["shards4_vs_1"]; got != 100.0/300.0 {
+		t.Fatalf("ratio %v", got)
+	}
+	for _, bad := range []string{"noequals", "k=onlyoneref", "=a|b", "k=a|NoSuch@1"} {
+		if _, err := computeRatios(listFlag{bad}, results); err == nil {
+			t.Errorf("malformed -ratio %q accepted", bad)
+		}
+	}
+}
+
+func TestCheckAsserts(t *testing.T) {
+	results := []Result{
+		{Name: "ServeAllocateLatency/proto=binary/shards=4", Gomaxprocs: 4, NsPerOp: 90, AllocsPerOp: 2},
+		{Name: "ServeAllocateLatency/proto=json/shards=4", Gomaxprocs: 4, NsPerOp: 120, AllocsPerOp: 30},
+	}
+	ok := listFlag{"allocs_per_op:ServeAllocateLatency/proto=binary/shards=4@4<=ServeAllocateLatency/proto=json/shards=4@4"}
+	if err := checkAsserts(ok, results); err != nil {
+		t.Fatalf("passing gate failed: %v", err)
+	}
+	flipped := listFlag{"allocs_per_op:ServeAllocateLatency/proto=json/shards=4@4<=ServeAllocateLatency/proto=binary/shards=4@4"}
+	if err := checkAsserts(flipped, results); err == nil {
+		t.Error("violated gate passed")
+	}
+	for _, bad := range []string{"nocolon", "m:onlyoneref", "nosuchmetric:ServeAllocateLatency/proto=json/shards=4@4<=ServeAllocateLatency/proto=binary/shards=4@4"} {
+		if err := checkAsserts(listFlag{bad}, results); err == nil {
+			t.Errorf("malformed -assert-le %q accepted", bad)
+		}
 	}
 }
 
