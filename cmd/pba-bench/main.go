@@ -27,6 +27,17 @@
 //
 //	pba-serve -n 512 -shards 4 &
 //	pba-bench -serve http://127.0.0.1:8380 -clients 4 -batches 20 -batch 5000 -churn 0.2 -proto binary
+//
+// With -cluster it instead checks the cluster tier's determinism
+// contract against a fresh pba-router: a sequential churn trace plays
+// against the router while the identical trace replays on an in-process
+// single-node service with the router's topology, asserting batch by
+// batch that both grant the same ball IDs and, at the end, that the
+// cluster fingerprint equals the single process's combined fingerprint.
+// -migrate-every schedules live cell migrations mid-trace, which must
+// not perturb either stream.
+//
+//	pba-bench -cluster http://127.0.0.1:9100 -batches 20 -batch 2000 -churn 0.3 -migrate-every 5
 package main
 
 import (
@@ -53,6 +64,8 @@ func main() {
 		mode     = flag.String("mode", "", "engine for the Aheavy sweeps: mass (default) or agent")
 
 		serveURL   = flag.String("serve", "", "load-generator mode: base URL of a running pba-serve (e.g. http://127.0.0.1:8380)")
+		clusterURL = flag.String("cluster", "", "determinism-check mode: base URL of a fresh pba-router; replays the trace on an in-process single service and asserts ID + fingerprint identity")
+		migEvery   = flag.Int("migrate-every", 0, "cluster mode: live-migrate one cell every this many batches (0 = none)")
 		clients    = flag.Int("clients", 1, "loadgen: concurrent clients (each plays its own churn trace)")
 		batches    = flag.Int("batches", 10, "loadgen: allocate batches (epochs) per client")
 		batch      = flag.Int("batch", 1000, "loadgen: jobs per batch")
@@ -62,6 +75,19 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "loadgen: write the server-side stage summary (from /metrics deltas) to this JSON file")
 	)
 	flag.Parse()
+
+	if *clusterURL != "" {
+		err := clustergen(clustergenConfig{
+			Base: *clusterURL, Batches: *batches, Batch: *batch,
+			Churn: *churn, Seed: *baseSeed, Proto: *proto,
+			Pipeline: *pipeline, MigrateEvery: *migEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pba-bench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveURL != "" {
 		err := loadgen(loadgenConfig{

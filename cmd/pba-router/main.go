@@ -1,0 +1,234 @@
+// Command pba-router is the cluster front of the allocation service: it
+// spreads /allocate and /release over a set of pba-serve replicas
+// (started with -cluster) while keeping the whole cluster
+// fingerprint-identical to a single process running the same topology.
+//
+// Usage:
+//
+//	pba-serve -cluster -n 512 -shards 6 -seed 1 -addr 127.0.0.1:9101 &
+//	pba-serve -cluster -n 512 -shards 6 -seed 1 -addr 127.0.0.1:9102 &
+//	pba-router -n 512 -cells 6 -seed 1 -addr 127.0.0.1:9100 \
+//	           -upstreams http://127.0.0.1:9101,http://127.0.0.1:9102
+//
+// The router draws each request's multinomial split itself and forwards
+// every replica its hosted cells' shares as cell-addressed binary
+// allocates over persistent pipelined connections; clients see the
+// byte-identical /allocate, /release, /stats, /healthz, /metrics
+// protocol a single replica serves (JSON and binary alike). Cells are
+// the unit of placement: on startup the router adopts whatever cells
+// the replicas already host and attaches the rest; at runtime cells
+// migrate live between replicas (snapshot → ship → restore → flip)
+// under the admin API, the optional load rebalancer (-rebalance-every),
+// or a departing replica's evacuation request.
+//
+// Admin endpoints (JSON):
+//
+//	GET  /admin/table                     cell -> replica assignment
+//	POST /admin/migrate {"cell","to"}     move one cell ("to" is an
+//	                                      upstream URL or index)
+//	POST /admin/evacuate {"upstream"}     drain every cell off a replica
+//	                                      (pba-serve posts this on SIGTERM)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+const shutdownGrace = 10 * time.Second
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9100", "listen address (port 0 picks a free port)")
+		upstreams = flag.String("upstreams", "", "comma-separated replica base URLs (required)")
+		n         = flag.Int("n", 512, "total number of bins; must match the replicas")
+		cells     = flag.Int("cells", 4, "global cell count (the replicas' -shards)")
+		alg       = flag.String("alg", "aheavy", "per-epoch algorithm; must match the replicas")
+		seed      = flag.Uint64("seed", 1, "determinism seed; must match the replicas")
+		selfURL   = flag.String("self", "", "router base URL as replicas can reach it (default http://<addr>)")
+		pool      = flag.Int("pool", 4, "persistent connections kept per upstream")
+		rebEvery  = flag.Duration("rebalance-every", 0, "load-rebalance check period (0 disables)")
+		rebRatio  = flag.Float64("rebalance-ratio", 2, "migrate when the busiest replica's live count exceeds ratio x the least busy")
+		rebGap    = flag.Int64("rebalance-gap", 256, "minimum live-ball gap before rebalancing (keeps near-empty clusters still)")
+		verbose   = flag.Bool("v", false, "log per-request progress to stderr")
+	)
+	flag.Parse()
+	if err := run(*addr, *upstreams, *n, *cells, *alg, *seed, *selfURL, *pool, *rebEvery, *rebRatio, *rebGap, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "pba-router: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, upstreams string, n, cells int, alg string, seed uint64, selfURL string, pool int, rebEvery time.Duration, rebRatio float64, rebGap int64, verbose bool) error {
+	if upstreams == "" {
+		return fmt.Errorf("-upstreams is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if selfURL == "" {
+		selfURL = "http://" + ln.Addr().String()
+	}
+	r, err := cluster.New(cluster.Config{
+		N: n, Cells: cells, Alg: alg, Seed: seed,
+		Upstreams: strings.Split(upstreams, ","),
+		SelfURL:   selfURL,
+		PoolSize:  pool,
+		Terse:     false,
+	})
+	if err != nil {
+		_ = ln.Close()
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("pba-router: listening on %s (n=%d cells=%d alg=%s seed=%d upstreams=%d)\n",
+		ln.Addr(), r.N(), r.Cells(), r.Alg(), r.Seed(), len(strings.Split(upstreams, ",")))
+
+	mux := serve.NewBackendHandler(r, r.Metrics(), serve.HandlerConfig{Verbose: verbose})
+	mountAdmin(mux, r)
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stopReb := make(chan struct{})
+	if rebEvery > 0 {
+		go func() {
+			t := time.NewTicker(rebEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopReb:
+					return
+				case <-t.C:
+					moved, err := r.RebalanceOnce(rebRatio, rebGap)
+					if err != nil {
+						fmt.Printf("pba-router: rebalance: %v\n", err)
+					} else if moved {
+						fmt.Printf("pba-router: rebalanced one cell\n")
+					}
+				}
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		close(stopReb)
+		return err
+	case sig := <-sigc:
+		fmt.Printf("pba-router: %v: draining\n", sig)
+		close(stopReb)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}
+
+// mountAdmin adds the migration-control endpoints to the data-plane mux.
+func mountAdmin(mux *http.ServeMux, r *cluster.Router) {
+	mux.HandleFunc("/admin/table", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			adminError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeAdmin(w, map[string]any{"cells": r.Table()})
+	})
+	mux.HandleFunc("/admin/migrate", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			adminError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var body struct {
+			Cell int             `json:"cell"`
+			To   json.RawMessage `json:"to"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			adminError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		dst, err := resolveUpstream(r, body.To)
+		if err != nil {
+			adminError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := r.Migrate(body.Cell, dst); err != nil {
+			adminError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		fmt.Printf("pba-router: migrated cell %d to upstream %d\n", body.Cell, dst)
+		writeAdmin(w, map[string]any{"cell": body.Cell, "to": dst})
+	})
+	mux.HandleFunc("/admin/evacuate", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			adminError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var body struct {
+			Upstream json.RawMessage `json:"upstream"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			adminError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		src, err := resolveUpstream(r, body.Upstream)
+		if err != nil {
+			adminError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		moved, err := r.Evacuate(src)
+		if err != nil {
+			adminError(w, http.StatusConflict, "moved %d: %v", moved, err)
+			return
+		}
+		fmt.Printf("pba-router: evacuated %d cell(s) from upstream %d\n", moved, src)
+		writeAdmin(w, map[string]any{"upstream": src, "moved": moved})
+	})
+}
+
+// resolveUpstream accepts an upstream reference as either a JSON number
+// (the index) or a JSON string (the base URL).
+func resolveUpstream(r *cluster.Router, raw json.RawMessage) (int, error) {
+	if len(raw) == 0 {
+		return 0, fmt.Errorf("missing upstream reference")
+	}
+	var s string
+	if json.Unmarshal(raw, &s) == nil {
+		return r.UpstreamIndex(s)
+	}
+	var idx int
+	if json.Unmarshal(raw, &idx) == nil {
+		return idx, nil
+	}
+	return 0, fmt.Errorf("upstream must be an index or a base URL, got %s", strconv.Quote(string(raw)))
+}
+
+func writeAdmin(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func adminError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

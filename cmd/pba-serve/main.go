@@ -44,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +53,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,18 +72,27 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence, shards) reproduces placements")
 		workers  = flag.Int("workers", 0, "per-epoch parallelism inside one cell (0 = GOMAXPROCS); never affects results")
 		snapPath = flag.String("snapshot", "", "snapshot file: restored on start when present, written on graceful shutdown")
+		cluster  = flag.Bool("cluster", false, "run as a cluster replica: host no cells until a pba-router attaches them")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener")
 		verbose  = flag.Bool("v", false, "log per-request progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *pprofOn, *verbose); err != nil {
+	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *cluster, *pprofOn, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, pprofOn, verbose bool) error {
+func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, cluster, pprofOn, verbose bool) error {
 	cfg := serve.Config{N: n, Shards: shards, Alg: alg, Seed: seed, Workers: workers}
+	if cluster {
+		if snapPath != "" {
+			return fmt.Errorf("-snapshot is incompatible with -cluster: replicas snapshot per cell via the router")
+		}
+		// Empty non-nil Host selects cluster mode with no cells hosted yet;
+		// the router attaches (or migrates) cells over /cells/attach.
+		cfg.Host = []int{}
+	}
 	svc, restored, err := open(cfg, snapPath)
 	if err != nil {
 		return err
@@ -122,6 +133,9 @@ func run(addr string, n, shards int, alg string, seed uint64, workers int, snapP
 		return err
 	case sig := <-sigc:
 		fmt.Printf("pba-serve: %v: draining\n", sig)
+		if cluster {
+			evacuate(svc)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -136,6 +150,40 @@ func run(addr string, n, shards int, alg string, seed uint64, workers int, snapP
 		}
 		return nil
 	}
+}
+
+// evacuate asks the router that owns this replica's cells to migrate
+// them elsewhere before the process drains — the graceful-departure
+// half of live cell migration. The router's base URL and this replica's
+// upstream URL were learned from the X-PBA-Router / X-PBA-Self headers
+// on cell attach; without them (no router ever attached here) there is
+// nothing to evacuate. Failures are reported but never block shutdown.
+func evacuate(svc *serve.Service) {
+	routerURL, selfURL := svc.Evacuation()
+	if routerURL == "" || selfURL == "" {
+		if len(svc.HostedCells()) > 0 {
+			fmt.Printf("pba-serve: no router coordinates; %d hosted cells depart unsaved\n", len(svc.HostedCells()))
+		}
+		return
+	}
+	fmt.Printf("pba-serve: asking %s to evacuate %s\n", routerURL, selfURL)
+	body := fmt.Sprintf(`{"upstream":%q}`, selfURL)
+	res, err := http.Post(routerURL+"/admin/evacuate", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Printf("pba-serve: evacuation failed: %v\n", err)
+		return
+	}
+	defer res.Body.Close()
+	var reply struct {
+		Moved int    `json:"moved"`
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(res.Body).Decode(&reply)
+	if res.StatusCode != http.StatusOK {
+		fmt.Printf("pba-serve: evacuation failed: %s (%s)\n", res.Status, reply.Error)
+		return
+	}
+	fmt.Printf("pba-serve: evacuated %d cell(s)\n", reply.Moved)
 }
 
 // open builds the service: restored from snapPath when the file exists,

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// TestRouterForwardAllocFree: in steady state the router's binary
+// forward path — split draw, fan-out, reply merge, connection cycling —
+// adds zero allocations per allocate/release round trip on top of what
+// the raw upstream protocol costs (same connections, same frames, no
+// router logic). Both sides of the comparison include the replicas'
+// server-side work, so the delta isolates the router.
+func TestRouterForwardAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	const n, cells, batch = 256, 4, 64
+	ups := make([]string, 2)
+	for i := range ups {
+		_, ups[i] = emptyReplica(t, n, cells, 2)
+	}
+	r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: 2, Upstreams: ups, Terse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The raw-protocol baseline: fixed per-upstream shares, the router's
+	// own connection and codec layer, none of its orchestration.
+	var basePairs [2][]wire.CellCount
+	for g, u := range r.table {
+		basePairs[u] = append(basePairs[u], wire.CellCount{Cell: g, Count: batch / cells})
+	}
+	var baseRep serve.Report
+	var baseIDs []int64
+	baseline := func() {
+		baseIDs = baseIDs[:0]
+		for u, up := range r.ups {
+			c, err := up.get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.writeCellAllocate(up.host, basePairs[u], true); err != nil {
+				t.Fatal(err)
+			}
+			body, err := c.readResponse()
+			if err == nil {
+				err = wire.ParseReport(body, &baseRep)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			up.put(c, true)
+			baseIDs = baseRep.AppendIDs(baseIDs)
+		}
+		for u, up := range r.ups {
+			c, err := up.get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Releasing the full ID set at both replicas mirrors the router's
+			// partitioned release closely enough for allocation counting; the
+			// replicas skip unhosted IDs.
+			if err := c.writeRelease(up.host, baseIDs); err != nil {
+				t.Fatal(err)
+			}
+			body, err := c.readResponse()
+			if err == nil {
+				_, err = wire.ParseReleaseReply(body)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			up.put(c, true)
+			_ = u
+		}
+	}
+
+	rep := new(serve.Report)
+	var ids []int64
+	routed := func() {
+		if err := r.AllocateInto(batch, rep); err != nil {
+			t.Fatal(err)
+		}
+		ids = rep.AppendIDs(ids[:0])
+		if got := r.Release(ids); got != len(ids) {
+			t.Fatalf("released %d of %d", got, len(ids))
+		}
+	}
+
+	// Warm pools, connections, and slice capacities on both paths.
+	for i := 0; i < 50; i++ {
+		baseline()
+		routed()
+	}
+	base := testing.AllocsPerRun(200, baseline)
+	via := testing.AllocsPerRun(200, routed)
+	if delta := via - base; delta >= 1 {
+		t.Errorf("router forward path adds %.2f allocs/op (router %.2f, raw upstream %.2f); want 0",
+			delta, via, base)
+	}
+}
+
+// BenchmarkClusterThroughput drives the router from GOMAXPROCS
+// concurrent clients over 1, 2, and 3 replicas hosting the same 6-cell
+// topology — the cluster scaling claim (3-replica vs 1-replica balls/s)
+// reads straight off the replicas=N variants. Replicas are real
+// processes' worth of serving stack (TCP, HTTP, binary protocol); only
+// process isolation is elided.
+func BenchmarkClusterThroughput(b *testing.B) {
+	const n, cells, batch = 1024, 6, 512
+	for _, replicas := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			ups := make([]string, replicas)
+			for i := range ups {
+				_, ups[i] = emptyReplica(b, n, cells, 1)
+			}
+			r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: 1, Upstreams: ups, Terse: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			var balls atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rep := new(serve.Report)
+				var ids []int64
+				for pb.Next() {
+					if err := r.AllocateInto(batch, rep); err != nil {
+						b.Error(err)
+						return
+					}
+					ids = rep.AppendIDs(ids[:0])
+					if got := r.Release(ids); got != len(ids) {
+						b.Errorf("released %d of %d", got, len(ids))
+						return
+					}
+					balls.Add(int64(len(ids)))
+				}
+			})
+			b.StopTimer()
+			st, ok := r.StatsDoc(false).(Stats)
+			if !ok || st.Live != 0 {
+				b.Fatalf("bench left %d balls live", st.Live)
+			}
+			b.ReportMetric(float64(balls.Load())/b.Elapsed().Seconds(), "balls/s")
+		})
+	}
+}

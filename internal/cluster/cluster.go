@@ -1,0 +1,578 @@
+// Package cluster is the scale-out tier of the balls-into-bins service:
+// a front router that spreads the data plane over N pba-serve replicas.
+//
+// Cells are the unit of placement. The router owns the cell→replica
+// assignment table, draws every request's multinomial split itself (the
+// same SplitBalls spelling the single-process service uses, against the
+// same admission sequence), and forwards each replica its hosted cells'
+// shares as cell-addressed binary allocates over persistent pipelined
+// connections. Replicas reply in global IDs and bins, so merging their
+// replies in global cell order reconstructs exactly the single-process
+// reply — and replaying a fixed (seed, request sequence, topology,
+// migration schedule) sequentially through the router is
+// fingerprint-identical to the same trace against one process.
+//
+// The router implements serve.Backend, so serve.NewBackendHandler
+// exposes it over the byte-identical /allocate, /release, /stats,
+// /healthz, /metrics protocol — clients cannot tell a router from a
+// replica.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Config describes the cluster topology the router fronts.
+type Config struct {
+	// N, Cells, Alg, Seed define the service topology and must match every
+	// replica (verified against each replica's GET /cells during New).
+	N     int
+	Cells int
+	Alg   string
+	Seed  uint64
+	// Upstreams lists the replica base URLs (http only).
+	Upstreams []string
+	// SelfURL, when set, is the router's own base URL, stamped as the
+	// X-PBA-Router evacuation coordinate on every cell attach so replicas
+	// know whom to ask for migration on shutdown.
+	SelfURL string
+	// PoolSize is the connection free-list depth per upstream (default 4).
+	PoolSize int
+	// Terse asks replicas to omit placements from forwarded allocate
+	// replies. The spans still name every granted ID; only callers that
+	// need per-ball bin assignments (pba-bench -placements) turn this off.
+	Terse bool
+}
+
+// Router fronts the replica set. It is safe for concurrent use; every
+// data-plane forward holds the topology read lock, and migration holds
+// the write side, so a cell is never mid-flight and mid-move at once.
+type Router struct {
+	cfg     Config
+	weights []float64
+	stride  int64
+
+	met *metrics
+
+	nextReq atomic.Uint64
+
+	// fwd guards the assignment table and upstream set. Data-plane
+	// forwards (allocate, release) hold the read side for their full
+	// duration; Migrate holds the write side, so acquiring it means no
+	// forward is in flight and every replica queue it routed to has
+	// drained.
+	fwd   sync.RWMutex
+	table []int // cell -> index into ups
+	ups   []*upstream
+
+	scratch sync.Pool
+
+	// ctl is the control-plane client (bootstrap, snapshots, health);
+	// control calls may allocate freely.
+	ctl *http.Client
+
+	closed atomic.Bool
+}
+
+// metrics is the router's instrument set (per-upstream instruments hang
+// off each upstream).
+type metrics struct {
+	reg        *obs.Registry
+	migrations *obs.Counter
+	rebalances *obs.Counter
+	splitStage *obs.Histogram
+	mergeStage *obs.Histogram
+}
+
+func newRouterMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:        reg,
+		migrations: reg.Counter("pba_router_migrations_total", "Cell migrations completed."),
+		rebalances: reg.Counter("pba_router_rebalances_total", "Migrations initiated by the load rebalancer."),
+		splitStage: reg.DurationHistogram(serve.StageMetricName, "Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", "route")),
+		mergeStage: reg.DurationHistogram(serve.StageMetricName, "Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", "commit")),
+	}
+	obs.RegisterRuntime(reg)
+	return m
+}
+
+// fwdScratch is one forward's complete workspace, pooled so the warm
+// data path performs no allocations in the router.
+type fwdScratch struct {
+	rnd    rng.Rand
+	counts []int64
+	perUp  [][]wire.CellCount // per-upstream (cell, count) shares
+	relIDs [][]int64          // per-upstream release partitions
+	conns  []*conn
+	reps   []serve.Report
+	failed []error
+	cur    []int // per-upstream span cursor during the merge
+	plCur  []int // per-upstream placement cursor
+}
+
+// New builds a router over cfg and bootstraps the assignment table:
+// every replica's GET /cells is fetched and verified against the
+// topology, cells the replicas already host are adopted (a restart of
+// the router re-learns a running cluster instead of clobbering it), and
+// unassigned cells are attached fresh, least-loaded first. New fails if
+// two replicas claim the same cell or any replica disagrees on the
+// topology.
+func New(cfg Config) (*Router, error) {
+	if cfg.N <= 0 || cfg.Cells <= 0 || cfg.Cells > cfg.N {
+		return nil, fmt.Errorf("cluster: need 0 < cells <= n, got n=%d cells=%d", cfg.N, cfg.Cells)
+	}
+	if len(cfg.Upstreams) == 0 {
+		return nil, fmt.Errorf("cluster: no upstreams")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	met := newRouterMetrics()
+	r := &Router{
+		cfg:     cfg,
+		weights: serve.CellWeights(cfg.N, cfg.Cells),
+		stride:  int64(cfg.Cells),
+		met:     met,
+		table:   make([]int, cfg.Cells),
+		ctl:     &http.Client{Timeout: 30 * time.Second},
+	}
+	for i := range r.table {
+		r.table[i] = -1
+	}
+	for _, raw := range cfg.Upstreams {
+		up, err := newUpstream(raw, cfg.PoolSize, met)
+		if err != nil {
+			return nil, err
+		}
+		r.ups = append(r.ups, up)
+	}
+	nup := len(r.ups)
+	r.scratch.New = func() any {
+		sc := &fwdScratch{
+			counts: make([]int64, cfg.Cells),
+			perUp:  make([][]wire.CellCount, nup),
+			relIDs: make([][]int64, nup),
+			conns:  make([]*conn, nup),
+			reps:   make([]serve.Report, nup),
+			failed: make([]error, nup),
+			cur:    make([]int, nup),
+			plCur:  make([]int, nup),
+		}
+		for u := 0; u < nup; u++ {
+			sc.perUp[u] = make([]wire.CellCount, 0, cfg.Cells)
+		}
+		return sc
+	}
+	if err := r.bootstrap(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// cellsDoc is the GET /cells topology handshake document.
+type cellsDoc struct {
+	N      int              `json:"n"`
+	Shards int              `json:"shards"`
+	Alg    string           `json:"alg"`
+	Seed   uint64           `json:"seed"`
+	Cells  []serve.CellInfo `json:"cells"`
+}
+
+func (r *Router) bootstrap() error {
+	hosted := make([]int, len(r.ups)) // cells per upstream, for least-loaded placement
+	for u, up := range r.ups {
+		var doc cellsDoc
+		if err := r.getJSON(up.base, "/cells", &doc); err != nil {
+			return fmt.Errorf("cluster: bootstrap %s: %w", up.base, err)
+		}
+		if doc.N != r.cfg.N || doc.Shards != r.cfg.Cells || doc.Alg != r.cfg.Alg || doc.Seed != r.cfg.Seed {
+			return fmt.Errorf("cluster: %s topology (n=%d cells=%d alg=%s seed=%d) does not match router (n=%d cells=%d alg=%s seed=%d)",
+				up.base, doc.N, doc.Shards, doc.Alg, doc.Seed, r.cfg.N, r.cfg.Cells, r.cfg.Alg, r.cfg.Seed)
+		}
+		for _, ci := range doc.Cells {
+			if ci.Cell < 0 || ci.Cell >= r.cfg.Cells {
+				return fmt.Errorf("cluster: %s hosts out-of-range cell %d", up.base, ci.Cell)
+			}
+			if prev := r.table[ci.Cell]; prev >= 0 {
+				return fmt.Errorf("cluster: cell %d hosted by both %s and %s", ci.Cell, r.ups[prev].base, up.base)
+			}
+			r.table[ci.Cell] = u
+			hosted[u]++
+		}
+	}
+	for g := range r.table {
+		if r.table[g] >= 0 {
+			continue
+		}
+		u := 0
+		for v := 1; v < len(r.ups); v++ {
+			if hosted[v] < hosted[u] {
+				u = v
+			}
+		}
+		if err := r.attachFresh(u, g); err != nil {
+			return err
+		}
+		r.table[g] = u
+		hosted[u]++
+	}
+	return nil
+}
+
+// attachFresh attaches an empty cell g to upstream u via the JSON attach
+// form, stamping the evacuation coordinate headers.
+func (r *Router) attachFresh(u, g int) error {
+	body := fmt.Sprintf(`{"cell":%d}`, g)
+	req, err := http.NewRequest(http.MethodPost, r.ups[u].base+"/cells/attach", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	r.stampEvacuation(req, u)
+	res, err := r.ctl.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: attaching cell %d to %s: %w", g, r.ups[u].base, err)
+	}
+	defer func() { _, _ = io.Copy(io.Discard, res.Body); res.Body.Close() }()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: attaching cell %d to %s: %s", g, r.ups[u].base, readError(res.Body, res.Status))
+	}
+	return nil
+}
+
+func (r *Router) stampEvacuation(req *http.Request, u int) {
+	if r.cfg.SelfURL != "" {
+		req.Header.Set(serve.HeaderRouter, r.cfg.SelfURL)
+		req.Header.Set(serve.HeaderSelf, r.ups[u].base)
+	}
+}
+
+// N, Cells, Alg, Seed expose the verified topology.
+func (r *Router) N() int       { return r.cfg.N }
+func (r *Router) Cells() int   { return r.cfg.Cells }
+func (r *Router) Alg() string  { return r.cfg.Alg }
+func (r *Router) Seed() uint64 { return r.cfg.Seed }
+
+// Metrics returns the router's observability registry (serve /metrics
+// over it via serve.NewBackendHandler).
+func (r *Router) Metrics() *obs.Registry { return r.met.reg }
+
+// Table returns a copy of the cell→upstream assignment, as base URLs.
+func (r *Router) Table() []string {
+	r.fwd.RLock()
+	defer r.fwd.RUnlock()
+	out := make([]string, len(r.table))
+	for g, u := range r.table {
+		out[g] = r.ups[u].base
+	}
+	return out
+}
+
+// Close retires every pooled connection. In-flight forwards finish
+// first (drain-by-lock), new ones fail at the replicas' closed sockets.
+func (r *Router) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	r.fwd.Lock()
+	defer r.fwd.Unlock()
+	for _, up := range r.ups {
+		up.drain()
+	}
+}
+
+// Allocate admits k balls cluster-wide (the allocating spelling used by
+// in-process callers; the HTTP layer uses AllocateInto).
+func (r *Router) Allocate(k int) (*serve.Report, error) {
+	rep := new(serve.Report)
+	err := r.AllocateInto(k, rep)
+	return rep, err
+}
+
+// AllocateInto implements serve.Backend: draw the request's multinomial
+// split against the router's admission sequence, forward each involved
+// replica its cells' shares as one cell-addressed binary allocate
+// (write-all-then-read-all, so replicas run their epochs in parallel),
+// and merge the replies in global cell order into rep.
+//
+// Partial failures keep the replica contract cluster-wide: if a replica
+// fails, the spans granted by the replicas that succeeded are still
+// merged into rep and the first error is returned — Admitted counts only
+// granted balls, and those balls are live and releasable.
+func (r *Router) AllocateInto(k int, rep *serve.Report) error {
+	rep.Reset()
+	if k < 0 || k > serve.MaxBatch {
+		return fmt.Errorf("cluster: count must be in [0, %d], got %d", serve.MaxBatch, k)
+	}
+	start := time.Now()
+	reqIdx := r.nextReq.Add(1) - 1
+	sc := r.scratch.Get().(*fwdScratch)
+	defer r.scratch.Put(sc)
+	serve.SplitBalls(&sc.rnd, r.cfg.Seed, reqIdx, k, r.weights, sc.counts)
+
+	r.fwd.RLock()
+	defer r.fwd.RUnlock()
+
+	// Group the split by upstream. A zero-ball request offers every cell a
+	// chance to retry pending balls, exactly like the single-process path.
+	for u := range sc.perUp {
+		sc.perUp[u] = sc.perUp[u][:0]
+		sc.failed[u] = nil
+	}
+	for g, c := range sc.counts {
+		if c > 0 || k == 0 {
+			sc.perUp[r.table[g]] = append(sc.perUp[r.table[g]], wire.CellCount{Cell: g, Count: int(c)})
+		}
+	}
+	r.met.splitStage.ObserveDuration(time.Since(start))
+
+	// Write all requests, then read all replies: the replicas' epochs
+	// overlap, and the slowest upstream bounds the round, not the sum.
+	r.fanOut(sc, func(c *conn, up *upstream, u int) error {
+		return c.writeCellAllocate(up.host, sc.perUp[u], r.cfg.Terse)
+	}, func(body []byte, u int) error {
+		return wire.ParseReport(body, &sc.reps[u])
+	})
+
+	// Merge in global cell order. Each reply's spans and placements are
+	// already ordered by global cell (replicas collect hosted cells
+	// ascending), so a per-upstream cursor walk reconstructs exactly the
+	// single-process reply order.
+	mergeStart := time.Now()
+	var firstErr error
+	for u := range sc.perUp {
+		sc.cur[u], sc.plCur[u] = 0, 0
+		if len(sc.perUp[u]) == 0 {
+			continue
+		}
+		if err := sc.failed[u]; err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: %s: %w", r.ups[u].base, err)
+			}
+			// A partial replica failure still granted the spans its healthy
+			// cells admitted; fold them in so the client can release them.
+			var he *httpError
+			if asHTTPError(err, &he) {
+				rep.Spans = append(rep.Spans, he.Spans...)
+				for _, sp := range he.Spans {
+					rep.Admitted += sp.Count
+				}
+			}
+			continue
+		}
+	}
+	for g := range sc.counts {
+		if !(sc.counts[g] > 0 || k == 0) {
+			continue
+		}
+		u := r.table[g]
+		if sc.failed[u] != nil {
+			continue
+		}
+		rrep := &sc.reps[u]
+		for sc.cur[u] < len(rrep.Spans) && rrep.Spans[sc.cur[u]].Start%r.stride == int64(g) {
+			rep.Spans = append(rep.Spans, rrep.Spans[sc.cur[u]])
+			rep.Admitted += rrep.Spans[sc.cur[u]].Count
+			sc.cur[u]++
+		}
+		for sc.plCur[u] < len(rrep.Placements) && rrep.Placements[sc.plCur[u]].ID%r.stride == int64(g) {
+			rep.Placements = append(rep.Placements, rrep.Placements[sc.plCur[u]])
+			sc.plCur[u]++
+		}
+	}
+	for u := range sc.perUp {
+		if len(sc.perUp[u]) == 0 || sc.failed[u] != nil {
+			continue
+		}
+		rrep := &sc.reps[u]
+		rep.Cells += rrep.Cells
+		rep.Pending += rrep.Pending
+		if rrep.Rounds > rep.Rounds {
+			rep.Rounds = rrep.Rounds
+		}
+		if rrep.MaxLoad > rep.MaxLoad {
+			rep.MaxLoad = rrep.MaxLoad
+		}
+		if rrep.Excess > rep.Excess {
+			rep.Excess = rrep.Excess
+		}
+	}
+	r.met.mergeStage.ObserveDuration(time.Since(mergeStart))
+	return firstErr
+}
+
+// AllocateCellsInto implements serve.Backend. The router owns the
+// cluster's split sequence; accepting caller-supplied shares would fork
+// the admission order, so cell-addressed requests stop here.
+func (r *Router) AllocateCellsInto(pairs []wire.CellCount, rep *serve.Report) error {
+	rep.Reset()
+	return fmt.Errorf("cluster: the router draws its own splits; cell-addressed allocate is replica-only")
+}
+
+// Release implements serve.Backend: partition ids by hosting replica
+// (cell = id mod cells) and forward each partition as one binary
+// release, write-all-then-read-all like the allocate path.
+func (r *Router) Release(ids []int64) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	sc := r.scratch.Get().(*fwdScratch)
+	defer r.scratch.Put(sc)
+	r.fwd.RLock()
+	defer r.fwd.RUnlock()
+	for u := range sc.relIDs {
+		sc.relIDs[u] = sc.relIDs[u][:0]
+		sc.perUp[u] = sc.perUp[u][:0]
+		sc.failed[u] = nil
+	}
+	for _, id := range ids {
+		if id < 0 {
+			continue
+		}
+		u := r.table[int(id%r.stride)]
+		sc.relIDs[u] = append(sc.relIDs[u], id)
+	}
+	// fanOut keys involvement off perUp; mark each used upstream with a
+	// sentinel pair.
+	for u := range sc.relIDs {
+		if len(sc.relIDs[u]) > 0 {
+			sc.perUp[u] = append(sc.perUp[u], wire.CellCount{})
+		}
+	}
+	total := 0
+	r.fanOut(sc, func(c *conn, up *upstream, u int) error {
+		return c.writeRelease(up.host, sc.relIDs[u])
+	}, func(body []byte, u int) error {
+		n, err := wire.ParseReleaseReply(body)
+		if err != nil {
+			return err
+		}
+		total += n
+		return nil
+	})
+	return total
+}
+
+// fanOut runs one write-all-then-read-all round over the upstreams with
+// a non-empty sc.perUp share: check out one connection per involved
+// upstream, write every request, then read the replies in upstream
+// order. Failures never abort the round — each is recorded per upstream
+// in sc.failed (the other replicas' replies are still valid; the
+// partial-failure contract). HTTP errors leave the connection in sync
+// and reusable; transport errors retire it and mark the upstream
+// unhealthy.
+func (r *Router) fanOut(sc *fwdScratch, write func(*conn, *upstream, int) error, decode func([]byte, int) error) {
+	for u, up := range r.ups {
+		sc.conns[u] = nil
+		if len(sc.perUp[u]) == 0 {
+			continue
+		}
+		c, err := up.get()
+		if err == nil {
+			err = write(c, up, u)
+		}
+		if err != nil {
+			up.put(c, false)
+			up.errors.Inc()
+			up.healthy.Store(false)
+			sc.failed[u] = err
+			continue
+		}
+		sc.conns[u] = c
+		up.forwards.Inc()
+	}
+	for u, up := range r.ups {
+		c := sc.conns[u]
+		if c == nil {
+			continue
+		}
+		start := time.Now()
+		body, err := c.readResponse()
+		up.latency.ObserveDuration(time.Since(start))
+		if err == nil {
+			err = decode(body, u)
+		}
+		if err != nil {
+			if isHTTPError(err) {
+				// Protocol-level failure: the connection is still in sync.
+				up.put(c, true)
+			} else {
+				up.put(c, false)
+				up.healthy.Store(false)
+			}
+			up.errors.Inc()
+			sc.failed[u] = err
+			continue
+		}
+		up.put(c, true)
+	}
+}
+
+// asHTTPError unwraps err into *httpError without errors.As's
+// reflection allocation on the hot path.
+func asHTTPError(err error, out **httpError) bool {
+	he, ok := err.(*httpError)
+	if ok {
+		*out = he
+	}
+	return ok
+}
+
+func isHTTPError(err error) bool {
+	_, ok := err.(*httpError)
+	return ok
+}
+
+// readError decodes the JSON error shape from an HTTP error body.
+func readError(body io.Reader, status string) string {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(body).Decode(&doc) == nil && doc.Error != "" {
+		return fmt.Sprintf("%s (%s)", status, doc.Error)
+	}
+	return status
+}
+
+// getJSON fetches base+path and decodes the JSON reply into v.
+func (r *Router) getJSON(base, path string, v any) error {
+	res, err := r.ctl.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = io.Copy(io.Discard, res.Body); res.Body.Close() }()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, readError(res.Body, res.Status))
+	}
+	return json.NewDecoder(res.Body).Decode(v)
+}
+
+// postJSON posts a JSON body to base+path and decodes the reply into v
+// (v nil discards it).
+func (r *Router) postJSON(base, path string, body string, v any) error {
+	res, err := r.ctl.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = io.Copy(io.Discard, res.Body); res.Body.Close() }()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s", path, readError(res.Body, res.Status))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(v)
+}

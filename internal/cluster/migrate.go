@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Live cell migration: snapshot → ship → restore → flip table → drain.
+//
+// Migrate holds the forwarding write lock for the whole move, which is
+// what makes it safe and lossless: in-flight forwards hold the read
+// side through reply collection, and the replica's own collection
+// drains its cell queues before replying, so once the write lock is
+// held the cell is quiescent everywhere — no epoch running, no queued
+// sub-request, every granted ball inside the snapshot. The fingerprint
+// travels with the snapshot and is re-verified on restore and again on
+// detach, so a move that would lose or duplicate a ball fails loudly
+// instead.
+
+// Migrate moves global cell g to upstream dst (an index into the
+// configured upstream list), blocking the data plane for the duration.
+// Migrating a cell onto its current host is a no-op.
+func (r *Router) Migrate(g, dst int) error {
+	r.fwd.Lock()
+	defer r.fwd.Unlock()
+	return r.migrateLocked(g, dst)
+}
+
+func (r *Router) migrateLocked(g, dst int) error {
+	if g < 0 || g >= r.cfg.Cells {
+		return fmt.Errorf("cluster: cell %d out of range [0, %d)", g, r.cfg.Cells)
+	}
+	if dst < 0 || dst >= len(r.ups) {
+		return fmt.Errorf("cluster: upstream %d out of range [0, %d)", dst, len(r.ups))
+	}
+	src := r.table[g]
+	if src == dst {
+		return nil
+	}
+
+	// Snapshot at the source. The frame embeds the cell's verified state
+	// document; remember its fingerprint for the detach check.
+	res, err := r.ctl.Get(fmt.Sprintf("%s/cells/snapshot?cell=%d", r.ups[src].base, g))
+	if err != nil {
+		return fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	frame, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: snapshotting cell %d on %s: %s", g, r.ups[src].base, readError(bytes.NewReader(frame), res.Status))
+	}
+	_, doc, err := wire.ParseCellSnapshot(frame)
+	if err != nil {
+		return fmt.Errorf("cluster: cell %d snapshot frame: %w", g, err)
+	}
+	var meta struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(doc, &meta); err != nil {
+		return fmt.Errorf("cluster: cell %d snapshot document: %w", g, err)
+	}
+
+	// Restore at the destination; the replica re-derives the cell's seed
+	// and bin range from the topology and verifies the state against the
+	// embedded fingerprint before going live.
+	req, err := http.NewRequest(http.MethodPost, r.ups[dst].base+"/cells/attach", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	r.stampEvacuation(req, dst)
+	ares, err := r.ctl.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: restoring cell %d on %s: %w", g, r.ups[dst].base, err)
+	}
+	_, _ = io.Copy(io.Discard, ares.Body)
+	ares.Body.Close()
+	if ares.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: restoring cell %d on %s: %s", g, r.ups[dst].base, ares.Status)
+	}
+
+	// Drain the source. The detach reply carries the cell's final
+	// fingerprint; anything but the snapshot's means the source mutated
+	// the cell after the cut — with the forwarding lock held that cannot
+	// happen, so a mismatch is corruption, and the router refuses to
+	// continue quietly. The table flips regardless: the destination copy
+	// is the live one either way.
+	var det struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	detErr := r.postJSON(r.ups[src].base, "/cells/detach", fmt.Sprintf(`{"cell":%d}`, g), &det)
+	r.table[g] = dst
+	r.met.migrations.Inc()
+	if detErr != nil {
+		return fmt.Errorf("cluster: detaching cell %d from %s (cell now live on %s): %w", g, r.ups[src].base, r.ups[dst].base, detErr)
+	}
+	if det.Fingerprint != meta.Fingerprint {
+		return fmt.Errorf("cluster: cell %d mutated mid-migration: snapshot %s, detach %s", g, meta.Fingerprint, det.Fingerprint)
+	}
+	return nil
+}
+
+// UpstreamIndex resolves an upstream base URL (as configured, or as
+// normalized) to its index.
+func (r *Router) UpstreamIndex(base string) (int, error) {
+	for u, up := range r.ups {
+		if up.base == base || r.cfg.Upstreams[u] == base {
+			return u, nil
+		}
+	}
+	return -1, fmt.Errorf("cluster: unknown upstream %q", base)
+}
+
+// Evacuate drains every cell off the given upstream, spreading them over
+// the healthy remaining replicas least-loaded-first, and returns how
+// many cells moved. Each cell is its own Migrate (its own write-lock
+// window), so traffic interleaves between moves — graceful departure,
+// not an outage. The evacuated upstream stays in the table as a valid
+// (empty) migration target until the process actually goes away.
+func (r *Router) Evacuate(src int) (int, error) {
+	if src < 0 || src >= len(r.ups) {
+		return 0, fmt.Errorf("cluster: upstream %d out of range [0, %d)", src, len(r.ups))
+	}
+	if len(r.ups) == 1 {
+		return 0, fmt.Errorf("cluster: cannot evacuate the only upstream")
+	}
+	moved := 0
+	for {
+		r.fwd.RLock()
+		g := -1
+		hosted := make([]int, len(r.ups))
+		for cell, u := range r.table {
+			hosted[u]++
+			if u == src && g < 0 {
+				g = cell
+			}
+		}
+		r.fwd.RUnlock()
+		if g < 0 {
+			return moved, nil
+		}
+		dst := -1
+		for u := range r.ups {
+			if u == src || !r.ups[u].healthy.Load() {
+				continue
+			}
+			if dst < 0 || hosted[u] < hosted[dst] {
+				dst = u
+			}
+		}
+		if dst < 0 {
+			return moved, fmt.Errorf("cluster: no healthy destination for cell %d", g)
+		}
+		if err := r.Migrate(g, dst); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+}
+
+// upstreamLoad is one replica's aggregate load, from its /cells doc.
+type upstreamLoad struct {
+	up      int
+	live    int64
+	cells   []serve.CellInfo
+	healthy bool
+}
+
+func (r *Router) loads() []upstreamLoad {
+	out := make([]upstreamLoad, len(r.ups))
+	for u, up := range r.ups {
+		out[u].up = u
+		var doc cellsDoc
+		if err := r.getJSON(up.base, "/cells", &doc); err != nil {
+			up.healthy.Store(false)
+			continue
+		}
+		up.healthy.Store(true)
+		out[u].healthy = true
+		out[u].cells = doc.Cells
+		for _, ci := range doc.Cells {
+			out[u].live += ci.Live
+		}
+	}
+	return out
+}
+
+// RebalanceOnce checks the per-replica load extremes and, when the
+// busiest replica carries more than ratio times the least-busy one
+// (plus a slack of minGap balls, so near-empty clusters never churn),
+// migrates the busiest replica's fullest cell to the least-busy
+// replica. Returns whether a migration ran. The health probe doubles as
+// the upstream liveness check.
+func (r *Router) RebalanceOnce(ratio float64, minGap int64) (bool, error) {
+	if ratio <= 1 {
+		return false, fmt.Errorf("cluster: rebalance ratio must be > 1, got %g", ratio)
+	}
+	loads := r.loads()
+	maxU, minU := -1, -1
+	for _, l := range loads {
+		if !l.healthy {
+			continue
+		}
+		if maxU < 0 || l.live > loads[maxU].live {
+			maxU = l.up
+		}
+		if minU < 0 || l.live < loads[minU].live {
+			minU = l.up
+		}
+	}
+	if maxU < 0 || maxU == minU {
+		return false, nil
+	}
+	// A replica with a single cell has nothing to shed without inverting
+	// the imbalance.
+	if len(loads[maxU].cells) <= 1 {
+		return false, nil
+	}
+	if float64(loads[maxU].live) <= ratio*float64(loads[minU].live)+float64(minGap) {
+		return false, nil
+	}
+	g, best := -1, int64(-1)
+	for _, ci := range loads[maxU].cells {
+		if ci.Live > best {
+			g, best = ci.Cell, ci.Live
+		}
+	}
+	if g < 0 {
+		return false, nil
+	}
+	if err := r.Migrate(g, minU); err != nil {
+		return false, err
+	}
+	r.met.rebalances.Inc()
+	return true, nil
+}
+
+// Stats is the router's /stats document: the cluster-wide aggregate in
+// the same vocabulary as a replica's, plus the per-upstream breakdown.
+type Stats struct {
+	N         int             `json:"n"`
+	Shards    int             `json:"shards"`
+	Alg       string          `json:"alg"`
+	Seed      uint64          `json:"seed"`
+	Requests  uint64          `json:"requests"`
+	Live      int64           `json:"live"`
+	Pending   int64           `json:"pending"`
+	Epochs    int             `json:"epochs"`
+	MaxLoad   int64           `json:"max_load"`
+	Clustered bool            `json:"clustered"`
+	Upstreams []UpstreamStats `json:"upstreams"`
+	// Fingerprint is the cluster fingerprint — identical to the combined
+	// fingerprint a single process computes for the same state. Filled
+	// only on ?fingerprint=1 (O(live) hashing across the cluster).
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// UpstreamStats is one replica's line in the router's /stats.
+type UpstreamStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Cells   []int  `json:"cells"`
+	Live    int64  `json:"live"`
+	Pending int64  `json:"pending"`
+	MaxLoad int64  `json:"max_load"`
+}
+
+// StatsDoc implements serve.Backend. With fingerprint it collects every
+// replica's per-cell full-state fingerprints and combines them into the
+// cluster fingerprint.
+func (r *Router) StatsDoc(fingerprint bool) any {
+	st := Stats{
+		N: r.cfg.N, Shards: r.cfg.Cells, Alg: r.cfg.Alg, Seed: r.cfg.Seed,
+		Requests: r.nextReq.Load(), Clustered: true,
+	}
+	fps := make([]string, r.cfg.Cells)
+	query := "/cells"
+	if fingerprint {
+		query = "/cells?fingerprint=1"
+	}
+	for _, up := range r.ups {
+		us := UpstreamStats{URL: up.base, Healthy: up.healthy.Load()}
+		var doc cellsDoc
+		if err := r.getJSON(up.base, query, &doc); err != nil {
+			// A dead upstream voids the fingerprint only if a cell still
+			// lives there — the final per-cell check below decides that; a
+			// fully evacuated replica's silence costs nothing.
+			us.Healthy = false
+			st.Upstreams = append(st.Upstreams, us)
+			continue
+		}
+		for _, ci := range doc.Cells {
+			us.Cells = append(us.Cells, ci.Cell)
+			us.Live += ci.Live
+			us.Pending += ci.Pending
+			if ci.MaxLoad > us.MaxLoad {
+				us.MaxLoad = ci.MaxLoad
+			}
+			st.Epochs += ci.Epochs
+			if ci.Cell >= 0 && ci.Cell < len(fps) {
+				fps[ci.Cell] = ci.Fingerprint
+			}
+		}
+		st.Live += us.Live
+		st.Pending += us.Pending
+		if us.MaxLoad > st.MaxLoad {
+			st.MaxLoad = us.MaxLoad
+		}
+		st.Upstreams = append(st.Upstreams, us)
+	}
+	if fingerprint {
+		complete := true
+		for _, fp := range fps {
+			if fp == "" {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			st.Fingerprint = serve.ClusterFingerprint(r.cfg.N, r.cfg.Cells, r.cfg.Alg, fps)
+		}
+	}
+	return st
+}
+
+// Fingerprint returns the cluster fingerprint, or an error if any cell's
+// fingerprint could not be collected.
+func (r *Router) Fingerprint() (string, error) {
+	st, ok := r.StatsDoc(true).(Stats)
+	if !ok || st.Fingerprint == "" {
+		return "", fmt.Errorf("cluster: incomplete fingerprint collection (unhealthy upstream?)")
+	}
+	return st.Fingerprint, nil
+}
+
+// Health is the router's /healthz document.
+type Health struct {
+	Status    string           `json:"status"`
+	N         int              `json:"n"`
+	Shards    int              `json:"shards"`
+	Alg       string           `json:"alg"`
+	Requests  uint64           `json:"requests"`
+	Clustered bool             `json:"clustered"`
+	Upstreams []UpstreamHealth `json:"upstreams"`
+}
+
+// UpstreamHealth is one replica's liveness line.
+type UpstreamHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Cells   int    `json:"cells"`
+}
+
+// HealthDoc implements serve.Backend. It probes every replica's
+// /healthz (refreshing the health words the rebalancer reads) and
+// reports degraded if any is down.
+func (r *Router) HealthDoc() any {
+	h := Health{
+		Status: "ok", N: r.cfg.N, Shards: r.cfg.Cells, Alg: r.cfg.Alg,
+		Requests: r.nextReq.Load(), Clustered: true,
+	}
+	r.fwd.RLock()
+	hosted := make([]int, len(r.ups))
+	for _, u := range r.table {
+		hosted[u]++
+	}
+	r.fwd.RUnlock()
+	for u, up := range r.ups {
+		var doc struct {
+			Status string `json:"status"`
+		}
+		healthy := r.getJSON(up.base, "/healthz", &doc) == nil && doc.Status == "ok"
+		up.healthy.Store(healthy)
+		if !healthy && hosted[u] > 0 {
+			h.Status = "degraded"
+		}
+		h.Upstreams = append(h.Upstreams, UpstreamHealth{URL: up.base, Healthy: healthy, Cells: hosted[u]})
+	}
+	return h
+}

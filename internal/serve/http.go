@@ -8,9 +8,12 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/wire"
 )
 
@@ -23,11 +26,56 @@ const MaxBatch = 1 << 22
 // before it can balloon server memory.
 const MaxBody = 16 << 20
 
+// MaxSnapshotBody caps a cell-snapshot transfer on /cells/attach — state
+// documents scale with live balls, so the migration path gets a far
+// larger allowance than the request path.
+const MaxSnapshotBody = 1 << 30
+
+// Evacuation coordinate headers: a cluster router stamps these on every
+// /cells/attach so the replica knows whom to ask for migration when it is
+// told to shut down (see Service.SetEvacuation).
+const (
+	HeaderRouter = "X-PBA-Router"
+	HeaderSelf   = "X-PBA-Self"
+)
+
 // HandlerConfig tunes the HTTP front end.
 type HandlerConfig struct {
 	// Verbose logs one line per allocate/release to the standard logger.
 	Verbose bool
 }
+
+// Backend is the data-plane surface the serving endpoints front. The
+// sharded Service implements it; so does the cluster tier's router
+// (internal/cluster), which is how both processes expose byte-identical
+// /allocate and /release protocols without duplicating the HTTP layer.
+type Backend interface {
+	// AllocateInto admits k balls into a caller-owned report (pooled by
+	// the handler); see Service.AllocateInto for the partial-failure
+	// contract the handler's 500 path depends on.
+	AllocateInto(k int, rep *Report) error
+	// AllocateCellsInto runs a cell-addressed allocate: explicit per-cell
+	// shares instead of a split draw. Backends that do not accept
+	// cell-addressed requests return an error.
+	AllocateCellsInto(pairs []wire.CellCount, rep *Report) error
+	// Release departs balls by global ID, returning how many released.
+	Release(ids []int64) int
+	// StatsDoc returns the /stats JSON document (with full-state
+	// fingerprints when fingerprint is true); HealthDoc the /healthz one.
+	StatsDoc(fingerprint bool) any
+	HealthDoc() any
+}
+
+// StatsDoc implements Backend for the Service.
+func (s *Service) StatsDoc(fingerprint bool) any {
+	if fingerprint {
+		return s.Stats()
+	}
+	return s.StatsLite()
+}
+
+// HealthDoc implements Backend for the Service.
+func (s *Service) HealthDoc() any { return s.Health() }
 
 // bufPool holds the reusable JSON encode/decode buffers: request bodies
 // are slurped into a pooled buffer and responses are encoded into one
@@ -48,16 +96,27 @@ type releaseReq struct {
 	IDs []int64 `json:"ids"`
 }
 
+// allocateReq is the JSON /allocate payload. Count is the plain form;
+// Cells is the cell-addressed form (mutually exclusive, the JSON twin of
+// wire.KindCellAllocateRequest for debuggability).
+type allocateReq struct {
+	Count int              `json:"count"`
+	Terse bool             `json:"terse,omitempty"`
+	Cells []wire.CellCount `json:"cells,omitempty"`
+}
+
 // wireScratch is one binary-protocol request's complete workspace: the
-// body slurp buffer, a bounded reader over it, the decoded ID slice, the
-// reply report, and the outgoing frame. Pooled as a unit, the binary
-// /allocate and /release paths run allocation-free in steady state.
+// body slurp buffer, a bounded reader over it, the decoded ID slice or
+// cell pairs, the reply report, and the outgoing frame. Pooled as a
+// unit, the binary /allocate and /release paths run allocation-free in
+// steady state.
 type wireScratch struct {
-	lr  io.LimitedReader
-	in  bytes.Buffer
-	ids []int64
-	rep Report
-	out []byte
+	lr    io.LimitedReader
+	in    bytes.Buffer
+	ids   []int64
+	pairs []wire.CellCount
+	rep   Report
+	out   []byte
 }
 
 var wirePool = sync.Pool{New: func() any { return new(wireScratch) }}
@@ -74,6 +133,9 @@ func putWire(sc *wireScratch) {
 	}
 	if cap(sc.ids) > 1<<17 {
 		sc.ids = nil
+	}
+	if cap(sc.pairs) > 1<<12 {
+		sc.pairs = nil
 	}
 	if cap(sc.out) > 1<<20 {
 		sc.out = nil
@@ -149,6 +211,58 @@ func writePartialFailure(w http.ResponseWriter, err error, spans []Span) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// handlerMetrics is the instrument subset the HTTP layer itself records
+// (the backend records the pipeline stages past decode). The Service
+// hands the handler a view over its own registry; a non-Service backend
+// (the cluster router) registers a fresh set on its registry.
+type handlerMetrics struct {
+	reqAllocate *obs.Counter
+	reqRelease  *obs.Counter
+	reqStats    *obs.Counter
+	reqSnapshot *obs.Counter
+	reqHealthz  *obs.Counter
+	reqMetrics  *obs.Counter
+	stageDecode *obs.Histogram
+	stageEncode *obs.Histogram
+}
+
+func (m *metrics) handlerMetrics() *handlerMetrics {
+	return &handlerMetrics{
+		reqAllocate: m.httpAllocate, reqRelease: m.httpRelease,
+		reqStats: m.httpStats, reqSnapshot: m.httpSnapshot,
+		reqHealthz: m.httpHealthz, reqMetrics: m.httpMetrics,
+		stageDecode: m.stageDecode, stageEncode: m.stageEncode,
+	}
+}
+
+// newHandlerMetrics registers the HTTP layer's instrument set on reg,
+// for backends without a serve registry of their own.
+func newHandlerMetrics(reg *obs.Registry) *handlerMetrics {
+	stage := func(name string) *obs.Histogram {
+		return reg.DurationHistogram(StageMetricName,
+			"Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", name))
+	}
+	httpReq := func(path string) *obs.Counter {
+		return reg.Counter("pba_http_requests_total", "HTTP requests by path.", obs.L("path", path))
+	}
+	return &handlerMetrics{
+		reqAllocate: httpReq("/allocate"), reqRelease: httpReq("/release"),
+		reqStats: httpReq("/stats"), reqSnapshot: httpReq("/snapshot"),
+		reqHealthz: httpReq("/healthz"), reqMetrics: httpReq("/metrics"),
+		stageDecode: stage("decode"), stageEncode: stage("encode"),
+	}
+}
+
+// NewBackendHandler exposes any Backend over the serving HTTP protocol
+// (see NewHandler for the endpoint table; /snapshot and the /cells admin
+// family are Service-specific and absent here). The handler's own
+// instruments — path counters, decode/encode stages — register on reg,
+// and GET /metrics serves reg's exposition. The returned mux is open:
+// callers add process-specific endpoints alongside.
+func NewBackendHandler(b Backend, reg *obs.Registry, hc HandlerConfig) *http.ServeMux {
+	return backendMux(b, newHandlerMetrics(reg), reg, hc)
+}
+
 // NewHandler exposes the service over HTTP. Every endpoint speaks JSON;
 // POST /allocate and /release also speak the compact binary framing of
 // internal/wire — a request whose Content-Type is wire.ContentType is
@@ -158,38 +272,185 @@ func writePartialFailure(w http.ResponseWriter, err error, spans []Span) {
 //	POST /allocate {"count": k, "terse": bool}  admit k balls -> Report
 //	                                            (terse drops placements,
 //	                                            keeps the ID spans)
+//	               {"cells": [{"cell","count"}]} cell-addressed form: the
+//	                                            caller (a cluster router)
+//	                                            supplies each cell's share
+//	                                            instead of a split draw;
+//	                                            binary twin is
+//	                                            wire.KindCellAllocateRequest
 //	POST /release  {"ids": [..]}                depart balls -> {"released": k}
 //	GET  /stats                                 aggregated StatsLite (O(1)
 //	                                            counters + chain fingerprints);
 //	                                            ?fingerprint=1 adds the O(live)
 //	                                            full-state fingerprints
 //	GET  /snapshot                              versioned service snapshot JSON
+//	                                            (409 on a cluster replica —
+//	                                            cells migrate individually)
 //	GET  /healthz                               serve.Health: uptime, restore
 //	                                            provenance, per-cell liveness
 //	GET  /metrics                               Prometheus text exposition:
 //	                                            stage histograms, per-cell
 //	                                            counters, Go runtime gauges
+//	GET  /cells                                 hosted cells (?fingerprint=1
+//	                                            adds full-state fingerprints)
+//	GET  /cells/snapshot?cell=g                 one cell's state as a binary
+//	                                            wire.CellSnapshot frame
+//	POST /cells/attach                          attach a cell: binary
+//	                                            CellSnapshot frame restores a
+//	                                            migrated cell, JSON {"cell": g}
+//	                                            attaches a fresh one; the
+//	                                            X-PBA-Router / X-PBA-Self
+//	                                            headers set the evacuation
+//	                                            coordinates
+//	POST /cells/detach {"cell": g}              detach -> {"cell", "fingerprint"}
 //
 // Errors are JSON {"error": ...} with 400 (bad request or bad frame),
-// 405 (wrong method), 413 (body over MaxBody), or 500 (allocator
-// failure; carries the granted spans, see writePartialFailure).
+// 405 (wrong method), 409 (topology conflict), 413 (body over the cap),
+// or 500 (allocator failure; carries the granted spans, see
+// writePartialFailure).
 func NewHandler(s *Service, hc HandlerConfig) http.Handler {
-	mux := http.NewServeMux()
+	mux := backendMux(s, s.metrics.handlerMetrics(), s.metrics.reg, hc)
 	m := s.metrics
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		m.httpSnapshot.Inc()
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		if s.Clustered() {
+			httpError(w, http.StatusConflict, "cluster replicas snapshot per cell (GET /cells/snapshot?cell=g)")
+			return
+		}
+		writeJSON(w, m.handlerMetrics(), s.Snapshot())
+	})
+	mux.HandleFunc("/cells", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		doc := struct {
+			N      int        `json:"n"`
+			Shards int        `json:"shards"`
+			Alg    string     `json:"alg"`
+			Seed   uint64     `json:"seed"`
+			Cells  []CellInfo `json:"cells"`
+		}{s.N(), s.Shards(), s.Alg(), s.Seed(), s.Cells(r.URL.Query().Get("fingerprint") == "1")}
+		writeJSON(w, nil, doc)
+	})
+	mux.HandleFunc("/cells/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		g, err := strconv.Atoi(r.URL.Query().Get("cell"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "cell query parameter must be an integer: %v", err)
+			return
+		}
+		snap, err := s.CellSnapshot(g)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		doc, err := json.Marshal(snap)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding cell snapshot: %v", err)
+			return
+		}
+		w.Header()["Content-Type"] = wireCTValue
+		_, _ = w.Write(wire.AppendCellSnapshot(nil, g, doc))
+	})
+	mux.HandleFunc("/cells/attach", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		s.SetEvacuation(r.Header.Get(HeaderRouter), r.Header.Get(HeaderSelf))
+		var g int
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSnapshotBody))
+			if err != nil {
+				bodyError(w, err)
+				return
+			}
+			cell, doc, err := wire.ParseCellSnapshot(body)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+				return
+			}
+			cs, err := decodeCellSnapshot(doc)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if err := s.AttachCell(cell, cs); err != nil {
+				httpError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			g = cell
+		} else {
+			var req struct {
+				Cell int `json:"cell"`
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, MaxSnapshotBody)
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				bodyError(w, err)
+				return
+			}
+			if err := s.AttachCell(req.Cell, nil); err != nil {
+				httpError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			g = req.Cell
+		}
+		writeJSON(w, nil, map[string]any{"cell": g, "attached": true})
+	})
+	mux.HandleFunc("/cells/detach", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Cell int `json:"cell"`
+		}
+		if err := readBody(w, r, &req); err != nil {
+			bodyError(w, err)
+			return
+		}
+		fp, err := s.DetachCell(req.Cell)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, nil, map[string]any{"cell": req.Cell, "fingerprint": fp})
+	})
+	return mux
+}
+
+// decodeCellSnapshot unmarshals the JSON state document a CellSnapshot
+// frame carries.
+func decodeCellSnapshot(doc []byte) (*online.Snapshot, error) {
+	var cs online.Snapshot
+	if err := json.Unmarshal(doc, &cs); err != nil {
+		return nil, fmt.Errorf("decoding cell snapshot document: %w", err)
+	}
+	return &cs, nil
+}
+
+// backendMux builds the shared data-plane mux over a Backend.
+func backendMux(b Backend, m *handlerMetrics, reg *obs.Registry, hc HandlerConfig) *http.ServeMux {
+	mux := http.NewServeMux()
 	mux.HandleFunc("/allocate", func(w http.ResponseWriter, r *http.Request) {
-		m.httpAllocate.Inc()
+		m.reqAllocate.Inc()
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		if r.Header.Get("Content-Type") == wire.ContentType {
-			wireAllocate(s, m, hc, w, r)
+			wireAllocate(b, m, hc, w, r)
 			return
 		}
-		var req struct {
-			Count int  `json:"count"`
-			Terse bool `json:"terse,omitempty"`
-		}
+		var req allocateReq
 		start := time.Now()
 		err := readBody(w, r, &req)
 		m.stageDecode.ObserveDuration(time.Since(start))
@@ -197,12 +458,32 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			bodyError(w, err)
 			return
 		}
-		if req.Count < 0 || req.Count > MaxBatch {
-			httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", MaxBatch, req.Count)
+		if len(req.Cells) > 0 && req.Count != 0 {
+			httpError(w, http.StatusBadRequest, "count and cells are mutually exclusive")
+			return
+		}
+		total := req.Count
+		if len(req.Cells) > 0 {
+			total = 0
+			for _, p := range req.Cells {
+				if p.Count < 0 {
+					httpError(w, http.StatusBadRequest, "cell %d count must be >= 0, got %d", p.Cell, p.Count)
+					return
+				}
+				total += p.Count
+			}
+		}
+		if total < 0 || total > MaxBatch {
+			httpError(w, http.StatusBadRequest, "count must be in [0, %d], got %d", MaxBatch, total)
 			return
 		}
 		rep := repPool.Get().(*Report)
-		if err := s.AllocateInto(req.Count, rep); err != nil {
+		if len(req.Cells) > 0 {
+			err = b.AllocateCellsInto(req.Cells, rep)
+		} else {
+			err = b.AllocateInto(req.Count, rep)
+		}
+		if err != nil {
 			writePartialFailure(w, err, rep.Spans)
 			repPool.Put(rep)
 			return
@@ -220,13 +501,13 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		repPool.Put(rep)
 	})
 	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
-		m.httpRelease.Inc()
+		m.reqRelease.Inc()
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		if r.Header.Get("Content-Type") == wire.ContentType {
-			wireRelease(s, m, hc, w, r)
+			wireRelease(b, m, hc, w, r)
 			return
 		}
 		req := releaseReqPool.Get().(*releaseReq)
@@ -239,7 +520,7 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			bodyError(w, err)
 			return
 		}
-		released := s.Release(req.IDs)
+		released := b.Release(req.IDs)
 		total := len(req.IDs)
 		releaseReqPool.Put(req)
 		if hc.Verbose {
@@ -248,38 +529,26 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		writeJSON(w, m, map[string]int{"released": released})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		m.httpStats.Inc()
+		m.reqStats.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		// The default is the O(1) lite path; full-state fingerprints are
 		// opt-in, so routine health polling never pays O(live) hashing.
-		if r.URL.Query().Get("fingerprint") == "1" {
-			writeJSON(w, m, s.Stats())
-			return
-		}
-		writeJSON(w, m, s.StatsLite())
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		m.httpSnapshot.Inc()
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
-			return
-		}
-		writeJSON(w, m, s.Snapshot())
+		writeJSON(w, m, b.StatsDoc(r.URL.Query().Get("fingerprint") == "1"))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		m.httpHealthz.Inc()
+		m.reqHealthz.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, m, s.Health())
+		writeJSON(w, m, b.HealthDoc())
 	})
-	metricsHandler := s.metrics.reg.Handler()
+	metricsHandler := reg.Handler()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		m.httpMetrics.Inc()
+		m.reqMetrics.Inc()
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
@@ -291,8 +560,11 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 
 // wireAllocate is the binary-protocol /allocate path: parse the frame out
 // of the pooled scratch, allocate into the scratch report, encode the
-// reply frame in place, one Write. Steady state allocates nothing.
-func wireAllocate(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+// reply frame in place, one Write. Steady state allocates nothing. Both
+// allocate kinds arrive here — the plain AllocateRequest and the
+// cell-addressed CellAllocateRequest a cluster router forwards — and are
+// answered with the same AllocateReply frame.
+func wireAllocate(b Backend, m *handlerMetrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	sc := wirePool.Get().(*wireScratch)
 	start := time.Now()
 	frame, ok := readWireBody(sc, w, r)
@@ -300,7 +572,24 @@ func wireAllocate(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWrite
 		putWire(sc)
 		return
 	}
-	count, terse, err := wire.ParseAllocateRequest(frame)
+	kind, err := wire.Kind(frame)
+	if err != nil {
+		putWire(sc)
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	var count int
+	var terse bool
+	cellAddressed := kind == wire.KindCellAllocateRequest
+	if cellAddressed {
+		sc.pairs, terse, err = wire.ParseCellAllocateRequest(frame, sc.pairs[:0])
+		count = 0
+		for _, p := range sc.pairs {
+			count += p.Count
+		}
+	} else {
+		count, terse, err = wire.ParseAllocateRequest(frame)
+	}
 	m.stageDecode.ObserveDuration(time.Since(start))
 	if err != nil {
 		putWire(sc)
@@ -313,7 +602,12 @@ func wireAllocate(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWrite
 		return
 	}
 	rep := &sc.rep
-	if err := s.AllocateInto(count, rep); err != nil {
+	if cellAddressed {
+		err = b.AllocateCellsInto(sc.pairs, rep)
+	} else {
+		err = b.AllocateInto(count, rep)
+	}
+	if err != nil {
 		writePartialFailure(w, err, rep.Spans)
 		putWire(sc)
 		return
@@ -332,7 +626,7 @@ func wireAllocate(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWrite
 
 // wireRelease is the binary-protocol /release path; like wireAllocate it
 // runs entirely out of the pooled scratch.
-func wireRelease(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+func wireRelease(b Backend, m *handlerMetrics, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	sc := wirePool.Get().(*wireScratch)
 	start := time.Now()
 	frame, ok := readWireBody(sc, w, r)
@@ -348,7 +642,7 @@ func wireRelease(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter
 		return
 	}
 	sc.ids = ids
-	released := s.Release(ids)
+	released := b.Release(ids)
 	if hc.Verbose {
 		log.Printf("released %d of %d", released, len(ids))
 	}
@@ -364,7 +658,7 @@ func wireRelease(s *Service, m *metrics, hc HandlerConfig, w http.ResponseWriter
 // the response path reuses encoder memory across requests. The encoding
 // (not the socket write) is recorded into the encode stage histogram when
 // m is non-nil.
-func writeJSON(w http.ResponseWriter, m *metrics, v any) {
+func writeJSON(w http.ResponseWriter, m *handlerMetrics, v any) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	start := time.Now()

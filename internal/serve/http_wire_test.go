@@ -241,6 +241,74 @@ func TestPartialFailureAccounting(t *testing.T) {
 	}
 }
 
+// TestCellAllocatePartialFailureBinary: the partial-failure contract
+// over the binary cell-addressed encoding (wire kind 0x05) — the frame a
+// pba-router forwards upstream. When one addressed cell's epoch fails
+// the replica answers 500 with the JSON error shape carrying the spans
+// it did grant, and every granted ball is live and releasable. The
+// router's merge path folds exactly this shape into its partial reply,
+// so this contract is what keeps a cluster from losing grants when a
+// replica half-fails.
+func TestCellAllocatePartialFailureBinary(t *testing.T) {
+	s, err := New(Config{N: 64, Shards: 4, Host: []int{0, 1, 2, 3}, Alg: "aheavy", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.cells[2].alloc = &failingAlloc{cellAllocator: s.cells[2].alloc, fail: true}
+
+	h := NewHandler(s, HandlerConfig{})
+	d := newProtoDriver(h, "binary")
+	pairs := []wire.CellCount{
+		{Cell: 0, Count: 250}, {Cell: 1, Count: 250}, {Cell: 2, Count: 250}, {Cell: 3, Count: 250},
+	}
+	d.frame = wire.AppendCellAllocateRequest(d.frame[:0], pairs, false)
+	if code := d.do(d.areq, d.abody, d.frame); code != http.StatusInternalServerError {
+		t.Fatalf("cell-addressed partial failure served status %d, want 500: %s", code, d.w.body)
+	}
+	if ct := d.w.h.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("partial-failure Content-Type %q, want application/json (errors are never binary)", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(d.w.body, &body); err != nil {
+		t.Fatalf("500 body is not the JSON error shape: %v (%s)", err, d.w.body)
+	}
+	if !strings.Contains(body.Error, "cell 2") {
+		t.Errorf("error %q does not name the failing cell", body.Error)
+	}
+	granted := 0
+	var ids []int64
+	for _, sp := range body.Spans {
+		if sp.Start%4 == 2 {
+			t.Fatalf("failing cell 2 granted span %+v", sp)
+		}
+		granted += sp.Count
+		for i := 0; i < sp.Count; i++ {
+			ids = append(ids, sp.Start+int64(i)*sp.Stride)
+		}
+	}
+	if granted != 750 {
+		t.Fatalf("healthy cells granted %d balls, want 750", granted)
+	}
+	// The granted balls are real state: a binary release departs them all.
+	released, err := d.release(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != granted {
+		t.Fatalf("released %d of %d balls granted alongside the 500", released, granted)
+	}
+	// The failed cell granted nothing and holds nothing.
+	for _, ci := range s.Cells(false) {
+		if ci.Cell == 2 && ci.Live != 0 {
+			t.Fatalf("failing cell holds %d live balls, want 0", ci.Live)
+		}
+	}
+}
+
 // TestOversizedBody413: both POST endpoints reject bodies over MaxBody
 // with 413 and the JSON error shape, on both protocols.
 func TestOversizedBody413(t *testing.T) {

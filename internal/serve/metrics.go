@@ -2,6 +2,7 @@ package serve
 
 import (
 	"strconv"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/online"
@@ -53,8 +54,17 @@ type metrics struct {
 	httpHealthz  *obs.Counter
 	httpMetrics  *obs.Counter
 
-	requests *obs.Counter // allocate requests admitted by the sequencer
-	released *obs.Counter // balls released through Service.Release
+	requests     *obs.Counter // allocate requests admitted by the sequencer
+	released     *obs.Counter // balls released through Service.Release
+	inlineEpochs *obs.Counter // epochs run on the single-shard inline fast path
+	attaches     *obs.Counter // cells attached (fresh or restored from migration)
+	detaches     *obs.Counter // cells detached (migrated away)
+
+	// insMu guards cellIns, the per-global-cell Instrumentation cache: a
+	// cell that detaches and later re-attaches (migration round trip) must
+	// reuse its instrument set — the registry panics on duplicate series.
+	insMu   sync.Mutex
+	cellIns map[int]*online.Instrumentation
 }
 
 func newMetrics() *metrics {
@@ -84,15 +94,28 @@ func newMetrics() *metrics {
 		httpMetrics:    httpReq("/metrics"),
 		requests:       reg.Counter("pba_allocate_requests_total", "Allocate requests admitted by the router."),
 		released:       reg.Counter("pba_released_balls_total", "Balls released through the service."),
+		inlineEpochs:   reg.Counter("pba_inline_epochs_total", "Epochs run inline on the single-shard fast path, bypassing the batcher."),
+		attaches:       reg.Counter("pba_cell_attaches_total", "Cells attached to this replica (fresh or restored)."),
+		detaches:       reg.Counter("pba_cell_detaches_total", "Cells detached from this replica."),
+		cellIns:        map[int]*online.Instrumentation{},
 	}
 	obs.RegisterRuntime(reg)
 	return m
 }
 
-// cellInstrumentation registers cell i's allocator instrument set,
-// labeled cell="i", on the service registry.
+// cellInstrumentation returns cell i's allocator instrument set, labeled
+// cell="i", registering it on the service registry on first use and
+// reusing it on re-attach (counters then continue across a migration
+// round trip, which is what a cumulative series should do).
 func (m *metrics) cellInstrumentation(i int) *online.Instrumentation {
-	return online.NewInstrumentation(m.reg, obs.L("cell", strconv.Itoa(i)))
+	m.insMu.Lock()
+	defer m.insMu.Unlock()
+	if ins, ok := m.cellIns[i]; ok {
+		return ins
+	}
+	ins := online.NewInstrumentation(m.reg, obs.L("cell", strconv.Itoa(i)))
+	m.cellIns[i] = ins
+	return ins
 }
 
 // Metrics returns the service's observability registry — the full

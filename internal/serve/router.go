@@ -46,20 +46,23 @@ type subRep struct {
 }
 
 // allocScratch is one request's reusable router workspace: the split
-// counts, the per-request splittable-RNG stream (seeded in place, never
-// reallocated), and one subReq per cell with a preallocated reply
-// channel. Pooled on Service.allocPool, it makes the admission path —
-// split draw, fan-out, reply collection — allocation-free.
+// counts and target set (both indexed by global cell), the per-request
+// splittable-RNG stream (seeded in place, never reallocated), and one
+// subReq per global cell with a preallocated reply channel. Pooled on
+// Service.allocPool, it makes the admission path — split draw, fan-out,
+// reply collection — allocation-free.
 type allocScratch struct {
 	counts []int64
+	target []bool
 	rnd    rng.Rand
 	subs   []subReq
 }
 
 func (s *Service) newAllocScratch() *allocScratch {
 	sc := &allocScratch{
-		counts: make([]int64, len(s.cells)),
-		subs:   make([]subReq, len(s.cells)),
+		counts: make([]int64, s.total),
+		target: make([]bool, s.total),
+		subs:   make([]subReq, s.total),
 	}
 	for i := range sc.subs {
 		sc.subs[i].done = make(chan subRep, 1)
@@ -67,27 +70,33 @@ func (s *Service) newAllocScratch() *allocScratch {
 	return sc
 }
 
-// split draws the deterministic multinomial split of k balls over the
-// cells, weighted by cell size, into the scratch counts. The draw
-// depends only on (seed, request index, topology): the scratch RNG is
-// re-seeded per request exactly as a freshly constructed stream would
-// be, so the conditional-binomial chain behind MultinomialWeighted
-// (Hörmann 1993 binomials) draws bit-identical splits to the historical
-// per-request rng.New — replaying the same admission order reproduces
-// every split exactly, now without the three per-request heap
-// allocations (RNG, weights, counts) this path used to pay.
-func (s *Service) split(sc *allocScratch, reqIdx uint64, k int) []int64 {
-	counts := sc.counts
-	if len(s.cells) == 1 || k == 0 {
+// SplitBalls draws request reqIdx's deterministic multinomial split of k
+// balls over len(weights) cells into counts, using rnd as a reusable
+// stream (re-seeded in place). The draw depends only on (seed, request
+// index, topology) — the conditional-binomial chain behind
+// MultinomialWeighted (Hörmann 1993 binomials) draws bit-identical
+// splits to a freshly constructed per-request stream — so any process
+// that knows the service seed and the admission order reproduces every
+// split exactly. It is exported as the one spelling of the split: the
+// in-process router below and the cluster tier's front process
+// (internal/cluster) must agree draw for draw for the cluster's
+// fingerprint to match a single-process replay.
+func SplitBalls(rnd *rng.Rand, seed uint64, reqIdx uint64, k int, weights []float64, counts []int64) {
+	if len(weights) == 1 || k == 0 {
 		for i := range counts {
 			counts[i] = 0
 		}
 		counts[0] = int64(k)
-		return counts
+		return
 	}
-	sc.rnd.Seed(rng.Mix64(s.cfg.Seed ^ (reqIdx+1)*routerSalt))
-	sc.rnd.MultinomialWeighted(int64(k), s.weights, counts)
-	return counts
+	rnd.Seed(rng.Mix64(seed ^ (reqIdx+1)*routerSalt))
+	rnd.MultinomialWeighted(int64(k), weights, counts)
+}
+
+// split draws the request's split into the scratch counts.
+func (s *Service) split(sc *allocScratch, reqIdx uint64, k int) []int64 {
+	SplitBalls(&sc.rnd, s.cfg.Seed, reqIdx, k, s.weights, sc.counts)
+	return sc.counts
 }
 
 // Allocate admits k fresh balls, routes them across the cells, and runs
@@ -104,16 +113,23 @@ func (s *Service) Allocate(k int) (*Report, error) {
 // a pooled report makes the whole service boundary allocation-free in
 // steady state. On partial cell failure the error is non-nil and rep
 // still carries the successful cells' spans (see the partial-failure
-// contract below).
+// contract in runEpochs). A cluster replica hosting a subset of the
+// cells rejects plain allocates — it cannot run the whole split — and
+// takes AllocateCellsInto instead.
 func (s *Service) AllocateInto(k int, rep *Report) error {
 	rep.Reset()
 	if k < 0 {
 		return fmt.Errorf("serve: negative arrival count %d", k)
 	}
+	start := time.Now()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	if len(s.cells) != s.total {
+		return fmt.Errorf("serve: replica hosts %d of %d cells; plain allocate needs the full topology (use cell-addressed requests)", len(s.cells), s.total)
+	}
 	// Admission: order the request and draw its split under the sequencer
 	// lock, so the (request index -> split) map is a pure function of the
 	// arrival order.
-	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -126,38 +142,170 @@ func (s *Service) AllocateInto(k int, rep *Report) error {
 	defer s.inflight.Done()
 	s.metrics.requests.Inc()
 
+	// Single-shard fast path: with one cell there is no split and nothing
+	// to coalesce unless callers actually overlap, so a request that can
+	// prove it is alone (the CAS) runs the epoch inline on its own
+	// goroutine instead of hopping through the batcher — the bare-
+	// allocator latency the seed benchmark measures. A CAS loser has just
+	// observed a concurrent contributor: it raises the coalescing EWMA and
+	// queues, and the EWMA gate keeps everyone on the batcher path until
+	// sequential traffic drags it back down (hysteresis, so two
+	// alternating callers do not ping-pong between modes).
+	if s.total == 1 {
+		c := s.cells[0]
+		if subs := c.ewmaSubs.Load(); subs < coalesceOn && c.inlineBusy.CompareAndSwap(0, 1) {
+			err := s.allocateInline(c, k, rep, start)
+			c.inlineBusy.Store(0)
+			return err
+		}
+		old := c.ewmaSubs.Load()
+		if old == 0 {
+			old = 256
+		}
+		c.ewmaSubs.Store((3*old + 2*256) / 4)
+	}
+
 	sc := s.allocPool.Get().(*allocScratch)
 	counts := s.split(sc, reqIdx, k)
+	for g := range sc.target {
+		sc.target[g] = counts[g] > 0 || k == 0
+	}
+	err := s.runEpochs(sc, rep, start)
+	s.allocPool.Put(sc)
+	return err
+}
 
+// AllocateCellsInto is the cell-addressed allocate a cluster router
+// speaks upstream: the router has already drawn the request's multinomial
+// split and hands this replica its hosted cells' shares as (cell, count)
+// pairs. Each listed cell receives exactly one epoch offer (a zero count
+// re-offers pending balls, as k == 0 does for plain allocates); the
+// reply uses global IDs and bins, so concatenating the replicas' replies
+// reconstructs the single-process reply for the same split. Pairs
+// naming unhosted or out-of-range cells fail the whole request before
+// any cell is touched.
+func (s *Service) AllocateCellsInto(pairs []wire.CellCount, rep *Report) error {
+	rep.Reset()
+	start := time.Now()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	for _, p := range pairs {
+		if p.Cell < 0 || p.Cell >= s.total {
+			return fmt.Errorf("serve: cell %d out of range [0, %d)", p.Cell, s.total)
+		}
+		if s.byGlobal[p.Cell] == nil {
+			return fmt.Errorf("serve: cell %d not hosted here", p.Cell)
+		}
+		if p.Count < 0 {
+			return fmt.Errorf("serve: cell %d: negative arrival count %d", p.Cell, p.Count)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: service closed")
+	}
+	s.nextReq++ // telemetry only: the router owns the split-relevant sequence
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	s.metrics.requests.Inc()
+
+	sc := s.allocPool.Get().(*allocScratch)
+	for g := range sc.counts {
+		sc.counts[g] = 0
+		sc.target[g] = false
+	}
+	for _, p := range pairs {
+		sc.counts[p.Cell] += int64(p.Count)
+		sc.target[p.Cell] = true
+	}
+	err := s.runEpochs(sc, rep, start)
+	s.allocPool.Put(sc)
+	return err
+}
+
+// allocateInline runs a single-cell request's epoch on the calling
+// goroutine — no queue, no batcher handoff. The caller holds the cell's
+// inlineBusy flag, so this request is the epoch's only contributor and
+// owns every placement the epoch emits, including formerly-pending balls
+// (exactly the batcher's first-contributor rule with one contributor).
+func (s *Service) allocateInline(c *cell, k int, rep *Report, start time.Time) error {
+	s.metrics.stageRoute.ObserveDuration(time.Since(start))
+	epochStart := time.Now()
+	r, err := c.alloc.Allocate(k)
+	s.metrics.stageEpochRun.ObserveDuration(time.Since(epochStart))
+	// One contributor: fold 1 into the coalescing EWMA so a burst's
+	// elevated estimate decays back and reopens this path.
+	old := c.ewmaSubs.Load()
+	if old == 0 {
+		old = 256
+	}
+	c.ewmaSubs.Store((3*old + 256) / 4)
+	if err != nil {
+		s.metrics.stageAllocate.ObserveDuration(time.Since(start))
+		return fmt.Errorf("serve: cell %d: %w", c.index, err)
+	}
+	commitStart := time.Now()
+	rep.Cells = 1
+	rep.Admitted = k
+	if k > 0 {
+		rep.Spans = append(rep.Spans, Span{Start: r.IDBase, Stride: 1, Count: k})
+	}
+	placedMine := 0
+	for _, p := range r.Placements {
+		if p.ID >= r.IDBase {
+			placedMine++
+		}
+		rep.Placements = append(rep.Placements, Placement{
+			ID:  p.ID,
+			Bin: int32(c.binBase) + p.Bin,
+		})
+	}
+	rep.Pending = k - placedMine
+	rep.Rounds = r.Rounds
+	rep.MaxLoad = r.MaxLoad
+	rep.Excess = r.Excess
+	s.metrics.inlineEpochs.Inc()
+	s.metrics.stageCommit.ObserveDuration(time.Since(commitStart))
+	s.metrics.stageAllocate.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// runEpochs fans the scratch's targeted (cell, count) work out to the
+// hosted cells' batchers and collects the replies into rep, in global
+// cell order. Callers hold the topology read side and have validated
+// that every targeted cell is hosted.
+func (s *Service) runEpochs(sc *allocScratch, rep *Report, start time.Time) error {
 	// Fan out to the targeted cells. The enqueue timestamp feeds both the
 	// batch_wait stage histogram and the per-cell arrival-rate estimate
 	// driving the adaptive group-commit window (cellLoop).
 	now := time.Now()
 	nowNs := now.Sub(s.started).Nanoseconds()
-	for i, c := range s.cells {
-		if counts[i] == 0 && k != 0 {
+	for g, c := range s.byGlobal {
+		if !sc.target[g] {
 			continue
 		}
-		sub := &sc.subs[i]
-		sub.count = int(counts[i])
+		sub := &sc.subs[g]
+		sub.count = int(sc.counts[g])
 		sub.enq = now
 		c.noteArrival(nowNs)
 		c.queue <- sub
 	}
 	s.metrics.stageRoute.ObserveDuration(time.Since(start))
 
-	// Collect in shard order. Every targeted cell sends exactly one reply,
-	// so the scratch (including the reply channels) is quiescent and
-	// reusable once this loop finishes.
-	shards := int64(len(s.cells))
+	// Collect in global cell order. Every targeted cell sends exactly one
+	// reply, so the scratch (including the reply channels) is quiescent
+	// and reusable once this loop finishes.
+	stride := int64(s.total)
 	var firstErr error
 	var commitNs int64
 	admitted := 0
-	for i, c := range s.cells {
-		if counts[i] == 0 && k != 0 {
+	for g, c := range s.byGlobal {
+		if !sc.target[g] {
 			continue
 		}
-		sr := <-sc.subs[i].done
+		sr := <-sc.subs[g].done
 		stepStart := time.Now()
 		if sr.err != nil {
 			if firstErr == nil {
@@ -170,8 +318,8 @@ func (s *Service) AllocateInto(k int, rep *Report) error {
 		admitted += sr.count
 		if sr.count > 0 {
 			rep.Spans = append(rep.Spans, Span{
-				Start:  sr.base*shards + int64(c.index),
-				Stride: shards,
+				Start:  sr.base*stride + int64(c.index),
+				Stride: stride,
 				Count:  sr.count,
 			})
 		}
@@ -186,7 +334,7 @@ func (s *Service) AllocateInto(k int, rep *Report) error {
 			// eventual placement is not lost.
 			if mine || (sr.first && p.ID < sr.rep.IDBase) {
 				rep.Placements = append(rep.Placements, Placement{
-					ID:  p.ID*shards + int64(c.index),
+					ID:  p.ID*stride + int64(c.index),
 					Bin: int32(c.binBase) + p.Bin,
 				})
 			}
@@ -203,7 +351,6 @@ func (s *Service) AllocateInto(k int, rep *Report) error {
 		}
 		commitNs += time.Since(stepStart).Nanoseconds()
 	}
-	s.allocPool.Put(sc)
 	// Partial-failure contract: Admitted is the sum of the span counts —
 	// the balls actually granted IDs — so a failing cell (which granted
 	// nothing; its share stays pending inside that cell per the
@@ -301,6 +448,7 @@ func (c *cell) window() time.Duration {
 // sequential replay; timing only widens real concurrent batches.
 func (s *Service) cellLoop(c *cell) {
 	defer s.loops.Done()
+	defer close(c.done)
 	subs := make([]*subReq, 0, maxCoalesce)
 	for first := range c.queue {
 		subs = append(subs[:0], first)

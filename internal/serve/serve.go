@@ -59,15 +59,33 @@ type Config struct {
 	// GOMAXPROCS). It never affects results, only wall-clock; with many
 	// shards, 1 is usually right — the cells are the parallelism.
 	Workers int
+	// Host selects cluster mode: when non-nil, this process is one replica
+	// of a Shards-cell cluster and hosts only the listed global cell
+	// indices (an empty non-nil slice hosts none — the cells arrive later
+	// via AttachCell). Cell seeds, bin ranges, and the global ID
+	// interleaving all derive from the full Shards-cell topology, so a
+	// cell behaves bit-identically wherever it is hosted. When nil the
+	// service hosts every cell (the single-process default).
+	Host []int
 }
 
 // Service is the sharded allocation service. All methods are safe for
 // concurrent use. Close must be called to stop the cell batchers; after
 // Close every method returns an error (or a zero result).
 type Service struct {
-	cfg     Config // Alg canonicalized, Shards materialized
-	cells   []*cell
-	weights []float64 // router split weights: cell sizes, fixed at build
+	cfg       Config    // Alg canonicalized, Shards materialized
+	total     int       // global cell count (== cfg.Shards; may exceed len(cells))
+	clustered bool      // cfg.Host was non-nil: cells can attach and detach
+	cells     []*cell   // hosted cells, ascending global index
+	byGlobal  []*cell   // global index -> hosted cell, nil when hosted elsewhere
+	weights   []float64 // router split weights: all Shards cell sizes, fixed at build
+
+	// topo orders topology changes against data operations: every data op
+	// (allocate, release, stats, snapshot) holds the read side for its full
+	// duration, and AttachCell/DetachCell take the write side, so a
+	// migration observes a quiescent replica — no in-flight epochs, empty
+	// cell queues — without stopping the world for ordinary traffic.
+	topo sync.RWMutex
 
 	mu       sync.Mutex // admission sequencer: orders requests, guards cursor
 	nextReq  uint64     // router cursor: requests admitted so far
@@ -82,6 +100,15 @@ type Service struct {
 	started  time.Time // service construction time (uptime anchor)
 	restored bool      // built by Restore rather than New
 	snapTime int64     // unix seconds the restored snapshot was taken, 0 if unknown
+
+	// Evacuation coordinates, learned from the router on cell attach (the
+	// X-PBA-Router / X-PBA-Self headers): the router's base URL and this
+	// replica's upstream URL as the router spells it. A SIGTERM handler
+	// uses them to ask the router to migrate this replica's cells away
+	// before the process drains.
+	evacMu    sync.Mutex
+	routerURL string
+	selfURL   string
 }
 
 // cellAllocator is the allocator surface a cell consumes; *online.Allocator
@@ -99,12 +126,16 @@ type cellAllocator interface {
 }
 
 // cell is one shard: a contiguous range of bins owned by one allocator.
+// index is the cell's *global* index in the Shards-cell topology — under
+// cluster hosting the hosted subset is sparse, so index is never a
+// position in Service.cells.
 type cell struct {
 	index   int
 	binBase int // global index of the cell's first bin
 	n       int
 	alloc   cellAllocator
 	queue   chan *subReq
+	done    chan struct{} // closed when the cell's batcher loop exits
 
 	// Arrival-rate estimate feeding the adaptive group-commit window
 	// (router.go): lastEnq is the service-relative nanosecond timestamp of
@@ -113,6 +144,48 @@ type cell struct {
 	lastEnq  atomic.Int64
 	ewmaGap  atomic.Int64
 	ewmaSubs atomic.Int64
+
+	// inlineBusy is the single-shard fast path's mutual-exclusion flag: a
+	// request that wins the CAS runs its epoch inline on the calling
+	// goroutine; a loser has just observed a concurrent contributor and
+	// falls back to the batcher queue (router.go).
+	inlineBusy atomic.Int32
+}
+
+// cellBins returns global cell g's bin count and the global index of its
+// first bin, for the fixed n-over-cells partition (the first n%cells
+// cells take one extra bin).
+func cellBins(n, cells, g int) (binBase, cellN int) {
+	per, rem := n/cells, n%cells
+	cellN = per
+	if g < rem {
+		cellN++
+	}
+	binBase = g * per
+	if g < rem {
+		binBase += g
+	} else {
+		binBase += rem
+	}
+	return binBase, cellN
+}
+
+// CellRange reports global cell g's bin range in an n-bin, cells-cell
+// topology: the global index of its first bin and its bin count. It is
+// the one spelling of the bin partition, shared with the cluster router.
+func CellRange(n, cells, g int) (binBase, count int) {
+	return cellBins(n, cells, g)
+}
+
+// CellWeights returns the router split weights — the cell sizes — for an
+// n-bin, cells-cell topology.
+func CellWeights(n, cells int) []float64 {
+	w := make([]float64, cells)
+	for g := range w {
+		_, cellN := cellBins(n, cells, g)
+		w[g] = float64(cellN)
+	}
+	return w
 }
 
 // queueDepth bounds how many sub-batches can wait at a cell before
@@ -157,44 +230,94 @@ func New(cfg Config) (*Service, error) {
 	})
 }
 
-// build assembles the cell topology, obtaining each cell's allocator from
-// mk (a fresh allocator for New, a restored one for Restore).
+// build assembles the cell topology, obtaining each hosted cell's
+// allocator from mk (a fresh allocator for New, a restored one for
+// Restore).
 func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*online.Allocator, error)) (*Service, error) {
+	host := cfg.Host
+	if host == nil {
+		host = make([]int, cfg.Shards)
+		for i := range host {
+			host[i] = i
+		}
+	}
 	s := &Service{
-		cfg: cfg, cells: make([]*cell, cfg.Shards),
-		weights: make([]float64, cfg.Shards),
-		metrics: newMetrics(), started: time.Now(),
+		cfg: cfg, total: cfg.Shards, clustered: cfg.Host != nil,
+		byGlobal: make([]*cell, cfg.Shards),
+		weights:  CellWeights(cfg.N, cfg.Shards),
+		metrics:  newMetrics(), started: time.Now(),
 	}
 	s.relPool.New = func() any {
-		return &releaseBufs{perCell: make([][]int64, cfg.Shards)}
+		return &releaseBufs{perCell: make([][]int64, s.total)}
 	}
 	s.allocPool.New = func() any { return s.newAllocScratch() }
-	base, per, rem := 0, cfg.N/cfg.Shards, cfg.N%cfg.Shards
-	for i := range s.cells {
-		cellN := per
-		if i < rem {
-			cellN++
+	for _, g := range host {
+		if g < 0 || g >= s.total {
+			return nil, fmt.Errorf("serve: host cell %d out of range [0, %d)", g, s.total)
 		}
-		alloc, err := mk(i, cellN, s.metrics.cellInstrumentation(i))
+		if s.byGlobal[g] != nil {
+			return nil, fmt.Errorf("serve: host cell %d listed twice", g)
+		}
+		binBase, cellN := cellBins(cfg.N, s.total, g)
+		alloc, err := mk(g, cellN, s.metrics.cellInstrumentation(g))
 		if err != nil {
 			return nil, err
 		}
-		s.cells[i] = &cell{
-			index: i, binBase: base, n: cellN, alloc: alloc,
-			queue: make(chan *subReq, queueDepth),
-		}
-		s.weights[i] = float64(cellN)
-		base += cellN
+		s.byGlobal[g] = s.newCell(g, binBase, cellN, alloc)
 	}
-	s.loops.Add(len(s.cells))
+	s.rebuildHosted()
 	for _, c := range s.cells {
-		go s.cellLoop(c)
+		s.startCell(c)
 	}
 	return s, nil
 }
 
-// Shards returns the cell count.
-func (s *Service) Shards() int { return len(s.cells) }
+// newCell builds one hosted cell's bookkeeping; startCell launches its
+// batcher. Split so AttachCell can insert the cell into the topology
+// before its loop runs.
+func (s *Service) newCell(g, binBase, cellN int, alloc cellAllocator) *cell {
+	return &cell{
+		index: g, binBase: binBase, n: cellN, alloc: alloc,
+		queue: make(chan *subReq, queueDepth),
+		done:  make(chan struct{}),
+	}
+}
+
+func (s *Service) startCell(c *cell) {
+	s.loops.Add(1)
+	go s.cellLoop(c)
+}
+
+// rebuildHosted refreshes the dense hosted-cell list from the global
+// table. Callers hold the topology write side (or are still building).
+func (s *Service) rebuildHosted() {
+	s.cells = s.cells[:0]
+	for _, c := range s.byGlobal {
+		if c != nil {
+			s.cells = append(s.cells, c)
+		}
+	}
+}
+
+// Shards returns the global cell count of the topology (every cell, not
+// just the hosted ones).
+func (s *Service) Shards() int { return s.total }
+
+// Clustered reports whether the service was built as a cluster replica
+// (cells may attach and detach at runtime).
+func (s *Service) Clustered() bool { return s.clustered }
+
+// HostedCells returns the global indices of the cells this process hosts,
+// ascending.
+func (s *Service) HostedCells() []int {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	out := make([]int, len(s.cells))
+	for i, c := range s.cells {
+		out[i] = c.index
+	}
+	return out
+}
 
 // N returns the total bin count.
 func (s *Service) N() int { return s.cfg.N }
@@ -216,9 +339,11 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.inflight.Wait()
+	s.topo.Lock()
 	for _, c := range s.cells {
 		close(c.queue)
 	}
+	s.topo.Unlock()
 	s.loops.Wait()
 }
 
@@ -247,45 +372,56 @@ func (s *Service) Release(ids []int64) int {
 }
 
 func (s *Service) release(ids []int64) int {
-	if len(s.cells) == 1 {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	if s.total == 1 {
 		// Single cell: no partitioning, no buffers, no goroutines (global
 		// and local IDs coincide; the allocator ignores junk IDs itself).
+		if len(s.cells) == 0 {
+			return 0
+		}
 		return s.cells[0].alloc.Release(ids)
 	}
-	shards := int64(len(s.cells))
+	shards := int64(s.total)
 	bufs := s.relPool.Get().(*releaseBufs)
 	perCell := bufs.perCell
 	for i := range perCell {
 		perCell[i] = perCell[i][:0]
 	}
+	// IDs of cells hosted elsewhere are ignored, like any other unknown
+	// ID — a cluster router only sends a replica its own cells' IDs, so
+	// a stray one here is a client error, not a routing error.
 	for _, id := range ids {
 		if id < 0 {
 			continue
 		}
-		c := id % shards
-		perCell[c] = append(perCell[c], id/shards)
+		g := id % shards
+		if s.byGlobal[g] == nil {
+			continue
+		}
+		perCell[g] = append(perCell[g], id/shards)
 	}
 	total := 0
 	if len(ids) <= inlineReleaseMax {
-		for i, local := range perCell {
+		for g, local := range perCell {
 			if len(local) > 0 {
-				total += s.cells[i].alloc.Release(local)
+				total += s.byGlobal[g].alloc.Release(local)
 			}
 		}
 		s.relPool.Put(bufs)
 		return total
 	}
-	released := make([]int, len(s.cells))
+	released := make([]int, len(perCell))
 	var wg sync.WaitGroup
-	for i, local := range perCell {
+	for g, local := range perCell {
 		if len(local) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, local []int64) {
+		go func(g int, local []int64) {
 			defer wg.Done()
-			released[i] = s.cells[i].alloc.Release(local)
-		}(i, local)
+			released[g] = s.byGlobal[g].alloc.Release(local)
+		}(g, local)
 	}
 	wg.Wait()
 	s.relPool.Put(bufs)
@@ -295,10 +431,13 @@ func (s *Service) release(ids []int64) int {
 	return total
 }
 
-// Loads returns a copy of the live global per-bin load vector (cells
-// concatenated in bin order). Under concurrent traffic each cell's slice
-// is internally consistent but the cut across cells is not atomic.
+// Loads returns a copy of the live per-bin load vector of the hosted
+// cells, concatenated in bin order (the full global vector when hosting
+// everything). Under concurrent traffic each cell's slice is internally
+// consistent but the cut across cells is not atomic.
 func (s *Service) Loads() []int64 {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
 	out := make([]int64, 0, s.cfg.N)
 	for _, c := range s.cells {
 		out = append(out, c.alloc.Loads()...)
@@ -306,16 +445,31 @@ func (s *Service) Loads() []int64 {
 	return out
 }
 
-// Fingerprint returns the combined service fingerprint: a SHA-256 over
-// the topology line and every cell's state fingerprint in shard order.
-// For a consistent value the service must be quiescent (no in-flight
-// calls) — the sequential-replay setting of the determinism contract.
+// Fingerprint returns the combined fingerprint of the hosted state: a
+// SHA-256 over the topology line and every hosted cell's state
+// fingerprint in global cell order. When the service hosts every cell
+// this is the service fingerprint of the determinism contract; a cluster
+// replica hosting a subset hashes just that subset (the router assembles
+// the cluster-wide fingerprint from per-cell fingerprints instead). For
+// a consistent value the service must be quiescent (no in-flight calls).
 func (s *Service) Fingerprint() string {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
 	fps := make([]string, len(s.cells))
 	for i, c := range s.cells {
 		fps[i] = c.alloc.Fingerprint()
 	}
-	return combinedFingerprint(s.cfg.N, len(s.cells), s.cfg.Alg, fps)
+	return combinedFingerprint(s.cfg.N, s.total, s.cfg.Alg, fps)
+}
+
+// ClusterFingerprint combines per-cell fingerprints, ordered by global
+// cell index, into the service fingerprint a single process with the
+// same (n, cells, alg) topology would report. It is how a cluster router
+// proves a distributed run bit-identical to the single-process replay:
+// collect every cell's fingerprint from whichever replica hosts it,
+// combine, compare.
+func ClusterFingerprint(n, cells int, alg string, cellFPs []string) string {
+	return combinedFingerprint(n, cells, alg, cellFPs)
 }
 
 // combinedFingerprint is the one spelling of the service hash, shared by
@@ -350,8 +504,11 @@ type Stats struct {
 	Messages int64  `json:"messages"`
 	// Fingerprint is the combined service fingerprint (empty in StatsLite
 	// snapshots); Cells carries the per-cell snapshots (each with its own
-	// fingerprint and incremental chain).
+	// fingerprint and incremental chain). On a cluster replica Cells holds
+	// only the hosted cells and HostedCells gives their global indices
+	// (parallel to Cells); single-process services leave it nil.
 	Fingerprint string         `json:"fingerprint,omitempty"`
+	HostedCells []int          `json:"hosted_cells,omitempty"`
 	Cells       []online.Stats `json:"cells,omitempty"`
 }
 
@@ -368,7 +525,7 @@ func (s *Service) Stats() Stats {
 	for i, cs := range st.Cells {
 		fps[i] = cs.Fingerprint
 	}
-	st.Fingerprint = combinedFingerprint(s.cfg.N, len(s.cells), s.cfg.Alg, fps)
+	st.Fingerprint = combinedFingerprint(s.cfg.N, s.total, s.cfg.Alg, fps)
 	return st
 }
 
@@ -403,9 +560,12 @@ type Health struct {
 	// Restored reports whether this process resumed from a snapshot;
 	// SnapshotAgeSeconds is then the age of that snapshot document (how
 	// much history a crash before the next snapshot would lose).
-	Restored           bool         `json:"restored"`
-	SnapshotAgeSeconds float64      `json:"snapshot_age_seconds,omitempty"`
-	Cells              []CellHealth `json:"cells"`
+	Restored           bool    `json:"restored"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+	// Clustered marks a cluster replica; Cells then lists only the hosted
+	// cells (CellHealth.Cell indices are global either way).
+	Clustered bool         `json:"clustered,omitempty"`
+	Cells     []CellHealth `json:"cells"`
 }
 
 // Health returns the liveness report served on /healthz.
@@ -413,14 +573,17 @@ func (s *Service) Health() Health {
 	s.mu.Lock()
 	requests := s.nextReq
 	s.mu.Unlock()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
 	h := Health{
 		Status:        "ok",
 		N:             s.cfg.N,
-		Shards:        len(s.cells),
+		Shards:        s.total,
 		Alg:           s.cfg.Alg,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      requests,
 		Restored:      s.restored,
+		Clustered:     s.clustered,
 		Cells:         make([]CellHealth, 0, len(s.cells)),
 	}
 	if s.snapTime != 0 {
@@ -442,9 +605,17 @@ func (s *Service) statsWith(snap func(cellAllocator) online.Stats) Stats {
 	s.mu.Lock()
 	requests := s.nextReq
 	s.mu.Unlock()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
 	st := Stats{
-		N: s.cfg.N, Shards: len(s.cells), Alg: s.cfg.Alg, Requests: requests,
+		N: s.cfg.N, Shards: s.total, Alg: s.cfg.Alg, Requests: requests,
 		Cells: make([]online.Stats, 0, len(s.cells)),
+	}
+	if s.clustered {
+		st.HostedCells = make([]int, 0, len(s.cells))
+		for _, c := range s.cells {
+			st.HostedCells = append(st.HostedCells, c.index)
+		}
 	}
 	for i, c := range s.cells {
 		cs := snap(c.alloc)

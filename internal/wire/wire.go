@@ -27,13 +27,20 @@
 //
 // # Bodies
 //
-//	AllocateRequest  u32 count | u8 flags (bit 0: terse)
-//	AllocateReply    u32 admitted | u32 pending | u32 cells | u32 rounds |
-//	                 i64 max_load | i64 excess |
-//	                 u32 nspans   | nspans  x (i64 start | i64 stride | u32 count) |
-//	                 u32 nplaced  | nplaced x (i64 id | i32 bin)
-//	ReleaseRequest   u32 n | n x i64 id
-//	ReleaseReply     u32 released
+//	AllocateRequest      u32 count | u8 flags (bit 0: terse)
+//	AllocateReply        u32 admitted | u32 pending | u32 cells | u32 rounds |
+//	                     i64 max_load | i64 excess |
+//	                     u32 nspans   | nspans  x (i64 start | i64 stride | u32 count) |
+//	                     u32 nplaced  | nplaced x (i64 id | i32 bin)
+//	ReleaseRequest       u32 n | n x i64 id
+//	ReleaseReply         u32 released
+//	CellAllocateRequest  u8 flags (bit 0: terse) | u32 npairs |
+//	                     npairs x (u32 cell | u32 count); answered with an
+//	                     AllocateReply whose spans/placements use global IDs
+//	CellSnapshot         u32 cell | the cell's canonical JSON snapshot
+//	                     document (online.Snapshot) verbatim — the framing
+//	                     and cell addressing are binary, the state document
+//	                     stays the one self-verifying JSON serialization
 //
 // # Equivalence guarantee
 //
@@ -57,12 +64,18 @@ import (
 // the serve endpoints; requests that send it get binary replies.
 const ContentType = "application/x-pba-wire"
 
-// Message kinds, one per frame type.
+// Message kinds, one per frame type. The cell-addressed kinds are the
+// cluster tier's upstream vocabulary (internal/cluster): a pba-router
+// front process draws the per-cell multinomial split itself and forwards
+// each replica its cells' shares in one CellAllocateRequest, and live
+// cell migration ships a cell's state as a CellSnapshot frame.
 const (
-	KindAllocateRequest = 0x01
-	KindAllocateReply   = 0x02
-	KindReleaseRequest  = 0x03
-	KindReleaseReply    = 0x04
+	KindAllocateRequest     = 0x01
+	KindAllocateReply       = 0x02
+	KindReleaseRequest      = 0x03
+	KindReleaseReply        = 0x04
+	KindCellAllocateRequest = 0x05
+	KindCellSnapshot        = 0x06
 )
 
 // flagTerse asks the server to drop per-ball placements from the reply,
@@ -309,6 +322,99 @@ func AppendReport(dst []byte, r *Report, terse bool) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Bin))
 	}
 	return dst
+}
+
+// Kind returns the frame's kind byte, so an endpoint accepting several
+// frame kinds (POST /allocate takes AllocateRequest from clients and
+// CellAllocateRequest from a cluster router) can dispatch before parsing.
+func Kind(frame []byte) (byte, error) {
+	if len(frame) < headerLen {
+		return 0, fmt.Errorf("wire: frame truncated: %d bytes, header needs %d", len(frame), headerLen)
+	}
+	return frame[4], nil
+}
+
+// CellCount is one cell's share of a cell-addressed allocate: admit Count
+// fresh balls into the cell with global index Cell.
+type CellCount struct {
+	Cell  int `json:"cell"`
+	Count int `json:"count"`
+}
+
+// AppendCellAllocateRequest appends a cell-addressed allocate frame to
+// dst: the router's per-cell split shares for one replica, in ascending
+// cell order.
+func AppendCellAllocateRequest(dst []byte, pairs []CellCount, terse bool) []byte {
+	dst = appendHeader(dst, KindCellAllocateRequest, 1+4+8*len(pairs))
+	var flags byte
+	if terse {
+		flags |= flagTerse
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pairs)))
+	for _, p := range pairs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Cell))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Count))
+	}
+	return dst
+}
+
+// ParseCellAllocateRequest decodes a cell-addressed allocate frame,
+// appending the (cell, count) pairs to pairs (pass a reused buffer's [:0]
+// for an allocation-free parse).
+func ParseCellAllocateRequest(frame []byte, pairs []CellCount) ([]CellCount, bool, error) {
+	body, err := payload(frame, KindCellAllocateRequest)
+	if err != nil {
+		return pairs, false, err
+	}
+	if len(body) < 5 {
+		return pairs, false, fmt.Errorf("wire: cell allocate request body is %d bytes, want >= 5", len(body))
+	}
+	if body[0]&^flagTerse != 0 {
+		return pairs, false, fmt.Errorf("wire: cell allocate request carries unknown flags 0x%02x", body[0])
+	}
+	terse := body[0]&flagTerse != 0
+	n := binary.LittleEndian.Uint32(body[1:])
+	body = body[5:]
+	if int64(len(body)) != 8*int64(n) {
+		return pairs, terse, fmt.Errorf("wire: cell allocate request declares %d pairs but carries %d bytes", n, len(body))
+	}
+	for ; len(body) >= 8; body = body[8:] {
+		cell := binary.LittleEndian.Uint32(body)
+		count := binary.LittleEndian.Uint32(body[4:])
+		if cell > math.MaxInt32 || count > math.MaxInt32 {
+			return pairs, terse, fmt.Errorf("wire: cell allocate pair (%d, %d) out of range", cell, count)
+		}
+		pairs = append(pairs, CellCount{Cell: int(cell), Count: int(count)})
+	}
+	return pairs, terse, nil
+}
+
+// AppendCellSnapshot appends a cell-snapshot frame to dst: the global
+// cell index plus the cell's JSON snapshot document verbatim. It is the
+// migration transfer format — snapshot a cell on the source replica, ship
+// this frame, restore on the target.
+func AppendCellSnapshot(dst []byte, cell int, snapshot []byte) []byte {
+	dst = appendHeader(dst, KindCellSnapshot, 4+len(snapshot))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cell))
+	return append(dst, snapshot...)
+}
+
+// ParseCellSnapshot decodes a cell-snapshot frame. The returned document
+// bytes alias the frame; decode or copy them before reusing the buffer.
+func ParseCellSnapshot(frame []byte) (cell int, snapshot []byte, err error) {
+	body, err := payload(frame, KindCellSnapshot)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) < 4 {
+		return 0, nil, fmt.Errorf("wire: cell snapshot body is %d bytes, want >= 4", len(body))
+	}
+	c := binary.LittleEndian.Uint32(body)
+	if c > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("wire: cell snapshot cell %d out of range", c)
+	}
+	return int(c), body[4:], nil
 }
 
 // ParseReport decodes an allocate-reply frame into r, reusing r's span

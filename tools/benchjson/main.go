@@ -34,7 +34,23 @@
 //
 // -assert-le 'metric:refA<=refB' (repeatable) exits 1 when refA's metric
 // exceeds refB's — the regression gate CI uses to fail loudly if the
-// binary protocol's allocs/op ever rises above the JSON baseline.
+// binary protocol's allocs/op ever rises above the JSON baseline. Either
+// ref may carry a "factor*" prefix, scaling its metric before the
+// comparison; CI's cluster-scaling gate reads naturally as "twice the
+// 1-replica throughput must not exceed the 3-replica throughput":
+//
+//	-assert-le 'balls_per_s:2*ClusterThroughput/replicas=1@4<=ClusterThroughput/replicas=3@4'
+//
+// -trend old.json new.json compares two benchjson documents instead of
+// parsing stdin: benchmarks are matched by name@gomaxprocs, and the tool
+// exits 1 when any matched pair regresses beyond the -noise band
+// (default 0.20) — ns_per_op or allocs_per_op up by more than the band,
+// or a throughput column (…_per_s) down by more than it. -match
+// restricts the comparison to keys accepted by a regexp — CI trends the
+// previous PR's committed BENCH file with -match '@1$', because the
+// committed records come from a 1-CPU container where only the
+// single-threaded timings are stable enough to band; a regression there
+// fails the build instead of landing silently.
 package main
 
 import (
@@ -43,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -80,6 +97,51 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		}
 	}
 	return json.Marshal(m)
+}
+
+// UnmarshalJSON inverts MarshalJSON so -trend can re-read emitted
+// documents: fixed columns land in their fields, every other numeric key
+// returns to Extra.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		switch k {
+		case "name":
+			r.Name, _ = v.(string)
+		case "gomaxprocs":
+			if f, ok := v.(float64); ok {
+				r.Gomaxprocs = int(f)
+			}
+		case "iterations":
+			if f, ok := v.(float64); ok {
+				r.Iterations = int64(f)
+			}
+		case "ns_per_op":
+			r.NsPerOp, _ = v.(float64)
+		case "bytes_per_op":
+			if f, ok := v.(float64); ok {
+				r.BytesPerOp = int64(f)
+			}
+		case "allocs_per_op":
+			if f, ok := v.(float64); ok {
+				r.AllocsPerOp = int64(f)
+			}
+		default:
+			if f, ok := v.(float64); ok {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[k] = f
+			}
+		}
+	}
+	if r.Name == "" {
+		return fmt.Errorf("benchmark record without a name: %s", data)
+	}
+	return nil
 }
 
 // metricKey turns a benchmark unit into a JSON identifier: "epochs/s" ->
@@ -222,6 +284,30 @@ func computeRatios(pairs listFlag, results []Result) (map[string]float64, error)
 	return ratios, nil
 }
 
+// resolveScaled reads one side of an -assert-le comparison: a benchmark
+// ref with an optional "factor*" prefix scaling its metric (so gates can
+// say "2*replicas=1 <= replicas=3"). The prefix only counts when it
+// parses as a number — benchmark names themselves never contain '*'.
+func resolveScaled(results []Result, ref, metric string) (float64, error) {
+	factor := 1.0
+	if head, tail, ok := strings.Cut(ref, "*"); ok {
+		f, err := strconv.ParseFloat(head, 64)
+		if err != nil {
+			return 0, fmt.Errorf("ref %q: bad scale factor %q", ref, head)
+		}
+		factor, ref = f, tail
+	}
+	r, err := findResult(results, ref)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := r.metric(metric)
+	if !ok {
+		return 0, fmt.Errorf("ref %q has no metric %q", ref, metric)
+	}
+	return factor * v, nil
+}
+
 // checkAsserts evaluates -assert-le "metric:refA<=refB" gates, returning
 // an error for the first violated (or malformed) one.
 func checkAsserts(asserts listFlag, results []Result) error {
@@ -231,22 +317,123 @@ func checkAsserts(asserts listFlag, results []Result) error {
 		if !ok || !ok2 {
 			return fmt.Errorf("-assert-le wants metric:refA<=refB, got %q", a)
 		}
-		ra, err := findResult(results, refA)
+		va, err := resolveScaled(results, refA, metric)
 		if err != nil {
-			return err
+			return fmt.Errorf("-assert-le %q: %w", a, err)
 		}
-		rb, err := findResult(results, refB)
+		vb, err := resolveScaled(results, refB, metric)
 		if err != nil {
-			return err
-		}
-		va, okA := ra.metric(metric)
-		vb, okB := rb.metric(metric)
-		if !okA || !okB {
-			return fmt.Errorf("-assert-le %q: metric %q missing (have a=%v b=%v)", a, metric, okA, okB)
+			return fmt.Errorf("-assert-le %q: %w", a, err)
 		}
 		if va > vb {
 			return fmt.Errorf("assertion failed: %s of %q (%v) > %q (%v)", metric, refA, va, refB, vb)
 		}
+	}
+	return nil
+}
+
+// loadDoc reads a benchjson document back from disk for -trend.
+func loadDoc(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc.Benchmarks, nil
+}
+
+// trendChecks names the per-benchmark comparisons -trend runs: the fixed
+// latency and allocation columns plus every shared throughput column.
+// higherIsBetter decides which direction past the noise band fails.
+type trendCheck struct {
+	metric         string
+	higherIsBetter bool
+}
+
+// compareTrend matches old and new benchmarks by name@gomaxprocs and
+// returns one line per comparison plus the regressions found. A metric
+// missing on either side is skipped (benchmarks come and go across PRs;
+// only a measured-then-worsened pair is a regression). Zero-valued old
+// readings are skipped too: there is no meaningful band around 0. A
+// non-nil match restricts the comparison to keys it accepts — for
+// excluding entries whose recording environment can't measure them
+// stably (e.g. @4 timings from a 1-CPU box).
+func compareTrend(oldR, newR []Result, noise float64, match *regexp.Regexp) (report []string, regressions []string) {
+	key := func(r Result) string { return fmt.Sprintf("%s@%d", r.Name, r.Gomaxprocs) }
+	oldBy := make(map[string]Result, len(oldR))
+	for _, r := range oldR {
+		oldBy[key(r)] = r
+	}
+	for _, nw := range newR {
+		if match != nil && !match.MatchString(key(nw)) {
+			continue
+		}
+		old, ok := oldBy[key(nw)]
+		if !ok {
+			report = append(report, fmt.Sprintf("new       %-60s (no baseline)", key(nw)))
+			continue
+		}
+		checks := []trendCheck{
+			{"ns_per_op", false},
+			{"allocs_per_op", false},
+		}
+		for metric := range nw.Extra {
+			if strings.HasSuffix(metric, "_per_s") {
+				checks = append(checks, trendCheck{metric, true})
+			}
+		}
+		for _, c := range checks {
+			ov, okO := old.metric(c.metric)
+			nv, okN := nw.metric(c.metric)
+			if !okO || !okN || ov == 0 {
+				continue
+			}
+			delta := nv/ov - 1
+			bad := delta > noise
+			if c.higherIsBetter {
+				bad = delta < -noise
+			}
+			status := "ok"
+			if bad {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %.4g -> %.4g (%+.1f%%, band ±%.0f%%)",
+					key(nw), c.metric, ov, nv, delta*100, noise*100))
+			}
+			report = append(report, fmt.Sprintf("%-10s %-60s %-14s %12.4g %12.4g %+7.1f%%",
+				status, key(nw), c.metric, ov, nv, delta*100))
+		}
+	}
+	return report, regressions
+}
+
+// runTrend is the -trend entry point: load both documents, compare, and
+// report. The full table always prints; regressions fail the run.
+func runTrend(oldPath, newPath string, noise float64, match *regexp.Regexp) error {
+	oldR, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	report, regressions := compareTrend(oldR, newR, noise, match)
+	fmt.Printf("trend %s -> %s (noise band ±%.0f%%)\n", oldPath, newPath, noise*100)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) beyond the noise band:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
 	}
 	return nil
 }
@@ -277,8 +464,32 @@ func main() {
 	var ratios, asserts listFlag
 	flag.Var(&merges, "merge", "key=file: embed file's JSON under a top-level key (repeatable)")
 	flag.Var(&ratios, "ratio", "key=refA|refB: record ns_per_op(refA)/ns_per_op(refB) under ratios.key (refs accept name@gomaxprocs; repeatable)")
-	flag.Var(&asserts, "assert-le", "metric:refA<=refB: exit 1 unless refA's metric <= refB's (repeatable)")
+	flag.Var(&asserts, "assert-le", "metric:refA<=refB: exit 1 unless refA's metric <= refB's (refs accept a factor* prefix; repeatable)")
+	trend := flag.Bool("trend", false, "compare two benchjson files (old.json new.json as arguments) instead of parsing stdin; exit 1 on regression")
+	noise := flag.Float64("noise", 0.20, "trend mode: relative band a metric may drift before it counts as a regression")
+	match := flag.String("match", "", "trend mode: regexp over name@gomaxprocs keys; entries not matching are skipped")
 	flag.Parse()
+
+	if *trend {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -trend wants exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		var matchRE *regexp.Regexp
+		if *match != "" {
+			re, err := regexp.Compile(*match)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+				os.Exit(2)
+			}
+			matchRE = re
+		}
+		if err := runTrend(flag.Arg(0), flag.Arg(1), *noise, matchRE); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -135,6 +137,126 @@ func TestCheckAsserts(t *testing.T) {
 		if err := checkAsserts(listFlag{bad}, results); err == nil {
 			t.Errorf("malformed -assert-le %q accepted", bad)
 		}
+	}
+}
+
+// TestScaledAsserts: a factor* prefix scales a ref's metric, giving CI
+// multiplicative gates like "2x the 1-replica throughput must not exceed
+// the 3-replica throughput".
+func TestScaledAsserts(t *testing.T) {
+	results := []Result{
+		{Name: "ClusterThroughput/replicas=1", Gomaxprocs: 4, NsPerOp: 100,
+			Extra: map[string]float64{"balls_per_s": 1_000_000}},
+		{Name: "ClusterThroughput/replicas=3", Gomaxprocs: 4, NsPerOp: 40,
+			Extra: map[string]float64{"balls_per_s": 2_500_000}},
+	}
+	gate := listFlag{"balls_per_s:2*ClusterThroughput/replicas=1@4<=ClusterThroughput/replicas=3@4"}
+	if err := checkAsserts(gate, results); err != nil {
+		t.Fatalf("2x scaling gate failed at 2.5x: %v", err)
+	}
+	tight := listFlag{"balls_per_s:3*ClusterThroughput/replicas=1@4<=ClusterThroughput/replicas=3@4"}
+	if err := checkAsserts(tight, results); err == nil {
+		t.Error("3x gate passed at 2.5x scaling")
+	}
+	// The factor may sit on either side.
+	rhs := listFlag{"balls_per_s:ClusterThroughput/replicas=3@4<=3*ClusterThroughput/replicas=1@4"}
+	if err := checkAsserts(rhs, results); err != nil {
+		t.Fatalf("right-hand factor failed: %v", err)
+	}
+	if err := checkAsserts(listFlag{"ns_per_op:x*A@1<=A@1"}, results); err == nil {
+		t.Error("malformed factor accepted")
+	}
+}
+
+// TestResultJSONRoundTrip: -trend re-reads documents this tool wrote, so
+// marshal and unmarshal must invert each other, Extra columns included.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := Result{Name: "ChurnSteadyState/aheavy", Gomaxprocs: 4, Iterations: 200,
+		NsPerOp: 65718, BytesPerOp: 8280, AllocsPerOp: 3,
+		Extra: map[string]float64{"balls_per_s": 7790806, "epochs_per_s": 15216}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Gomaxprocs != in.Gomaxprocs || out.NsPerOp != in.NsPerOp ||
+		out.AllocsPerOp != in.AllocsPerOp || out.Extra["balls_per_s"] != in.Extra["balls_per_s"] {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if _, err := loadDoc(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing trend file accepted")
+	}
+}
+
+func TestCompareTrend(t *testing.T) {
+	oldR := []Result{
+		{Name: "ChurnSteadyState/aheavy", Gomaxprocs: 4, NsPerOp: 60000, AllocsPerOp: 3,
+			Extra: map[string]float64{"epochs_per_s": 15000, "balls_per_s": 7_500_000}},
+		{Name: "Gone", Gomaxprocs: 1, NsPerOp: 10},
+	}
+	// Within the band on every metric: a little slower, same allocs.
+	fine := []Result{
+		{Name: "ChurnSteadyState/aheavy", Gomaxprocs: 4, NsPerOp: 66000, AllocsPerOp: 3,
+			Extra: map[string]float64{"epochs_per_s": 14000, "balls_per_s": 7_000_000}},
+		{Name: "Fresh", Gomaxprocs: 4, NsPerOp: 5},
+	}
+	report, regs := compareTrend(oldR, fine, 0.20, nil)
+	if len(regs) != 0 {
+		t.Fatalf("in-band drift flagged: %v", regs)
+	}
+	found := false
+	for _, line := range report {
+		if strings.Contains(line, "Fresh@4") && strings.Contains(line, "no baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("baseline-less benchmark not reported:\n%s", strings.Join(report, "\n"))
+	}
+
+	// Beyond the band: throughput collapse and an allocation jump.
+	bad := []Result{
+		{Name: "ChurnSteadyState/aheavy", Gomaxprocs: 4, NsPerOp: 61000, AllocsPerOp: 5,
+			Extra: map[string]float64{"epochs_per_s": 9000, "balls_per_s": 7_400_000}},
+	}
+	_, regs = compareTrend(oldR, bad, 0.20, nil)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (epochs_per_s, allocs_per_op), got %v", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "epochs_per_s") || !strings.Contains(joined, "allocs_per_op") {
+		t.Fatalf("wrong regressions flagged: %s", joined)
+	}
+}
+
+// TestCompareTrendMatch: -match scopes the trend to stable entries — a
+// regression outside the filter (a contended @4 timing from a 1-CPU
+// recording box) must not fail the run, while one inside still does.
+func TestCompareTrendMatch(t *testing.T) {
+	oldR := []Result{
+		{Name: "ServeThroughput", Gomaxprocs: 4, NsPerOp: 100_000},
+		{Name: "ChurnSteadyState", Gomaxprocs: 1, NsPerOp: 60_000},
+	}
+	newR := []Result{
+		{Name: "ServeThroughput", Gomaxprocs: 4, NsPerOp: 160_000}, // +60%: noise on 1 CPU
+		{Name: "ChurnSteadyState", Gomaxprocs: 1, NsPerOp: 61_000},
+	}
+	report, regs := compareTrend(oldR, newR, 0.20, regexp.MustCompile(`@1$`))
+	if len(regs) != 0 {
+		t.Fatalf("filtered-out entry flagged: %v", regs)
+	}
+	for _, line := range report {
+		if strings.Contains(line, "ServeThroughput@4") {
+			t.Fatalf("filtered-out entry reported: %s", line)
+		}
+	}
+	newR[1].NsPerOp = 90_000 // +50% on the @1 entry: a real regression
+	_, regs = compareTrend(oldR, newR, 0.20, regexp.MustCompile(`@1$`))
+	if len(regs) != 1 || !strings.Contains(regs[0], "ChurnSteadyState@1") {
+		t.Fatalf("in-filter regression missed: %v", regs)
 	}
 }
 
