@@ -204,11 +204,19 @@ func migrateNext(client *http.Client, base string, idx, cells int, upstreams []s
 	if err != nil {
 		return err
 	}
-	defer finishBody(res)
 	if res.StatusCode != http.StatusOK {
+		defer finishBody(res)
 		return httpFailure("/admin/migrate", res)
 	}
-	fmt.Printf("cluster check: migrated cell %d -> %s\n", g, dst)
+	var done struct {
+		PauseSeconds float64 `json:"pause_seconds"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&done)
+	finishBody(res)
+	if err != nil {
+		return fmt.Errorf("/admin/migrate reply: %w", err)
+	}
+	fmt.Printf("cluster check: migrated cell %d -> %s (pause %.6fs)\n", g, dst, done.PauseSeconds)
 	return nil
 }
 

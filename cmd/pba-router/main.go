@@ -17,15 +17,19 @@
 // protocol a single replica serves (JSON and binary alike). Cells are
 // the unit of placement: on startup the router adopts whatever cells
 // the replicas already host and attaches the rest; at runtime cells
-// migrate live between replicas (snapshot → ship → restore → flip)
-// under the admin API, the optional load rebalancer (-rebalance-every),
-// or a departing replica's evacuation request.
+// migrate live between replicas under the admin API, the optional load
+// rebalancer (-rebalance-every), or a departing replica's evacuation
+// request. Migration is two-phase — snapshot and ship while the cell
+// keeps serving, then a per-cell pause covering only the delta cut,
+// chain-verified replay, and table flip — so the data-plane stall is
+// O(traffic during the copy), not O(balls in the cell).
 //
 // Admin endpoints (JSON):
 //
 //	GET  /admin/table                     cell -> replica assignment
 //	POST /admin/migrate {"cell","to"}     move one cell ("to" is an
-//	                                      upstream URL or index)
+//	                                      upstream URL or index); the
+//	                                      reply reports pause_seconds
 //	POST /admin/evacuate {"upstream"}     drain every cell off a replica
 //	                                      (pba-serve posts this on SIGTERM)
 package main
@@ -90,6 +94,9 @@ func run(addr, upstreams string, n, cells int, alg string, seed uint64, selfURL 
 		SelfURL:   selfURL,
 		PoolSize:  pool,
 		Terse:     false,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("pba-router: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		_ = ln.Close()
@@ -171,12 +178,13 @@ func mountAdmin(mux *http.ServeMux, r *cluster.Router) {
 			adminError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if err := r.Migrate(body.Cell, dst); err != nil {
+		pause, err := r.MigrateTimed(body.Cell, dst)
+		if err != nil {
 			adminError(w, http.StatusConflict, "%v", err)
 			return
 		}
-		fmt.Printf("pba-router: migrated cell %d to upstream %d\n", body.Cell, dst)
-		writeAdmin(w, map[string]any{"cell": body.Cell, "to": dst})
+		fmt.Printf("pba-router: migrated cell %d to upstream %d (pause %.6fs)\n", body.Cell, dst, pause.Seconds())
+		writeAdmin(w, map[string]any{"cell": body.Cell, "to": dst, "pause_seconds": pause.Seconds()})
 	})
 	mux.HandleFunc("/admin/evacuate", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {

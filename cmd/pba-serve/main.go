@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pba-serve -n 512 -shards 4 -alg aheavy -seed 1 -addr 127.0.0.1:8380 \
-//	          -snapshot state.json
+//	          -snapshot state.json [-snapshot-proto binary]
 //
 // Endpoints (JSON everywhere; POST /allocate and /release also speak the
 // compact binary wire framing of internal/wire when the request
@@ -35,8 +35,10 @@
 //
 // On SIGINT/SIGTERM the server drains in-flight requests via
 // http.Server.Shutdown and, when -snapshot is set, writes the final state
-// there atomically; restarting with the same -snapshot path restores it
-// and the stream continues placement-for-placement. The service is
+// there atomically — as readable JSON or, with -snapshot-proto binary, the
+// compact columnar "PBAB" format; loading sniffs either. Restarting with
+// the same -snapshot path restores it and the stream continues
+// placement-for-placement. The service is
 // deterministic: a fixed (seed, request sequence, shard count) replayed
 // sequentially produces bit-identical placements at any -workers. A load
 // generator lives in pba-bench (-serve).
@@ -65,26 +67,30 @@ const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
-		n        = flag.Int("n", 512, "total number of bins (servers)")
-		shards   = flag.Int("shards", 1, "independent allocator cells the bins are partitioned into")
-		alg      = flag.String("alg", "aheavy", "per-epoch algorithm: aheavy[:beta], adaptive[:slack], greedy[:d], oneshot")
-		seed     = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence, shards) reproduces placements")
-		workers  = flag.Int("workers", 0, "per-epoch parallelism inside one cell (0 = GOMAXPROCS); never affects results")
-		snapPath = flag.String("snapshot", "", "snapshot file: restored on start when present, written on graceful shutdown")
-		cluster  = flag.Bool("cluster", false, "run as a cluster replica: host no cells until a pba-router attaches them")
-		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener")
-		verbose  = flag.Bool("v", false, "log per-request progress to stderr")
+		addr      = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
+		n         = flag.Int("n", 512, "total number of bins (servers)")
+		shards    = flag.Int("shards", 1, "independent allocator cells the bins are partitioned into")
+		alg       = flag.String("alg", "aheavy", "per-epoch algorithm: aheavy[:beta], adaptive[:slack], greedy[:d], oneshot")
+		seed      = flag.Uint64("seed", 1, "determinism seed; fixed (seed, request sequence, shards) reproduces placements")
+		workers   = flag.Int("workers", 0, "per-epoch parallelism inside one cell (0 = GOMAXPROCS); never affects results")
+		snapPath  = flag.String("snapshot", "", "snapshot file: restored on start when present, written on graceful shutdown")
+		snapProto = flag.String("snapshot-proto", "json", `snapshot file format written on shutdown: "json" or "binary" (loading sniffs either)`)
+		cluster   = flag.Bool("cluster", false, "run as a cluster replica: host no cells until a pba-router attaches them")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener")
+		verbose   = flag.Bool("v", false, "log per-request progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *cluster, *pprofOn, *verbose); err != nil {
+	if err := run(*addr, *n, *shards, *alg, *seed, *workers, *snapPath, *snapProto, *cluster, *pprofOn, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "pba-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath string, cluster, pprofOn, verbose bool) error {
+func run(addr string, n, shards int, alg string, seed uint64, workers int, snapPath, snapProto string, cluster, pprofOn, verbose bool) error {
 	cfg := serve.Config{N: n, Shards: shards, Alg: alg, Seed: seed, Workers: workers}
+	if snapProto != "json" && snapProto != "binary" {
+		return fmt.Errorf("-snapshot-proto must be json or binary, got %q", snapProto)
+	}
 	if cluster {
 		if snapPath != "" {
 			return fmt.Errorf("-snapshot is incompatible with -cluster: replicas snapshot per cell via the router")
@@ -143,10 +149,10 @@ func run(addr string, n, shards int, alg string, seed uint64, workers int, snapP
 		}
 		svc.Close()
 		if snapPath != "" {
-			if err := svc.SaveSnapshot(snapPath); err != nil {
+			if err := svc.SaveSnapshotProto(snapPath, snapProto); err != nil {
 				return fmt.Errorf("writing snapshot: %w", err)
 			}
-			fmt.Printf("pba-serve: snapshot written to %s\n", snapPath)
+			fmt.Printf("pba-serve: %s snapshot written to %s\n", snapProto, snapPath)
 		}
 		return nil
 	}

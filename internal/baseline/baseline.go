@@ -112,6 +112,41 @@ func Greedy(p model.Problem, d int, cfg Config) (*model.Result, error) {
 	}, nil
 }
 
+// batchScratch is Batched's reusable workspace: the per-batch load
+// snapshot, one accumulation slab per worker, and the worker RNG
+// streams (re-derived in place per call, bit-identical to SplitN).
+// Pooled because a sweep calls Batched once per seed and each call runs
+// m/batch rounds — without reuse that is O(n·workers) garbage per round
+// (the bulk of E6's allocation churn next to aheavy's pooled epochs).
+type batchScratch struct {
+	snapshot []int64
+	locals   [][]int32
+	streams  []rng.Rand
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// size (re)fits the arena to n bins and workers slabs. Only loads stays
+// off the arena: it escapes through Result.Loads.
+func (sc *batchScratch) size(n, workers int) {
+	if cap(sc.snapshot) < n {
+		sc.snapshot = make([]int64, n)
+	}
+	sc.snapshot = sc.snapshot[:n]
+	if len(sc.streams) < workers {
+		sc.streams = make([]rng.Rand, workers)
+	}
+	for len(sc.locals) < workers {
+		sc.locals = append(sc.locals, nil)
+	}
+	for w := 0; w < workers; w++ {
+		if cap(sc.locals[w]) < n {
+			sc.locals[w] = make([]int32, n)
+		}
+		sc.locals[w] = sc.locals[w][:n]
+	}
+}
+
 // Batched runs the semi-parallel d-choice process: balls arrive in batches
 // of size batch; all balls of a batch sample d bins and join the least
 // loaded according to the load snapshot taken at the start of the batch
@@ -128,10 +163,16 @@ func Batched(p model.Problem, d int, batch int64, cfg Config) (*model.Result, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	streams := rng.New(rng.Mix64(cfg.Seed ^ 0x1234_5678_9ABC_DEF0)).SplitN(workers)
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	sc.size(p.N, workers)
+	root := rng.New(rng.Mix64(cfg.Seed ^ 0x1234_5678_9ABC_DEF0))
+	for w := 0; w < workers; w++ {
+		root.SplitInto(&sc.streams[w])
+	}
 
 	loads := make([]int64, p.N)
-	snapshot := make([]int64, p.N)
+	snapshot := sc.snapshot
 	rounds := 0
 	for placed := int64(0); placed < p.M; {
 		b := batch
@@ -140,23 +181,28 @@ func Batched(p model.Problem, d int, batch int64, cfg Config) (*model.Result, er
 		}
 		copy(snapshot, loads)
 		// Parallel within the batch: each worker places its share against
-		// the immutable snapshot, accumulating into sharded deltas.
-		deltas := make([][]int32, workers)
+		// the immutable snapshot, accumulating into its pooled slab.
 		var wg sync.WaitGroup
 		per := b / int64(workers)
-		for w := 0; w < workers; w++ {
-			quota := per
+		quotaOf := func(w int) int64 {
 			if w == workers-1 {
-				quota = b - per*int64(workers-1)
+				return b - per*int64(workers-1)
 			}
+			return per
+		}
+		for w := 0; w < workers; w++ {
+			quota := quotaOf(w)
 			if quota == 0 {
 				continue
 			}
 			wg.Add(1)
 			go func(w int, quota int64) {
 				defer wg.Done()
-				local := make([]int32, p.N)
-				r := streams[w]
+				local := sc.locals[w]
+				for i := range local {
+					local[i] = 0
+				}
+				r := &sc.streams[w]
 				for i := int64(0); i < quota; i++ {
 					best := r.Intn(p.N)
 					for j := 1; j < d; j++ {
@@ -167,12 +213,14 @@ func Batched(p model.Problem, d int, batch int64, cfg Config) (*model.Result, er
 					}
 					local[best]++
 				}
-				deltas[w] = local
 			}(w, quota)
 		}
 		wg.Wait()
-		for _, dl := range deltas {
-			for i, v := range dl {
+		for w := 0; w < workers; w++ {
+			if quotaOf(w) == 0 {
+				continue
+			}
+			for i, v := range sc.locals[w] {
 				loads[i] += int64(v)
 			}
 		}

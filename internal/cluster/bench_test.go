@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/wire"
@@ -33,8 +34,8 @@ func TestRouterForwardAllocFree(t *testing.T) {
 	// The raw-protocol baseline: fixed per-upstream shares, the router's
 	// own connection and codec layer, none of its orchestration.
 	var basePairs [2][]wire.CellCount
-	for g, u := range r.table {
-		basePairs[u] = append(basePairs[u], wire.CellCount{Cell: g, Count: batch / cells})
+	for g := range r.table {
+		basePairs[r.table[g].Load()] = append(basePairs[r.table[g].Load()], wire.CellCount{Cell: g, Count: batch / cells})
 	}
 	var baseRep serve.Report
 	var baseIDs []int64
@@ -151,5 +152,62 @@ func BenchmarkClusterThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(balls.Load())/b.Elapsed().Seconds(), "balls/s")
 		})
+	}
+}
+
+// BenchmarkMigrationPause measures the data-plane pause one cell move
+// inflicts — the window in which the moving cell's forwarding gate is
+// write-locked — for the two-phase delta protocol against the legacy
+// whole-move lock, across cell sizes. The contract under test: the
+// delta pause tracks the traffic since the snapshot (zero here), not
+// the balls in the cell, so pause_ns stays flat as balls grows while
+// fulllock grows with the O(live) transfer it keeps under the lock.
+// Each iteration still pays the full copy off-lock; pause_ns is the
+// figure of merit, not ns/op.
+func BenchmarkMigrationPause(b *testing.B) {
+	for _, balls := range []int{10_000, 100_000, 1_000_000} {
+		for _, mode := range []string{"delta", "fulllock"} {
+			b.Run(fmt.Sprintf("balls=%d/mode=%s", balls, mode), func(b *testing.B) {
+				// One cell, so the whole population rides the moving cell.
+				const n = 1024
+				ups := make([]string, 2)
+				for i := range ups {
+					_, ups[i] = emptyReplica(b, n, 1, 3)
+				}
+				r, err := New(Config{N: n, Cells: 1, Alg: "aheavy", Seed: 3, Upstreams: ups, Terse: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer r.Close()
+				rep := new(serve.Report)
+				for placed := 0; placed < balls; {
+					k := balls - placed
+					if k > 8192 {
+						k = 8192
+					}
+					if err := r.AllocateInto(k, rep); err != nil {
+						b.Fatal(err)
+					}
+					placed += k
+				}
+				var total time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst := 1 - int(r.table[0].Load())
+					var pause time.Duration
+					if mode == "delta" {
+						pause, err = r.MigrateTimed(0, dst)
+					} else {
+						pause, err = r.migrateLegacy(0, int(r.table[0].Load()), dst)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += pause
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "pause_ns")
+			})
+		}
 	}
 }

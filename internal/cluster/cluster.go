@@ -54,11 +54,18 @@ type Config struct {
 	// replies. The spans still name every granted ID; only callers that
 	// need per-ball bin assignments (pba-bench -placements) turn this off.
 	Terse bool
+	// Logf, when set, receives one line per control-plane event the
+	// router performs on its own initiative (per-cell migrations inside
+	// an evacuation or rebalance, with their pause windows). Nil is
+	// silent; the data plane never logs.
+	Logf func(format string, args ...any)
 }
 
 // Router fronts the replica set. It is safe for concurrent use; every
-// data-plane forward holds the topology read lock, and migration holds
-// the write side, so a cell is never mid-flight and mid-move at once.
+// data-plane forward read-locks the gates of exactly the cells it
+// touches, and a migration write-locks only the moving cell's gate, so a
+// cell is never mid-flight and mid-move at once — and moving one cell no
+// longer stalls traffic to the others.
 type Router struct {
 	cfg     Config
 	weights []float64
@@ -68,13 +75,23 @@ type Router struct {
 
 	nextReq atomic.Uint64
 
-	// fwd guards the assignment table and upstream set. Data-plane
-	// forwards (allocate, release) hold the read side for their full
-	// duration; Migrate holds the write side, so acquiring it means no
-	// forward is in flight and every replica queue it routed to has
-	// drained.
-	fwd   sync.RWMutex
-	table []int // cell -> index into ups
+	// migMu serializes migrations (and Close): one cell moves at a time,
+	// so gate write-locks are only ever taken by a single goroutine — the
+	// one lock-ordering discipline (ascending cell index, used by every
+	// multi-gate path) can never deadlock against another writer.
+	migMu sync.Mutex
+
+	// gates are the per-cell forwarding gates. A forward involving cell g
+	// holds gates[g].RLock for its full duration (through reply
+	// collection); migration phase 2 takes gates[g].Lock, so acquiring it
+	// means no forward touching g is in flight and the replica queue it
+	// routed to has drained — while every other cell keeps serving.
+	gates []sync.RWMutex
+
+	// table maps cell -> upstream index. Entries flip atomically under the
+	// cell's gate write lock; readers load them while holding the gate's
+	// read side (data plane) or accept a racy-but-monotone view (stats).
+	table []atomic.Int32
 	ups   []*upstream
 
 	scratch sync.Pool
@@ -94,6 +111,10 @@ type metrics struct {
 	rebalances *obs.Counter
 	splitStage *obs.Histogram
 	mergeStage *obs.Histogram
+
+	migTotal  *obs.Counter   // pba_migrations_total (shared name with replicas)
+	migPause  *obs.Histogram // data-plane pause per migration, gate-lock to flip
+	snapBytes *obs.Counter   // snapshot + delta bytes shipped between replicas
 }
 
 func newRouterMetrics() *metrics {
@@ -104,6 +125,9 @@ func newRouterMetrics() *metrics {
 		rebalances: reg.Counter("pba_router_rebalances_total", "Migrations initiated by the load rebalancer."),
 		splitStage: reg.DurationHistogram(serve.StageMetricName, "Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", "route")),
 		mergeStage: reg.DurationHistogram(serve.StageMetricName, "Serving-pipeline stage durations; see serve.StageNames.", obs.L("stage", "commit")),
+		migTotal:   reg.Counter("pba_migrations_total", "Cell migrations completed by this router."),
+		migPause:   reg.DurationHistogram("pba_migration_pause_seconds", "Data-plane pause per cell migration: gate write-lock to table flip."),
+		snapBytes:  reg.Counter("pba_snapshot_bytes_total", "Cell snapshot and delta bytes shipped between replicas."),
 	}
 	obs.RegisterRuntime(reg)
 	return m
@@ -112,15 +136,16 @@ func newRouterMetrics() *metrics {
 // fwdScratch is one forward's complete workspace, pooled so the warm
 // data path performs no allocations in the router.
 type fwdScratch struct {
-	rnd    rng.Rand
-	counts []int64
-	perUp  [][]wire.CellCount // per-upstream (cell, count) shares
-	relIDs [][]int64          // per-upstream release partitions
-	conns  []*conn
-	reps   []serve.Report
-	failed []error
-	cur    []int // per-upstream span cursor during the merge
-	plCur  []int // per-upstream placement cursor
+	rnd     rng.Rand
+	counts  []int64
+	perUp   [][]wire.CellCount // per-upstream (cell, count) shares
+	relIDs  [][]int64          // per-upstream release partitions
+	relMark []bool             // cells a release touches (gate set)
+	conns   []*conn
+	reps    []serve.Report
+	failed  []error
+	cur     []int // per-upstream span cursor during the merge
+	plCur   []int // per-upstream placement cursor
 }
 
 // New builds a router over cfg and bootstraps the assignment table:
@@ -146,11 +171,12 @@ func New(cfg Config) (*Router, error) {
 		weights: serve.CellWeights(cfg.N, cfg.Cells),
 		stride:  int64(cfg.Cells),
 		met:     met,
-		table:   make([]int, cfg.Cells),
+		gates:   make([]sync.RWMutex, cfg.Cells),
+		table:   make([]atomic.Int32, cfg.Cells),
 		ctl:     &http.Client{Timeout: 30 * time.Second},
 	}
 	for i := range r.table {
-		r.table[i] = -1
+		r.table[i].Store(-1)
 	}
 	for _, raw := range cfg.Upstreams {
 		up, err := newUpstream(raw, cfg.PoolSize, met)
@@ -162,14 +188,15 @@ func New(cfg Config) (*Router, error) {
 	nup := len(r.ups)
 	r.scratch.New = func() any {
 		sc := &fwdScratch{
-			counts: make([]int64, cfg.Cells),
-			perUp:  make([][]wire.CellCount, nup),
-			relIDs: make([][]int64, nup),
-			conns:  make([]*conn, nup),
-			reps:   make([]serve.Report, nup),
-			failed: make([]error, nup),
-			cur:    make([]int, nup),
-			plCur:  make([]int, nup),
+			counts:  make([]int64, cfg.Cells),
+			perUp:   make([][]wire.CellCount, nup),
+			relIDs:  make([][]int64, nup),
+			relMark: make([]bool, cfg.Cells),
+			conns:   make([]*conn, nup),
+			reps:    make([]serve.Report, nup),
+			failed:  make([]error, nup),
+			cur:     make([]int, nup),
+			plCur:   make([]int, nup),
 		}
 		for u := 0; u < nup; u++ {
 			sc.perUp[u] = make([]wire.CellCount, 0, cfg.Cells)
@@ -206,15 +233,15 @@ func (r *Router) bootstrap() error {
 			if ci.Cell < 0 || ci.Cell >= r.cfg.Cells {
 				return fmt.Errorf("cluster: %s hosts out-of-range cell %d", up.base, ci.Cell)
 			}
-			if prev := r.table[ci.Cell]; prev >= 0 {
+			if prev := r.table[ci.Cell].Load(); prev >= 0 {
 				return fmt.Errorf("cluster: cell %d hosted by both %s and %s", ci.Cell, r.ups[prev].base, up.base)
 			}
-			r.table[ci.Cell] = u
+			r.table[ci.Cell].Store(int32(u))
 			hosted[u]++
 		}
 	}
 	for g := range r.table {
-		if r.table[g] >= 0 {
+		if r.table[g].Load() >= 0 {
 			continue
 		}
 		u := 0
@@ -226,7 +253,7 @@ func (r *Router) bootstrap() error {
 		if err := r.attachFresh(u, g); err != nil {
 			return err
 		}
-		r.table[g] = u
+		r.table[g].Store(int32(u))
 		hosted[u]++
 	}
 	return nil
@@ -271,24 +298,33 @@ func (r *Router) Seed() uint64 { return r.cfg.Seed }
 func (r *Router) Metrics() *obs.Registry { return r.met.reg }
 
 // Table returns a copy of the cell→upstream assignment, as base URLs.
+// Each entry is an atomic read; a migration concurrent with the copy can
+// show the cell at either end, never in between.
 func (r *Router) Table() []string {
-	r.fwd.RLock()
-	defer r.fwd.RUnlock()
 	out := make([]string, len(r.table))
-	for g, u := range r.table {
-		out[g] = r.ups[u].base
+	for g := range r.table {
+		out[g] = r.ups[r.table[g].Load()].base
 	}
 	return out
 }
 
-// Close retires every pooled connection. In-flight forwards finish
-// first (drain-by-lock), new ones fail at the replicas' closed sockets.
+// Close retires every pooled connection. In-flight forwards finish first
+// (drain-by-gate: every cell gate is write-locked in ascending order),
+// new ones fail at the replicas' closed sockets.
 func (r *Router) Close() {
 	if !r.closed.CompareAndSwap(false, true) {
 		return
 	}
-	r.fwd.Lock()
-	defer r.fwd.Unlock()
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	for g := range r.gates {
+		r.gates[g].Lock()
+	}
+	defer func() {
+		for g := range r.gates {
+			r.gates[g].Unlock()
+		}
+	}()
 	for _, up := range r.ups {
 		up.drain()
 	}
@@ -323,8 +359,14 @@ func (r *Router) AllocateInto(k int, rep *serve.Report) error {
 	defer r.scratch.Put(sc)
 	serve.SplitBalls(&sc.rnd, r.cfg.Seed, reqIdx, k, r.weights, sc.counts)
 
-	r.fwd.RLock()
-	defer r.fwd.RUnlock()
+	// Gate exactly the cells this request touches, ascending (the global
+	// gate order). Cells sitting this request out keep migrating freely.
+	for g, c := range sc.counts {
+		if c > 0 || k == 0 {
+			r.gates[g].RLock()
+		}
+	}
+	defer r.runlockAllocGates(sc, k)
 
 	// Group the split by upstream. A zero-ball request offers every cell a
 	// chance to retry pending balls, exactly like the single-process path.
@@ -334,7 +376,8 @@ func (r *Router) AllocateInto(k int, rep *serve.Report) error {
 	}
 	for g, c := range sc.counts {
 		if c > 0 || k == 0 {
-			sc.perUp[r.table[g]] = append(sc.perUp[r.table[g]], wire.CellCount{Cell: g, Count: int(c)})
+			u := r.table[g].Load()
+			sc.perUp[u] = append(sc.perUp[u], wire.CellCount{Cell: g, Count: int(c)})
 		}
 	}
 	r.met.splitStage.ObserveDuration(time.Since(start))
@@ -378,7 +421,7 @@ func (r *Router) AllocateInto(k int, rep *serve.Report) error {
 		if !(sc.counts[g] > 0 || k == 0) {
 			continue
 		}
-		u := r.table[g]
+		u := r.table[g].Load()
 		if sc.failed[u] != nil {
 			continue
 		}
@@ -414,6 +457,16 @@ func (r *Router) AllocateInto(k int, rep *serve.Report) error {
 	return firstErr
 }
 
+// runlockAllocGates releases the gates an allocate's split involved; the
+// involvement predicate must match the RLock loop exactly.
+func (r *Router) runlockAllocGates(sc *fwdScratch, k int) {
+	for g, c := range sc.counts {
+		if c > 0 || k == 0 {
+			r.gates[g].RUnlock()
+		}
+	}
+}
+
 // AllocateCellsInto implements serve.Backend. The router owns the
 // cluster's split sequence; accepting caller-supplied shares would fork
 // the admission order, so cell-addressed requests stop here.
@@ -431,18 +484,32 @@ func (r *Router) Release(ids []int64) int {
 	}
 	sc := r.scratch.Get().(*fwdScratch)
 	defer r.scratch.Put(sc)
-	r.fwd.RLock()
-	defer r.fwd.RUnlock()
 	for u := range sc.relIDs {
 		sc.relIDs[u] = sc.relIDs[u][:0]
 		sc.perUp[u] = sc.perUp[u][:0]
 		sc.failed[u] = nil
 	}
+	// Mark the touched cells, then gate them ascending — the partition by
+	// upstream must read a table no migration can flip mid-release.
+	for g := range sc.relMark {
+		sc.relMark[g] = false
+	}
+	for _, id := range ids {
+		if id >= 0 {
+			sc.relMark[int(id%r.stride)] = true
+		}
+	}
+	for g, marked := range sc.relMark {
+		if marked {
+			r.gates[g].RLock()
+		}
+	}
+	defer r.runlockReleaseGates(sc)
 	for _, id := range ids {
 		if id < 0 {
 			continue
 		}
-		u := r.table[int(id%r.stride)]
+		u := r.table[int(id%r.stride)].Load()
 		sc.relIDs[u] = append(sc.relIDs[u], id)
 	}
 	// fanOut keys involvement off perUp; mark each used upstream with a
@@ -464,6 +531,15 @@ func (r *Router) Release(ids []int64) int {
 		return nil
 	})
 	return total
+}
+
+// runlockReleaseGates releases the gates a release marked.
+func (r *Router) runlockReleaseGates(sc *fwdScratch) {
+	for g, marked := range sc.relMark {
+		if marked {
+			r.gates[g].RUnlock()
+		}
+	}
 }
 
 // fanOut runs one write-all-then-read-all round over the upstreams with

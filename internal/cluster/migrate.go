@@ -2,95 +2,249 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
 
-// Live cell migration: snapshot → ship → restore → flip table → drain.
+// Live cell migration, two-phase: snapshot and ship while the cell keeps
+// serving, then pause only the moving cell for the delta.
 //
-// Migrate holds the forwarding write lock for the whole move, which is
-// what makes it safe and lossless: in-flight forwards hold the read
-// side through reply collection, and the replica's own collection
-// drains its cell queues before replying, so once the write lock is
-// held the cell is quiescent everywhere — no epoch running, no queued
-// sub-request, every granted ball inside the snapshot. The fingerprint
-// travels with the snapshot and is re-verified on restore and again on
-// detach, so a move that would lose or duplicate a ball fails loudly
-// instead.
+//	phase 1 (cell serving, gate open):
+//	  src: POST /cells/migrate/begin   snapshot + arm the delta log
+//	  dst: POST /cells/stage           O(live) restore, staged invisible
+//	phase 2 (gates[g] write-locked — only cell g pauses):
+//	  src: POST /cells/migrate/cut     the traffic since begin, O(delta)
+//	  dst: POST /cells/commit          replay + chain-fingerprint verify
+//	  table[g] flips, gate reopens — pause over
+//	  src: POST /cells/detach lite     drop the stale copy, O(1) chain check
+//
+// The gate write lock is what makes the cut exact: in-flight forwards
+// hold the gate's read side through reply collection, and the replica
+// drains its cell queue before replying, so once the write lock is held
+// the cell is quiescent everywhere and every granted ball is in the
+// snapshot+delta. The chain fingerprint travels with the cut and is
+// re-verified after replay and again at detach, so a move that would
+// lose or duplicate a ball fails loudly instead. Any failure before the
+// table flip aborts the move with the source still authoritative.
+//
+// Replicas predating the two-phase endpoints answer /cells/migrate/begin
+// with 404; the router falls back to the legacy whole-move pause
+// (migrateLegacy), so mixed-version clusters keep migrating.
 
 // Migrate moves global cell g to upstream dst (an index into the
-// configured upstream list), blocking the data plane for the duration.
-// Migrating a cell onto its current host is a no-op.
+// configured upstream list). Migrating a cell onto its current host is a
+// no-op.
 func (r *Router) Migrate(g, dst int) error {
-	r.fwd.Lock()
-	defer r.fwd.Unlock()
-	return r.migrateLocked(g, dst)
+	_, err := r.MigrateTimed(g, dst)
+	return err
 }
 
-func (r *Router) migrateLocked(g, dst int) error {
+// MigrateTimed is Migrate reporting the data-plane pause: how long cell
+// g's forwarding gate was write-locked. With the two-phase protocol the
+// pause covers only the delta cut, replay, and table flip — O(traffic
+// since the snapshot), not O(live balls in the cell).
+func (r *Router) MigrateTimed(g, dst int) (pause time.Duration, err error) {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
 	if g < 0 || g >= r.cfg.Cells {
-		return fmt.Errorf("cluster: cell %d out of range [0, %d)", g, r.cfg.Cells)
+		return 0, fmt.Errorf("cluster: cell %d out of range [0, %d)", g, r.cfg.Cells)
 	}
 	if dst < 0 || dst >= len(r.ups) {
-		return fmt.Errorf("cluster: upstream %d out of range [0, %d)", dst, len(r.ups))
+		return 0, fmt.Errorf("cluster: upstream %d out of range [0, %d)", dst, len(r.ups))
 	}
-	src := r.table[g]
+	src := int(r.table[g].Load())
 	if src == dst {
-		return nil
+		return 0, nil
 	}
+
+	// Phase 1: snapshot at the source and stage at the destination, both
+	// with the gate open — the cell serves throughout.
+	frame, legacy, err := r.migrateBegin(src, g)
+	if err != nil {
+		return 0, err
+	}
+	if legacy {
+		return r.migrateLegacy(g, src, dst)
+	}
+	r.met.snapBytes.Add(uint64(len(frame)))
+	if err := r.shipFrame(dst, "/cells/stage", frame); err != nil {
+		r.abortSource(src, g)
+		return 0, fmt.Errorf("cluster: staging cell %d on %s: %w", g, r.ups[dst].base, err)
+	}
+
+	// Phase 2: pause cell g only. Cut the delta, replay it onto the
+	// staged copy, flip the table.
+	t0 := time.Now()
+	r.gates[g].Lock()
+	delta, commitErr := r.cutAndCommit(src, dst, g)
+	if commitErr != nil {
+		r.gates[g].Unlock()
+		r.discardStaged(dst, g)
+		return 0, commitErr
+	}
+	r.table[g].Store(int32(dst))
+	r.gates[g].Unlock()
+	pause = time.Since(t0)
+	r.met.migPause.ObserveDuration(pause)
+	r.met.snapBytes.Add(uint64(len(delta)))
+	r.met.migrations.Inc()
+	r.met.migTotal.Inc()
+
+	// The cell is live at dst; dropping the stale source copy happens
+	// after the gate reopened, off the pause path. The lite detach reply
+	// carries the source's chain digest — anything but the cut's chain
+	// means events leaked past the cut, which the gate makes impossible,
+	// so a mismatch is corruption and the router refuses to stay quiet.
+	_, chain, _, err := wire.ParseCellDelta(delta)
+	if err != nil {
+		return pause, fmt.Errorf("cluster: cell %d delta frame (cell live on %s): %w", g, r.ups[dst].base, err)
+	}
+	var det struct {
+		Chain string `json:"chain"`
+	}
+	if err := r.postJSON(r.ups[src].base, "/cells/detach", fmt.Sprintf(`{"cell":%d,"lite":true}`, g), &det); err != nil {
+		return pause, fmt.Errorf("cluster: detaching cell %d from %s (cell live on %s): %w", g, r.ups[src].base, r.ups[dst].base, err)
+	}
+	if want := hex.EncodeToString(chain); det.Chain != want {
+		return pause, fmt.Errorf("cluster: cell %d mutated after the cut: cut chain %s, detach chain %s", g, want, det.Chain)
+	}
+	return pause, nil
+}
+
+// migrateBegin posts phase 1's begin to the source and returns the
+// snapshot frame; legacy reports a 404 (replica without the two-phase
+// endpoints).
+func (r *Router) migrateBegin(src, g int) (frame []byte, legacy bool, err error) {
+	res, err := r.ctl.Post(r.ups[src].base+"/cells/migrate/begin", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"cell":%d,"proto":"binary"}`, g)))
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	frame, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	if res.StatusCode == http.StatusNotFound {
+		return nil, true, nil
+	}
+	if res.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("cluster: snapshotting cell %d on %s: %s", g, r.ups[src].base, readError(bytes.NewReader(frame), res.Status))
+	}
+	return frame, false, nil
+}
+
+// shipFrame posts a binary frame to base+path with the evacuation
+// coordinates stamped.
+func (r *Router) shipFrame(u int, path string, frame []byte) error {
+	req, err := http.NewRequest(http.MethodPost, r.ups[u].base+path, bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	r.stampEvacuation(req, u)
+	res, err := r.ctl.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = io.Copy(io.Discard, res.Body); res.Body.Close() }()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s", path, readError(res.Body, res.Status))
+	}
+	return nil
+}
+
+// cutAndCommit runs the paused window's two calls: cut the source's
+// delta log and commit it onto the destination's staged cell. The
+// returned frame is the delta (for the chain check and byte accounting).
+func (r *Router) cutAndCommit(src, dst, g int) ([]byte, error) {
+	res, err := r.ctl.Post(r.ups[src].base+"/cells/migrate/cut", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"cell":%d}`, g)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cutting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	delta, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cutting cell %d on %s: %w", g, r.ups[src].base, err)
+	}
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: cutting cell %d on %s: %s", g, r.ups[src].base, readError(bytes.NewReader(delta), res.Status))
+	}
+	if err := r.shipFrame(dst, "/cells/commit", delta); err != nil {
+		return nil, fmt.Errorf("cluster: committing cell %d on %s: %w", g, r.ups[dst].base, err)
+	}
+	return delta, nil
+}
+
+// abortSource best-effort drops the source's delta log after a failed
+// phase 1; the cell was serving the whole time, so nothing is lost.
+func (r *Router) abortSource(src, g int) {
+	_ = r.postJSON(r.ups[src].base, "/cells/migrate/abort", fmt.Sprintf(`{"cell":%d}`, g), nil)
+}
+
+// discardStaged best-effort drops the destination's staged copy after a
+// failed phase 2 (the commit path discards it itself on replay or chain
+// failure; this covers transport failures where the staged copy may
+// still be parked).
+func (r *Router) discardStaged(dst, g int) {
+	_ = r.postJSON(r.ups[dst].base, "/cells/migrate/abort", fmt.Sprintf(`{"cell":%d,"staged":true}`, g), nil)
+}
+
+// migrateLegacy is the pre-delta-log move — snapshot, restore, detach,
+// all under the cell's gate write lock, so the pause spans the whole
+// O(live) transfer. It remains both the mixed-version fallback and the
+// baseline BenchmarkMigrationPause measures the two-phase pause against.
+func (r *Router) migrateLegacy(g, src, dst int) (pause time.Duration, err error) {
+	t0 := time.Now()
+	r.gates[g].Lock()
+	defer func() { pause = time.Since(t0) }()
+	defer r.gates[g].Unlock()
 
 	// Snapshot at the source. The frame embeds the cell's verified state
 	// document; remember its fingerprint for the detach check.
 	res, err := r.ctl.Get(fmt.Sprintf("%s/cells/snapshot?cell=%d", r.ups[src].base, g))
 	if err != nil {
-		return fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+		return 0, fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
 	}
 	frame, err := io.ReadAll(res.Body)
 	res.Body.Close()
 	if err != nil {
-		return fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
+		return 0, fmt.Errorf("cluster: snapshotting cell %d on %s: %w", g, r.ups[src].base, err)
 	}
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: snapshotting cell %d on %s: %s", g, r.ups[src].base, readError(bytes.NewReader(frame), res.Status))
+		return 0, fmt.Errorf("cluster: snapshotting cell %d on %s: %s", g, r.ups[src].base, readError(bytes.NewReader(frame), res.Status))
 	}
 	_, doc, err := wire.ParseCellSnapshot(frame)
 	if err != nil {
-		return fmt.Errorf("cluster: cell %d snapshot frame: %w", g, err)
+		return 0, fmt.Errorf("cluster: cell %d snapshot frame: %w", g, err)
 	}
 	var meta struct {
 		Fingerprint string `json:"fingerprint"`
 	}
 	if err := json.Unmarshal(doc, &meta); err != nil {
-		return fmt.Errorf("cluster: cell %d snapshot document: %w", g, err)
+		return 0, fmt.Errorf("cluster: cell %d snapshot document: %w", g, err)
 	}
+	r.met.snapBytes.Add(uint64(len(frame)))
 
 	// Restore at the destination; the replica re-derives the cell's seed
 	// and bin range from the topology and verifies the state against the
 	// embedded fingerprint before going live.
-	req, err := http.NewRequest(http.MethodPost, r.ups[dst].base+"/cells/attach", bytes.NewReader(frame))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", wire.ContentType)
-	r.stampEvacuation(req, dst)
-	ares, err := r.ctl.Do(req)
-	if err != nil {
-		return fmt.Errorf("cluster: restoring cell %d on %s: %w", g, r.ups[dst].base, err)
-	}
-	_, _ = io.Copy(io.Discard, ares.Body)
-	ares.Body.Close()
-	if ares.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: restoring cell %d on %s: %s", g, r.ups[dst].base, ares.Status)
+	if err := r.shipFrame(dst, "/cells/attach", frame); err != nil {
+		return 0, fmt.Errorf("cluster: restoring cell %d on %s: %w", g, r.ups[dst].base, err)
 	}
 
 	// Drain the source. The detach reply carries the cell's final
 	// fingerprint; anything but the snapshot's means the source mutated
-	// the cell after the cut — with the forwarding lock held that cannot
+	// the cell after the cut — with the gate write-locked that cannot
 	// happen, so a mismatch is corruption, and the router refuses to
 	// continue quietly. The table flips regardless: the destination copy
 	// is the live one either way.
@@ -98,15 +252,17 @@ func (r *Router) migrateLocked(g, dst int) error {
 		Fingerprint string `json:"fingerprint"`
 	}
 	detErr := r.postJSON(r.ups[src].base, "/cells/detach", fmt.Sprintf(`{"cell":%d}`, g), &det)
-	r.table[g] = dst
+	r.table[g].Store(int32(dst))
 	r.met.migrations.Inc()
+	r.met.migTotal.Inc()
+	r.met.migPause.ObserveDuration(time.Since(t0))
 	if detErr != nil {
-		return fmt.Errorf("cluster: detaching cell %d from %s (cell now live on %s): %w", g, r.ups[src].base, r.ups[dst].base, detErr)
+		return 0, fmt.Errorf("cluster: detaching cell %d from %s (cell now live on %s): %w", g, r.ups[src].base, r.ups[dst].base, detErr)
 	}
 	if det.Fingerprint != meta.Fingerprint {
-		return fmt.Errorf("cluster: cell %d mutated mid-migration: snapshot %s, detach %s", g, meta.Fingerprint, det.Fingerprint)
+		return 0, fmt.Errorf("cluster: cell %d mutated mid-migration: snapshot %s, detach %s", g, meta.Fingerprint, det.Fingerprint)
 	}
-	return nil
+	return 0, nil
 }
 
 // UpstreamIndex resolves an upstream base URL (as configured, or as
@@ -135,16 +291,15 @@ func (r *Router) Evacuate(src int) (int, error) {
 	}
 	moved := 0
 	for {
-		r.fwd.RLock()
 		g := -1
 		hosted := make([]int, len(r.ups))
-		for cell, u := range r.table {
+		for cell := range r.table {
+			u := int(r.table[cell].Load())
 			hosted[u]++
 			if u == src && g < 0 {
 				g = cell
 			}
 		}
-		r.fwd.RUnlock()
 		if g < 0 {
 			return moved, nil
 		}
@@ -160,8 +315,12 @@ func (r *Router) Evacuate(src int) (int, error) {
 		if dst < 0 {
 			return moved, fmt.Errorf("cluster: no healthy destination for cell %d", g)
 		}
-		if err := r.Migrate(g, dst); err != nil {
+		pause, err := r.MigrateTimed(g, dst)
+		if err != nil {
 			return moved, err
+		}
+		if r.cfg.Logf != nil {
+			r.cfg.Logf("migrated cell %d to upstream %d (pause %.6fs)", g, dst, pause.Seconds())
 		}
 		moved++
 	}
@@ -237,8 +396,12 @@ func (r *Router) RebalanceOnce(ratio float64, minGap int64) (bool, error) {
 	if g < 0 {
 		return false, nil
 	}
-	if err := r.Migrate(g, minU); err != nil {
+	pause, err := r.MigrateTimed(g, minU)
+	if err != nil {
 		return false, err
+	}
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("rebalanced cell %d to upstream %d (pause %.6fs)", g, minU, pause.Seconds())
 	}
 	r.met.rebalances.Inc()
 	return true, nil
@@ -368,12 +531,10 @@ func (r *Router) HealthDoc() any {
 		Status: "ok", N: r.cfg.N, Shards: r.cfg.Cells, Alg: r.cfg.Alg,
 		Requests: r.nextReq.Load(), Clustered: true,
 	}
-	r.fwd.RLock()
 	hosted := make([]int, len(r.ups))
-	for _, u := range r.table {
-		hosted[u]++
+	for g := range r.table {
+		hosted[r.table[g].Load()]++
 	}
-	r.fwd.RUnlock()
 	for u, up := range r.ups {
 		var doc struct {
 			Status string `json:"status"`

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestTwoPhaseMigrateOverHTTP drives the router's bounded-pause
+// migration against real replicas: an idle move (empty delta) leaves
+// the cluster fingerprint untouched, moves with concurrent traffic ship
+// the in-flight balls as the delta and lose none, and the pre-delta
+// legacy path still works as the mixed-version fallback.
+func TestTwoPhaseMigrateOverHTTP(t *testing.T) {
+	const n, cells, seed = 40, 4, 9
+	ups := make([]string, 2)
+	for i := range ups {
+		_, ups[i] = emptyReplica(t, n, cells, seed)
+	}
+	r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: seed, Upstreams: ups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	rep, err := r.Allocate(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLive := len(rep.IDs())
+	fp0, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle two-phase move: the delta log cuts empty, yet the move is
+	// exact — migration never changes allocation state.
+	pause, err := r.MigrateTimed(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause <= 0 {
+		t.Fatal("two-phase migration reported no pause window")
+	}
+	if got := r.Table()[0]; got != ups[1] {
+		t.Fatalf("cell 0 on %s after migration, want %s", got, ups[1])
+	}
+	if fp, err := r.Fingerprint(); err != nil || fp != fp0 {
+		t.Fatalf("fingerprint changed across an idle migration: %s -> %s (%v)", fp0, fp, err)
+	}
+	if got := r.met.migTotal.Load(); got != 1 {
+		t.Fatalf("pba_migrations_total = %d after one migration", got)
+	}
+	if r.met.snapBytes.Load() == 0 {
+		t.Fatal("pba_snapshot_bytes_total stayed zero across a migration")
+	}
+	if r.met.migPause.Count() != 1 {
+		t.Fatalf("pba_migration_pause_seconds observed %d times, want 1", r.met.migPause.Count())
+	}
+
+	// Concurrent traffic through repeated moves of cell 1: balls landing
+	// on the moving cell after its snapshot travel as the delta log, and
+	// the per-cell gates keep the other cells serving.
+	stop := make(chan struct{})
+	census := make(chan int, 1)
+	go func() {
+		var mine []int64
+		for {
+			select {
+			case <-stop:
+				census <- len(mine)
+				return
+			default:
+			}
+			rep, err := r.Allocate(40)
+			if err != nil {
+				t.Error(err)
+				census <- len(mine)
+				return
+			}
+			mine = append(mine, rep.IDs()...)
+			if len(mine) >= 400 {
+				if got := r.Release(mine[:150]); got != 150 {
+					t.Errorf("released %d of 150", got)
+				}
+				mine = mine[150:]
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		if _, err := r.MigrateTimed(1, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	trafficLive := <-census
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Zero lost balls: the cluster census equals what the trace retained.
+	st, ok := r.StatsDoc(false).(Stats)
+	if !ok {
+		t.Fatal("StatsDoc type")
+	}
+	if want := int64(baseLive + trafficLive); st.Live != want {
+		t.Fatalf("cluster live %d after migrations under load, want %d", st.Live, want)
+	}
+	if got := r.met.migTotal.Load(); got != 5 {
+		t.Fatalf("pba_migrations_total = %d after five migrations", got)
+	}
+
+	// The legacy whole-move pause still works (and is what a router
+	// falls back to against replicas without the two-phase endpoints).
+	fp1, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int(r.table[2].Load())
+	if _, err := r.migrateLegacy(2, src, 1-src); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Table()[2]; got != ups[1-src] {
+		t.Fatalf("cell 2 on %s after legacy migration, want %s", got, ups[1-src])
+	}
+	if fp, err := r.Fingerprint(); err != nil || fp != fp1 {
+		t.Fatalf("fingerprint changed across a legacy migration: %s -> %s (%v)", fp1, fp, err)
+	}
+}

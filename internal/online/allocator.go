@@ -106,6 +106,7 @@ type Allocator struct {
 	idsBuf   []int64           // epoch working set (pending + fresh ids)
 	pendBuf  []int64           // permanent backing store of the pending list
 	scratch  epochScratch      // runner arenas and buffers, reused per epoch
+	dlog     *deltaLog         // active migration delta log, nil when idle
 }
 
 // New constructs an allocator.
@@ -157,6 +158,9 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	a.epoch++
 	if len(ids) == 0 {
 		a.chainAllocate(rep)
+		if a.dlog != nil {
+			a.dlog.logAllocate(rep, model.Metrics{}, nil)
+		}
 		rep.MaxLoad = a.hist.max
 		rep.Excess = rep.MaxLoad - a.ceilAvg()
 		if a.cfg.Ins != nil {
@@ -177,10 +181,10 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	})
 	runDur := time.Since(runStart)
 	if err != nil {
-		return nil, fmt.Errorf("online: epoch %d: %w", rep.Epoch, err)
+		return nil, a.epochFailed(fmt.Errorf("online: epoch %d: %w", rep.Epoch, err))
 	}
 	if res.Placements == nil {
-		return nil, fmt.Errorf("online: epoch %d: runner %s recorded no placements", rep.Epoch, a.alg)
+		return nil, a.epochFailed(fmt.Errorf("online: epoch %d: runner %s recorded no placements", rep.Epoch, a.alg))
 	}
 	// Validate before mutating, so a misbehaving runner cannot corrupt the
 	// live state. This replaces the historical CheckPartial call with an
@@ -190,21 +194,21 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	// consistency is covered by their package tests, and VerifyFingerprint
 	// re-derives the full histogram as the slow-path audit).
 	if int64(len(res.Placements)) != int64(len(ids)) {
-		return nil, fmt.Errorf("online: epoch %d: runner %s returned %d placements for %d balls",
-			rep.Epoch, a.alg, len(res.Placements), len(ids))
+		return nil, a.epochFailed(fmt.Errorf("online: epoch %d: runner %s returned %d placements for %d balls",
+			rep.Epoch, a.alg, len(res.Placements), len(ids)))
 	}
 	var unplaced int64
 	for _, bin := range res.Placements {
 		if bin < 0 {
 			unplaced++
 		} else if int(bin) >= a.cfg.N {
-			return nil, fmt.Errorf("online: epoch %d: runner %s placed a ball in nonexistent bin %d",
-				rep.Epoch, a.alg, bin)
+			return nil, a.epochFailed(fmt.Errorf("online: epoch %d: runner %s placed a ball in nonexistent bin %d",
+				rep.Epoch, a.alg, bin))
 		}
 	}
 	if unplaced != res.Unallocated {
-		return nil, fmt.Errorf("online: epoch %d: runner %s reports %d unallocated but left %d unplaced",
-			rep.Epoch, a.alg, res.Unallocated, unplaced)
+		return nil, a.epochFailed(fmt.Errorf("online: epoch %d: runner %s reports %d unallocated but left %d unplaced",
+			rep.Epoch, a.alg, res.Unallocated, unplaced))
 	}
 
 	still := a.pendBuf[:0]
@@ -235,6 +239,9 @@ func (a *Allocator) Allocate(k int) (*Report, error) {
 	rep.MaxLoad = a.hist.max
 	rep.Excess = rep.MaxLoad - a.ceilAvg()
 	a.chainAllocate(rep)
+	if a.dlog != nil {
+		a.dlog.logAllocate(rep, res.Metrics, res.TraceRemaining)
+	}
 	if ins := a.cfg.Ins; ins != nil {
 		ins.Epochs.Inc()
 		ins.EpochRun.ObserveDuration(runDur)
@@ -253,6 +260,9 @@ func (a *Allocator) Release(ids []int64) int {
 	defer a.mu.Unlock()
 	released, pendingReleased := 0, 0
 	buf := a.chainStart('R')
+	if a.dlog != nil {
+		a.dlog.relIDs = a.dlog.relIDs[:0]
+	}
 	for _, id := range ids {
 		prev, wasLive := a.table.release(id)
 		if !wasLive {
@@ -260,6 +270,9 @@ func (a *Allocator) Release(ids []int64) int {
 		}
 		released++
 		a.departed++
+		if a.dlog != nil {
+			a.dlog.relIDs = append(a.dlog.relIDs, id)
+		}
 		buf = appendI64(buf, id)
 		buf = appendI64(buf, int64(prev))
 		if prev >= 0 {
@@ -283,6 +296,9 @@ func (a *Allocator) Release(ids []int64) int {
 	}
 	if released > 0 {
 		a.chainCommit(buf)
+		if a.dlog != nil {
+			a.dlog.logRelease(a.dlog.relIDs)
+		}
 	} else {
 		a.chainBuf = buf[:0]
 	}

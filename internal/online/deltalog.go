@@ -1,0 +1,397 @@
+package online
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The delta log is the two-phase migration seam: SnapshotAndLog captures a
+// full snapshot and starts recording every subsequent state-changing event
+// (committed Allocate epochs and Releases) as compact varint records;
+// CutDeltaLog stops recording and hands the accumulated records plus the
+// source's epoch-chain digest to the caller; ApplyDeltaLog replays the
+// records on an allocator restored from the snapshot, driving the
+// *identical* chain folds, so the destination lands on the identical chain
+// digest — the O(1) proof that snapshot + delta reproduced the source's
+// event history exactly. The pause window of a migration is then the cut
+// and the delta transfer, O(events since snapshot), never O(live balls).
+//
+// Record encodings (all integers are unsigned varints unless noted):
+//
+//	'A' epoch idBase admitted rounds
+//	    total_messages ball_requests bin_replies max_ball_sent
+//	    max_bin_received commit_messages
+//	    nplaced nplaced×(idDelta bin)   // IDs ascending, delta-coded
+//	    pending                          // surviving pending count
+//	    ntrace ntrace×value              // signed varints
+//	'R' n n×id                           // release order, live IDs only
+//
+// An 'R' record is only written when the release actually departed balls
+// (mirroring the chain, which skips empty releases). A failed epoch — a
+// runner error after admissions mutated state without a chain fold —
+// poisons the log: Cut then fails and the migration aborts with the cell
+// intact at the source.
+
+// maxDeltaLogBytes bounds the log a source cell will accumulate; a
+// migration stalled long enough to exceed it aborts instead of growing
+// without bound.
+const maxDeltaLogBytes = 64 << 20
+
+type deltaLog struct {
+	buf    []byte
+	err    error
+	relIDs []int64 // scratch: the current Release call's departed IDs
+}
+
+func (d *deltaLog) fail(err error) {
+	if d.err == nil {
+		d.err = err
+		d.buf = nil
+	}
+}
+
+func (d *deltaLog) logAllocate(rep *Report, met model.Metrics, trace []int64) {
+	if d.err != nil {
+		return
+	}
+	b := append(d.buf, 'A')
+	b = binary.AppendUvarint(b, uint64(rep.Epoch))
+	b = binary.AppendUvarint(b, uint64(rep.IDBase))
+	b = binary.AppendUvarint(b, uint64(rep.Admitted))
+	b = binary.AppendUvarint(b, uint64(rep.Rounds))
+	b = binary.AppendUvarint(b, uint64(met.TotalMessages))
+	b = binary.AppendUvarint(b, uint64(met.BallRequests))
+	b = binary.AppendUvarint(b, uint64(met.BinReplies))
+	b = binary.AppendUvarint(b, uint64(met.MaxBallSent))
+	b = binary.AppendUvarint(b, uint64(met.MaxBinReceived))
+	b = binary.AppendUvarint(b, uint64(met.CommitMessages))
+	b = binary.AppendUvarint(b, uint64(len(rep.Placements)))
+	prev := int64(0)
+	for _, p := range rep.Placements {
+		b = binary.AppendUvarint(b, uint64(p.ID-prev))
+		b = binary.AppendUvarint(b, uint64(p.Bin))
+		prev = p.ID
+	}
+	b = binary.AppendUvarint(b, uint64(rep.Pending))
+	b = binary.AppendUvarint(b, uint64(len(trace)))
+	for _, v := range trace {
+		b = binary.AppendVarint(b, v)
+	}
+	d.buf = b
+	if len(b) > maxDeltaLogBytes {
+		d.fail(fmt.Errorf("online: delta log exceeded %d bytes; cut or abort the migration sooner", maxDeltaLogBytes))
+	}
+}
+
+func (d *deltaLog) logRelease(ids []int64) {
+	if d.err != nil {
+		return
+	}
+	b := append(d.buf, 'R')
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	d.buf = b
+	if len(b) > maxDeltaLogBytes {
+		d.fail(fmt.Errorf("online: delta log exceeded %d bytes; cut or abort the migration sooner", maxDeltaLogBytes))
+	}
+}
+
+// epochFailed poisons an active delta log when an epoch errors out after
+// mutating state (admissions happen before the runner; a failed run leaves
+// those balls pending with no chain fold, so a log that skipped the epoch
+// would silently diverge from the allocator it claims to mirror).
+func (a *Allocator) epochFailed(err error) error {
+	if a.dlog != nil {
+		a.dlog.fail(fmt.Errorf("online: delta log interrupted by failed epoch: %w", err))
+	}
+	return err
+}
+
+// SnapshotAndLog atomically captures a snapshot and starts the delta log:
+// every event after the returned snapshot is recorded until CutDeltaLog or
+// AbortDeltaLog. One log can be active at a time.
+func (a *Allocator) SnapshotAndLog() (*Snapshot, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dlog != nil {
+		return nil, fmt.Errorf("online: a delta log is already active (concurrent migration?)")
+	}
+	a.dlog = &deltaLog{}
+	return a.snapshotLocked(), nil
+}
+
+// CutDeltaLog stops the delta log and returns the accumulated records plus
+// the chain digest after the last recorded event. The caller owns the
+// returned log. A poisoned log (failed epoch, overflow) returns its error;
+// either way the allocator stops logging and keeps serving.
+func (a *Allocator) CutDeltaLog() (log []byte, chainHex string, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dlog == nil {
+		return nil, "", fmt.Errorf("online: no delta log active")
+	}
+	d := a.dlog
+	a.dlog = nil
+	if d.err != nil {
+		return nil, "", d.err
+	}
+	return d.buf, hex.EncodeToString(a.chain[:]), nil
+}
+
+// AbortDeltaLog discards an active delta log, if any.
+func (a *Allocator) AbortDeltaLog() {
+	a.mu.Lock()
+	a.dlog = nil
+	a.mu.Unlock()
+}
+
+func readLogUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("online: delta log varint truncated")
+	}
+	return v, b[n:], nil
+}
+
+func readLogVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("online: delta log varint truncated")
+	}
+	return v, b[n:], nil
+}
+
+// ApplyDeltaLog replays a cut delta log, mutating the allocator through
+// the same state transitions (and the same chain folds) the source ran
+// after its snapshot. It is strict: record epochs and ID watermarks must
+// be continuous with the allocator's state, placements must name working-
+// set balls in order, and releases must name live balls. On error the
+// allocator is partially mutated and must be discarded — callers stage the
+// restore and only swap it in after the chain digest verifies.
+func (a *Allocator) ApplyDeltaLog(log []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dlog != nil {
+		return fmt.Errorf("online: cannot apply a delta log while one is being recorded")
+	}
+	rest := log
+	for len(rest) > 0 {
+		tag := rest[0]
+		var err error
+		switch tag {
+		case 'A':
+			rest, err = a.applyAllocateRecord(rest[1:])
+		case 'R':
+			rest, err = a.applyReleaseRecord(rest[1:])
+		default:
+			return fmt.Errorf("online: delta log: unknown record tag 0x%02x", tag)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if a.cfg.Ins != nil {
+		a.syncGauges()
+	}
+	return nil
+}
+
+func (a *Allocator) applyAllocateRecord(rest []byte) ([]byte, error) {
+	var epoch, idBase, admitted, rounds, nplaced uint64
+	var err error
+	if epoch, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if idBase, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if admitted, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if rounds, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	var met model.Metrics
+	for _, p := range [...]*int64{
+		&met.TotalMessages, &met.BallRequests, &met.BinReplies,
+		&met.MaxBallSent, &met.MaxBinReceived, &met.CommitMessages,
+	} {
+		var v uint64
+		if v, rest, err = readLogUvarint(rest); err != nil {
+			return nil, err
+		}
+		*p = int64(v)
+	}
+	if int(epoch) != a.epoch {
+		return nil, fmt.Errorf("online: delta log epoch %d does not continue state at epoch %d", epoch, a.epoch)
+	}
+	if int64(idBase) != a.nextID {
+		return nil, fmt.Errorf("online: delta log ID base %d does not continue watermark %d", idBase, a.nextID)
+	}
+	if admitted > uint64(maxDeltaLogBytes) {
+		return nil, fmt.Errorf("online: delta log admits %d balls in one epoch", admitted)
+	}
+
+	// Rebuild the epoch working set exactly as Allocate did: surviving
+	// pending balls (ascending) plus the freshly admitted ID range.
+	ids := append(a.idsBuf[:0], a.pending...)
+	for i := uint64(0); i < admitted; i++ {
+		ids = append(ids, a.nextID)
+		a.table.admit(a.nextID)
+		a.nextID++
+	}
+	a.idsBuf = ids
+	a.arrived += int64(admitted)
+
+	rep := &Report{Epoch: a.epoch, IDBase: int64(idBase), Admitted: int(admitted)}
+	a.epoch++
+
+	if nplaced, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if nplaced > uint64(len(ids)) {
+		return nil, fmt.Errorf("online: delta log places %d balls in an epoch of %d", nplaced, len(ids))
+	}
+	rep.Placements = make([]Placement, 0, len(ids))
+	still := a.pendBuf[:0]
+	var nextPID int64
+	var nextBin uint64
+	prev := int64(0)
+	havePl := false
+	readPl := func() error {
+		var d, b uint64
+		if d, rest, err = readLogUvarint(rest); err != nil {
+			return err
+		}
+		if b, rest, err = readLogUvarint(rest); err != nil {
+			return err
+		}
+		nextPID = prev + int64(d)
+		prev = nextPID
+		nextBin = b
+		havePl = true
+		return nil
+	}
+	consumed := uint64(0)
+	if nplaced > 0 {
+		if err := readPl(); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		if havePl && nextPID == id {
+			if nextBin >= uint64(a.cfg.N) {
+				return nil, fmt.Errorf("online: delta log places ball %d in nonexistent bin %d", id, nextBin)
+			}
+			bin := int32(nextBin)
+			a.table.place(id, bin)
+			a.loads[bin]++
+			a.hist.inc(a.loads[bin] - 1)
+			rep.Placements = append(rep.Placements, Placement{ID: id, Bin: bin})
+			consumed++
+			havePl = false
+			if consumed < nplaced {
+				if err := readPl(); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			still = append(still, id)
+		}
+	}
+	if consumed != nplaced {
+		return nil, fmt.Errorf("online: delta log placement %d is not in the epoch working set", nextPID)
+	}
+	a.pendBuf = still
+	a.pending = still
+
+	var wantPending, ntrace uint64
+	if wantPending, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if int(wantPending) != len(still) {
+		return nil, fmt.Errorf("online: delta log epoch leaves %d pending, record says %d", len(still), wantPending)
+	}
+	if ntrace, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if ntrace > uint64(len(rest))+1 {
+		return nil, fmt.Errorf("online: delta log declares %d trace entries but carries %d bytes", ntrace, len(rest))
+	}
+	for i := uint64(0); i < ntrace; i++ {
+		var v int64
+		if v, rest, err = readLogVarint(rest); err != nil {
+			return nil, err
+		}
+		a.trace = append(a.trace, v)
+	}
+
+	a.rounds += int(rounds)
+	a.metrics.Add(met)
+	rep.Pending = len(still)
+	rep.Rounds = int(rounds)
+	rep.MaxLoad = a.hist.max
+	rep.Excess = rep.MaxLoad - a.ceilAvg()
+	a.chainAllocate(rep)
+	if ins := a.cfg.Ins; ins != nil {
+		ins.Epochs.Inc()
+		ins.Admitted.Add(admitted)
+		ins.Placed.Add(uint64(len(rep.Placements)))
+	}
+	return rest, nil
+}
+
+func (a *Allocator) applyReleaseRecord(rest []byte) ([]byte, error) {
+	var n uint64
+	var err error
+	if n, rest, err = readLogUvarint(rest); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("online: delta log carries an empty release record")
+	}
+	if n > uint64(len(rest))+1 {
+		return nil, fmt.Errorf("online: delta log declares %d released balls but carries %d bytes", n, len(rest))
+	}
+	buf := a.chainStart('R')
+	pendingReleased := 0
+	for i := uint64(0); i < n; i++ {
+		var v uint64
+		if v, rest, err = readLogUvarint(rest); err != nil {
+			return nil, err
+		}
+		id := int64(v)
+		prev, wasLive := a.table.release(id)
+		if !wasLive {
+			return nil, fmt.Errorf("online: delta log releases ball %d, which is not live", id)
+		}
+		a.departed++
+		buf = appendI64(buf, id)
+		buf = appendI64(buf, int64(prev))
+		if prev >= 0 {
+			a.loads[prev]--
+			a.hist.dec(a.loads[prev] + 1)
+		} else {
+			pendingReleased++
+		}
+	}
+	if pendingReleased > 0 {
+		kept := a.pending[:0]
+		for _, pid := range a.pending {
+			if a.table.get(pid) == slotPending {
+				kept = append(kept, pid)
+			}
+		}
+		a.pending = kept
+	}
+	a.chainCommit(buf)
+	if ins := a.cfg.Ins; ins != nil {
+		ins.Released.Add(n)
+	}
+	return rest, nil
+}

@@ -55,6 +55,10 @@ type Snapshot struct {
 func (a *Allocator) Snapshot() *Snapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.snapshotLocked()
+}
+
+func (a *Allocator) snapshotLocked() *Snapshot {
 	// The paged table iterates in ascending ID order, which is exactly the
 	// canonical, diff-friendly serialization order.
 	placed := make([]Placement, 0, a.table.placed)

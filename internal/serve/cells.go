@@ -127,6 +127,9 @@ func (s *Service) AttachCell(g int, snap *online.Snapshot) error {
 	s.rebuildHosted()
 	s.startCell(c)
 	s.metrics.attaches.Inc()
+	if snap != nil {
+		s.metrics.migrations.Inc()
+	}
 	return nil
 }
 
@@ -148,14 +151,9 @@ func (s *Service) DetachCell(g int) (string, error) {
 	fp := c.alloc.Fingerprint()
 	s.byGlobal[g] = nil
 	s.rebuildHosted()
-	// Instantaneous gauges would otherwise freeze at their last values
-	// while the cell lives elsewhere.
-	ins := s.metrics.cellInstrumentation(g)
-	ins.Live.Set(0)
-	ins.Pending.Set(0)
-	ins.MaxLoad.Set(0)
-	ins.MinLoad.Set(0)
+	s.zeroCellGauges(g)
 	s.metrics.detaches.Inc()
+	s.metrics.migrations.Inc()
 	return fp, nil
 }
 

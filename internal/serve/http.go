@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -293,16 +294,35 @@ func NewBackendHandler(b Backend, reg *obs.Registry, hc HandlerConfig) *http.Ser
 //	                                            counters, Go runtime gauges
 //	GET  /cells                                 hosted cells (?fingerprint=1
 //	                                            adds full-state fingerprints)
-//	GET  /cells/snapshot?cell=g                 one cell's state as a binary
+//	GET  /cells/snapshot?cell=g                 one cell's state as a
 //	                                            wire.CellSnapshot frame
-//	POST /cells/attach                          attach a cell: binary
-//	                                            CellSnapshot frame restores a
-//	                                            migrated cell, JSON {"cell": g}
-//	                                            attaches a fresh one; the
-//	                                            X-PBA-Router / X-PBA-Self
-//	                                            headers set the evacuation
-//	                                            coordinates
+//	                                            (?proto=binary: the columnar
+//	                                            CellSnapshotBinary frame,
+//	                                            ~6 bytes per ball vs 25+ JSON)
+//	POST /cells/attach                          attach a cell: a CellSnapshot
+//	                                            or CellSnapshotBinary frame
+//	                                            restores a migrated cell, JSON
+//	                                            {"cell": g} attaches a fresh
+//	                                            one; the X-PBA-Router /
+//	                                            X-PBA-Self headers set the
+//	                                            evacuation coordinates
 //	POST /cells/detach {"cell": g}              detach -> {"cell", "fingerprint"}
+//	                                            ({"lite": true}: skip the
+//	                                            O(live) hash, return the O(1)
+//	                                            chain fingerprint instead)
+//
+// The two-phase migration family (see Service.BeginCellMigration for the
+// protocol; frames as above, errors 409 on topology conflicts):
+//
+//	POST /cells/migrate/begin {"cell", "proto"} snapshot + arm the delta log
+//	                                            -> snapshot frame
+//	POST /cells/migrate/cut   {"cell": g}       cut the log -> CellDelta frame
+//	POST /cells/migrate/abort {"cell": g}       drop the log ({"staged": true}:
+//	                                            discard this replica's staged
+//	                                            copy instead)
+//	POST /cells/stage                           snapshot frame -> staged cell
+//	POST /cells/commit                          CellDelta frame -> replay,
+//	                                            verify chain, enter topology
 //
 // Errors are JSON {"error": ...} with 400 (bad request or bad frame),
 // 405 (wrong method), 409 (topology conflict), 413 (body over the cap),
@@ -347,18 +367,24 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, "cell query parameter must be an integer: %v", err)
 			return
 		}
+		proto := r.URL.Query().Get("proto")
+		if proto != "" && proto != "json" && proto != "binary" {
+			httpError(w, http.StatusBadRequest, "proto must be json or binary, got %q", proto)
+			return
+		}
 		snap, err := s.CellSnapshot(g)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		doc, err := json.Marshal(snap)
+		frame, err := encodeSnapshotFrame(g, snap, proto == "binary")
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "encoding cell snapshot: %v", err)
 			return
 		}
+		s.metrics.snapshotBytes.Add(uint64(len(frame)))
 		w.Header()["Content-Type"] = wireCTValue
-		_, _ = w.Write(wire.AppendCellSnapshot(nil, g, doc))
+		_, _ = w.Write(frame)
 	})
 	mux.HandleFunc("/cells/attach", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -373,16 +399,12 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 				bodyError(w, err)
 				return
 			}
-			cell, doc, err := wire.ParseCellSnapshot(body)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad frame: %v", err)
-				return
-			}
-			cs, err := decodeCellSnapshot(doc)
+			cell, cs, err := parseSnapshotFrame(body)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
+			s.metrics.snapshotBytes.Add(uint64(len(body)))
 			if err := s.AttachCell(cell, cs); err != nil {
 				httpError(w, http.StatusConflict, "%v", err)
 				return
@@ -411,10 +433,20 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			return
 		}
 		var req struct {
-			Cell int `json:"cell"`
+			Cell int  `json:"cell"`
+			Lite bool `json:"lite"`
 		}
 		if err := readBody(w, r, &req); err != nil {
 			bodyError(w, err)
+			return
+		}
+		if req.Lite {
+			chain, err := s.DetachCellLite(req.Cell)
+			if err != nil {
+				httpError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			writeJSON(w, nil, map[string]any{"cell": req.Cell, "chain": chain})
 			return
 		}
 		fp, err := s.DetachCell(req.Cell)
@@ -423,6 +455,136 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			return
 		}
 		writeJSON(w, nil, map[string]any{"cell": req.Cell, "fingerprint": fp})
+	})
+	mux.HandleFunc("/cells/migrate/begin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Cell  int    `json:"cell"`
+			Proto string `json:"proto"`
+		}
+		if err := readBody(w, r, &req); err != nil {
+			bodyError(w, err)
+			return
+		}
+		if req.Proto != "" && req.Proto != "json" && req.Proto != "binary" {
+			httpError(w, http.StatusBadRequest, "proto must be json or binary, got %q", req.Proto)
+			return
+		}
+		snap, err := s.BeginCellMigration(req.Cell)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		// Default binary: the begin transfer is the O(live) bulk of the move.
+		frame, err := encodeSnapshotFrame(req.Cell, snap, req.Proto != "json")
+		if err != nil {
+			_ = s.AbortCellMigration(req.Cell)
+			httpError(w, http.StatusInternalServerError, "encoding cell snapshot: %v", err)
+			return
+		}
+		s.metrics.snapshotBytes.Add(uint64(len(frame)))
+		w.Header()["Content-Type"] = wireCTValue
+		_, _ = w.Write(frame)
+	})
+	mux.HandleFunc("/cells/migrate/cut", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Cell int `json:"cell"`
+		}
+		if err := readBody(w, r, &req); err != nil {
+			bodyError(w, err)
+			return
+		}
+		deltaLog, chainHex, err := s.CutCellMigration(req.Cell)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		chain, err := hex.DecodeString(chainHex)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "chain fingerprint %q is not hex: %v", chainHex, err)
+			return
+		}
+		frame := wire.AppendCellDelta(nil, req.Cell, chain, deltaLog)
+		s.metrics.snapshotBytes.Add(uint64(len(frame)))
+		w.Header()["Content-Type"] = wireCTValue
+		_, _ = w.Write(frame)
+	})
+	mux.HandleFunc("/cells/migrate/abort", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Cell   int  `json:"cell"`
+			Staged bool `json:"staged"`
+		}
+		if err := readBody(w, r, &req); err != nil {
+			bodyError(w, err)
+			return
+		}
+		var err error
+		if req.Staged {
+			err = s.DiscardStagedCell(req.Cell)
+		} else {
+			err = s.AbortCellMigration(req.Cell)
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, nil, map[string]any{"cell": req.Cell, "aborted": true})
+	})
+	mux.HandleFunc("/cells/stage", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		s.SetEvacuation(r.Header.Get(HeaderRouter), r.Header.Get(HeaderSelf))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSnapshotBody))
+		if err != nil {
+			bodyError(w, err)
+			return
+		}
+		cell, cs, err := parseSnapshotFrame(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.metrics.snapshotBytes.Add(uint64(len(body)))
+		if err := s.StageCell(cell, cs); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, nil, map[string]any{"cell": cell, "staged": true})
+	})
+	mux.HandleFunc("/cells/commit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSnapshotBody))
+		if err != nil {
+			bodyError(w, err)
+			return
+		}
+		cell, chain, deltaLog, err := wire.ParseCellDelta(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+			return
+		}
+		s.metrics.snapshotBytes.Add(uint64(len(body)))
+		if err := s.CommitStagedCell(cell, deltaLog, hex.EncodeToString(chain)); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, nil, map[string]any{"cell": cell, "committed": true})
 	})
 	return mux
 }
@@ -435,6 +597,50 @@ func decodeCellSnapshot(doc []byte) (*online.Snapshot, error) {
 		return nil, fmt.Errorf("decoding cell snapshot document: %w", err)
 	}
 	return &cs, nil
+}
+
+// encodeSnapshotFrame encodes one cell snapshot as a wire frame: the
+// columnar binary form when binaryProto, the readable JSON-document form
+// otherwise. Both restore identically; binary runs ~4x smaller.
+func encodeSnapshotFrame(cell int, snap *online.Snapshot, binaryProto bool) ([]byte, error) {
+	if binaryProto {
+		return wire.AppendCellSnapshotBinary(nil, cell, snap), nil
+	}
+	doc, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AppendCellSnapshot(nil, cell, doc), nil
+}
+
+// parseSnapshotFrame decodes either cell-snapshot frame kind — the JSON
+// document CellSnapshot or the columnar CellSnapshotBinary — so every
+// snapshot-accepting endpoint speaks both protocol versions.
+func parseSnapshotFrame(body []byte) (int, *online.Snapshot, error) {
+	kind, err := wire.Kind(body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad frame: %w", err)
+	}
+	switch kind {
+	case wire.KindCellSnapshot:
+		cell, doc, err := wire.ParseCellSnapshot(body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad frame: %w", err)
+		}
+		cs, err := decodeCellSnapshot(doc)
+		if err != nil {
+			return 0, nil, err
+		}
+		return cell, cs, nil
+	case wire.KindCellSnapshotBinary:
+		cell, cs, err := wire.ParseCellSnapshotBinary(body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad frame: %w", err)
+		}
+		return cell, cs, nil
+	default:
+		return 0, nil, fmt.Errorf("frame kind 0x%02x is not a cell snapshot", kind)
+	}
 }
 
 // backendMux builds the shared data-plane mux over a Backend.

@@ -60,6 +60,10 @@ type metrics struct {
 	attaches     *obs.Counter // cells attached (fresh or restored from migration)
 	detaches     *obs.Counter // cells detached (migrated away)
 
+	migrations     *obs.Counter   // cell migrations this replica took part in
+	migrationPause *obs.Histogram // per-cell write pause, delta cut -> handoff
+	snapshotBytes  *obs.Counter   // snapshot + delta bytes shipped over /cells
+
 	// insMu guards cellIns, the per-global-cell Instrumentation cache: a
 	// cell that detaches and later re-attaches (migration round trip) must
 	// reuse its instrument set — the registry panics on duplicate series.
@@ -97,6 +101,9 @@ func newMetrics() *metrics {
 		inlineEpochs:   reg.Counter("pba_inline_epochs_total", "Epochs run inline on the single-shard fast path, bypassing the batcher."),
 		attaches:       reg.Counter("pba_cell_attaches_total", "Cells attached to this replica (fresh or restored)."),
 		detaches:       reg.Counter("pba_cell_detaches_total", "Cells detached from this replica."),
+		migrations:     reg.Counter("pba_migrations_total", "Cell migrations this replica took part in (shipped out or restored in)."),
+		migrationPause: reg.DurationHistogram("pba_migration_pause_seconds", "Per-cell write pause during a two-phase migration: delta-log cut to cell handoff."),
+		snapshotBytes:  reg.Counter("pba_snapshot_bytes_total", "Cell snapshot and delta bytes shipped through the /cells endpoints."),
 		cellIns:        map[int]*online.Instrumentation{},
 	}
 	obs.RegisterRuntime(reg)

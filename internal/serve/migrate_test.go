@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// migrateTwoPhase moves global cell g from replica src to replica dst via
+// the bounded-pause seam: begin/stage while serving, then cut, commit
+// (chain-verified) and detach-lite. mid runs between stage and cut — the
+// traffic it drives becomes the delta log.
+func (d *clusterDriver) migrateTwoPhase(g, src, dst int, mid func()) {
+	d.t.Helper()
+	snap, err := d.replicas[src].BeginCellMigration(g)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if err := d.replicas[dst].StageCell(g, snap); err != nil {
+		d.t.Fatal(err)
+	}
+	if mid != nil {
+		mid()
+	}
+	deltaLog, chain, err := d.replicas[src].CutCellMigration(g)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if err := d.replicas[dst].CommitStagedCell(g, deltaLog, chain); err != nil {
+		d.t.Fatal(err)
+	}
+	liteChain, err := d.replicas[src].DetachCellLite(g)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if liteChain != chain {
+		d.t.Fatalf("cell %d source chain %s != cut chain %s", g, liteChain, chain)
+	}
+	d.hostOf[g] = dst
+}
+
+// TestTwoPhaseMigrationMatchesSingleProcess: a cluster run whose cells
+// move via the two-phase seam — with traffic landing on the migrating
+// cell between snapshot and cut, so the delta log is exercised —
+// replays ID-for-ID and fingerprint-identical to a single process.
+func TestTwoPhaseMigrationMatchesSingleProcess(t *testing.T) {
+	const n, cells, seed = 40, 4, 23
+	single, err := New(Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	r0, err := New(Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed, Host: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r0.Close()
+	r1, err := New(Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed, Host: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+
+	d := newClusterDriver(t, seed, n, cells, []*Service{r0, r1}, []int{0, 0, 1, 1})
+	var singleLive, clusterLive []int64
+	step := func(arrive, release int) {
+		t.Helper()
+		if release > 0 {
+			sGot := single.Release(singleLive[:release])
+			cGot := d.release(clusterLive[:release])
+			if sGot != release || cGot != release {
+				t.Fatalf("released single=%d cluster=%d, want %d", sGot, cGot, release)
+			}
+			singleLive = singleLive[release:]
+			clusterLive = clusterLive[release:]
+		}
+		srep, err := single.Allocate(arrive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sIDs := srep.IDs()
+		cIDs := d.allocate(arrive)
+		if len(sIDs) != len(cIDs) {
+			t.Fatalf("admitted %d cluster IDs, single admitted %d", len(cIDs), len(sIDs))
+		}
+		for j := range sIDs {
+			if sIDs[j] != cIDs[j] {
+				t.Fatalf("id %d: cluster %d != single %d", j, cIDs[j], sIDs[j])
+			}
+		}
+		singleLive = append(singleLive, sIDs...)
+		clusterLive = append(clusterLive, cIDs...)
+	}
+
+	step(400, 0)
+	step(300, 100)
+	// Cell 1 moves 0 -> 1 while three steps' worth of traffic keeps
+	// landing on it; that traffic ships as the delta.
+	d.migrateTwoPhase(1, 0, 1, func() {
+		step(200, 150)
+		step(0, 50)
+		step(250, 0)
+	})
+	step(100, 200)
+	// An idle migration back: the delta log is empty, the move still exact.
+	d.migrateTwoPhase(1, 1, 0, nil)
+	step(150, 80)
+
+	want := single.Fingerprint()
+	if got := d.fingerprint(n, cells, "aheavy"); got != want {
+		t.Fatalf("cluster fingerprint %s != single-process %s", got, want)
+	}
+	if hosted := r0.HostedCells(); len(hosted) != 2 || hosted[0] != 0 || hosted[1] != 1 {
+		t.Fatalf("replica 0 hosts %v, want [0 1]", hosted)
+	}
+}
+
+// TestTwoPhaseMigrationErrors: every misuse of the staged seam fails
+// loudly and leaves the source authoritative.
+func TestTwoPhaseMigrationErrors(t *testing.T) {
+	const n, cells, seed = 40, 4, 31
+	r0, err := New(Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed, Host: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r0.Close()
+	r1, err := New(Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed, Host: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	d := newClusterDriver(t, seed, n, cells, []*Service{r0, r1}, []int{0, 0, 1, 1})
+	d.allocate(300)
+
+	if _, err := r0.BeginCellMigration(2); err == nil {
+		t.Error("begin accepted an unhosted cell")
+	}
+	if _, _, err := r0.CutCellMigration(1); err == nil {
+		t.Error("cut accepted with no delta log armed")
+	}
+	if err := r1.StageCell(2, nil); err == nil {
+		t.Error("stage accepted a nil snapshot")
+	}
+	if err := r1.CommitStagedCell(1, nil, ""); err == nil || !strings.Contains(err.Error(), "not staged") {
+		t.Errorf("commit without stage: %v", err)
+	}
+	if err := r1.DiscardStagedCell(1); err == nil {
+		t.Error("discard accepted an unstaged cell")
+	}
+	if _, err := r1.DetachCellLite(1); err == nil {
+		t.Error("lite detach accepted an unhosted cell")
+	}
+
+	snap, err := r0.BeginCellMigration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The staged copy refuses the wrong slot and double-staging.
+	if err := r1.StageCell(0, snap); err == nil {
+		t.Error("stage accepted a snapshot for the wrong cell")
+	}
+	if err := r1.StageCell(1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.StageCell(1, snap); err == nil {
+		t.Error("double stage accepted")
+	}
+	// Traffic during the transfer, then a commit against a corrupted
+	// chain: the staged copy is discarded, the source still serves.
+	d.allocate(200)
+	deltaLog, chain, err := r0.CutCellMigration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := "00" + chain[2:]
+	if err := r1.CommitStagedCell(1, deltaLog, wrong); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Errorf("commit accepted a diverged chain: %v", err)
+	}
+	if err := r1.CommitStagedCell(1, deltaLog, chain); err == nil {
+		t.Error("commit accepted after the failed commit discarded the staged copy")
+	}
+	d.allocate(100) // source cell 1 still serves
+
+	// A clean retry of the whole two-phase move still works.
+	d.migrateTwoPhase(1, 0, 1, func() { d.allocate(150) })
+	d.allocate(100)
+
+	// Abort path: begin then abort leaves the cell serving; a fresh
+	// migration can start afterwards.
+	if _, err := r1.BeginCellMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.AbortCellMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	d.allocate(100)
+	// Stage then discard on the destination.
+	snap, err = r1.BeginCellMigration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.StageCell(1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.DiscardStagedCell(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.AbortCellMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	d.allocate(100)
+}
+
+// TestBinarySnapshotFile: the "PBAB" disk format round-trips through
+// LoadSnapshot's sniffing, restores to the identical fingerprint as the
+// JSON format, and is substantially smaller.
+func TestBinarySnapshotFile(t *testing.T) {
+	s, err := New(Config{N: 64, Shards: 4, Alg: "aheavy", Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Allocate(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(rep.IDs()[:1500])
+	if _, err := s.Allocate(800); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "snap.json")
+	binPath := filepath.Join(dir, "snap.bin")
+	if err := s.SaveSnapshotProto(jsonPath, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshotProto(binPath, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshotProto(binPath, "bogus"); err == nil {
+		t.Error("bogus snapshot proto accepted")
+	}
+
+	js, err := os.Stat(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := os.Stat(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Size()*2 >= js.Size() {
+		t.Errorf("binary snapshot %d bytes, json %d: want at least 2x smaller", bs.Size(), js.Size())
+	}
+
+	want := s.Fingerprint()
+	for _, path := range []string{jsonPath, binPath} {
+		snap, err := LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if snap.Fingerprint != want {
+			t.Fatalf("%s: snapshot fingerprint %s != live %s", path, snap.Fingerprint, want)
+		}
+		restored, err := Restore(snap, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got := restored.Fingerprint()
+		restored.Close()
+		if got != want {
+			t.Fatalf("%s: restored fingerprint %s != live %s", path, got, want)
+		}
+	}
+
+	// Corrupted binary files fail loudly.
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshotBinary(data[:len(data)-1]); err == nil {
+		t.Error("truncated binary snapshot accepted")
+	}
+	if _, err := DecodeSnapshotBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("binary snapshot with trailing bytes accepted")
+	}
+}

@@ -109,6 +109,14 @@ type Service struct {
 	evacMu    sync.Mutex
 	routerURL string
 	selfURL   string
+
+	// Staged-migration state (see migrate.go): staged holds cells restored
+	// from a phase-1 snapshot but not yet committed into the topology;
+	// cutAt records when each outbound cell's delta log was cut, anchoring
+	// the migration-pause histogram.
+	stagedMu sync.Mutex
+	staged   map[int]*online.Allocator
+	cutAt    map[int]time.Time
 }
 
 // cellAllocator is the allocator surface a cell consumes; *online.Allocator
@@ -122,7 +130,13 @@ type cellAllocator interface {
 	Stats() online.Stats
 	StatsLite() online.Stats
 	Fingerprint() string
+	ChainFingerprint() string
 	Snapshot() *online.Snapshot
+	// The two-phase migration surface (see migrate.go): capture a snapshot
+	// and start recording a delta log, cut the log, or abort it.
+	SnapshotAndLog() (*online.Snapshot, error)
+	CutDeltaLog() (log []byte, chainHex string, err error)
+	AbortDeltaLog()
 }
 
 // cell is one shard: a contiguous range of bins owned by one allocator.
@@ -246,24 +260,54 @@ func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*onli
 		byGlobal: make([]*cell, cfg.Shards),
 		weights:  CellWeights(cfg.N, cfg.Shards),
 		metrics:  newMetrics(), started: time.Now(),
+		staged: map[int]*online.Allocator{},
+		cutAt:  map[int]time.Time{},
 	}
 	s.relPool.New = func() any {
 		return &releaseBufs{perCell: make([][]int64, s.total)}
 	}
 	s.allocPool.New = func() any { return s.newAllocScratch() }
+	seen := make([]bool, s.total)
 	for _, g := range host {
 		if g < 0 || g >= s.total {
 			return nil, fmt.Errorf("serve: host cell %d out of range [0, %d)", g, s.total)
 		}
-		if s.byGlobal[g] != nil {
+		if seen[g] {
 			return nil, fmt.Errorf("serve: host cell %d listed twice", g)
 		}
-		binBase, cellN := cellBins(cfg.N, s.total, g)
-		alloc, err := mk(g, cellN, s.metrics.cellInstrumentation(g))
+		seen[g] = true
+	}
+	// Cells construct in parallel: a restore rebuilds each cell's placement
+	// table and verifies its fingerprint, O(live) hashing work that is
+	// independent per cell, so a many-cell boot costs the slowest cell
+	// rather than the sum.
+	allocs := make([]*online.Allocator, len(host))
+	errs := make([]error, len(host))
+	if len(host) <= 1 {
+		for hi, g := range host {
+			_, cellN := cellBins(cfg.N, s.total, g)
+			allocs[hi], errs[hi] = mk(g, cellN, s.metrics.cellInstrumentation(g))
+		}
+	} else {
+		var wg sync.WaitGroup
+		for hi, g := range host {
+			wg.Add(1)
+			go func(hi, g int) {
+				defer wg.Done()
+				_, cellN := cellBins(cfg.N, s.total, g)
+				allocs[hi], errs[hi] = mk(g, cellN, s.metrics.cellInstrumentation(g))
+			}(hi, g)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		s.byGlobal[g] = s.newCell(g, binBase, cellN, alloc)
+	}
+	for hi, g := range host {
+		binBase, cellN := cellBins(cfg.N, s.total, g)
+		s.byGlobal[g] = s.newCell(g, binBase, cellN, allocs[hi])
 	}
 	s.rebuildHosted()
 	for _, c := range s.cells {

@@ -41,6 +41,16 @@
 //	                     document (online.Snapshot) verbatim — the framing
 //	                     and cell addressing are binary, the state document
 //	                     stays the one self-verifying JSON serialization
+//	CellSnapshotBinary   u32 cell | the columnar varint snapshot document
+//	                     (see snapshot.go) — same fields as the JSON
+//	                     document at a fraction of the bytes per ball;
+//	                     replicas accept either kind, so the two formats
+//	                     are version-negotiated by the frame kind byte
+//	CellDelta            u32 cell | u8 chain_len | chain | delta-log bytes
+//	                     — the paused tail of a two-phase cell migration:
+//	                     the epochs the source ran after its snapshot was
+//	                     shipped, plus the chain digest the destination
+//	                     must land on after replaying them
 //
 // # Equivalence guarantee
 //
@@ -76,6 +86,8 @@ const (
 	KindReleaseReply        = 0x04
 	KindCellAllocateRequest = 0x05
 	KindCellSnapshot        = 0x06
+	KindCellSnapshotBinary  = 0x07
+	KindCellDelta           = 0x08
 )
 
 // flagTerse asks the server to drop per-ball placements from the reply,

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"math/rand"
 	"testing"
+
+	"repro/internal/online"
 )
 
 // TestGoldenFrames pins the byte-exact encoding of each frame type. A
@@ -367,6 +369,13 @@ func FuzzParse(f *testing.F) {
 	}, false))
 	f.Add(AppendCellAllocateRequest(nil, []CellCount{{Cell: 0, Count: 128}, {Cell: 3, Count: 1}}, false))
 	f.Add(AppendCellSnapshot(nil, 2, []byte(`{"version":1}`)))
+	f.Add(AppendCellSnapshotBinary(nil, 1, &online.Snapshot{
+		Version: 1, N: 4, Alg: "aheavy", NextID: 5, Arrived: 5, Departed: 1,
+		Placed:      []Placement{{ID: 0, Bin: 1}, {ID: 1, Bin: 0}, {ID: 3, Bin: 2}},
+		Pending:     []int64{4},
+		Fingerprint: "f", Chain: "aa",
+	}))
+	f.Add(AppendCellDelta(nil, 3, bytes.Repeat([]byte{7}, ChainSize), []byte{'A', 0, 0, 0}))
 	f.Add([]byte{})
 	f.Add([]byte{5, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -393,6 +402,16 @@ func FuzzParse(f *testing.F) {
 		if cell, doc, err := ParseCellSnapshot(data); err == nil {
 			if got := AppendCellSnapshot(nil, cell, doc); !bytes.Equal(got, data) {
 				t.Errorf("cell snapshot not canonical: %x -> %x", data, got)
+			}
+		}
+		if cell, snap, err := ParseCellSnapshotBinary(data); err == nil {
+			if got := AppendCellSnapshotBinary(nil, cell, snap); !bytes.Equal(got, data) {
+				t.Errorf("binary cell snapshot not canonical: %x -> %x", data, got)
+			}
+		}
+		if cell, chain, dlog, err := ParseCellDelta(data); err == nil {
+			if got := AppendCellDelta(nil, cell, chain, dlog); !bytes.Equal(got, data) {
+				t.Errorf("cell delta not canonical: %x -> %x", data, got)
 			}
 		}
 		var rep Report

@@ -25,12 +25,15 @@
 //
 //	... | go run ./tools/benchjson -merge serve_stages=stages.json > BENCH_pr6.json
 //
-// -ratio key=refA|refB (repeatable) records ns_per_op(refA)/ns_per_op(refB)
-// under a top-level "ratios" object. A ref is a benchmark name, optionally
-// "@N" to pin gomaxprocs; a ref matching zero or several records is an
-// error. CI uses this for the shards=4-vs-1 record:
+// -ratio key=[metric:]refA|refB (repeatable) records refA's metric divided
+// by refB's under a top-level "ratios" object — ns_per_op unless a
+// "metric:" prefix picks another column (fixed or b.ReportMetric). A ref
+// is a benchmark name, optionally "@N" to pin gomaxprocs; a ref matching
+// zero or several records is an error. CI uses this for the shards=4-vs-1
+// record and for the snapshot-format size quotient:
 //
 //	-ratio 'shards4_vs_1_latency=ServeThroughput/proto=binary/shards=4@4|ServeThroughput/proto=binary/shards=1@4'
+//	-ratio 'binary_vs_json_snapshot_bytes=bytes_per_ball:SnapshotEncode/proto=binary@1|SnapshotEncode/proto=json@1'
 //
 // -assert-le 'metric:refA<=refB' (repeatable) exits 1 when refA's metric
 // exceeds refB's — the regression gate CI uses to fail loudly if the
@@ -258,15 +261,20 @@ func (r Result) metric(key string) (float64, bool) {
 	return v, ok
 }
 
-// computeRatios evaluates -ratio key=refA|refB pairs into a map of
-// ns_per_op quotients.
+// computeRatios evaluates -ratio key=[metric:]refA|refB pairs into a map
+// of metric quotients (ns_per_op without an explicit metric; benchmark
+// names never contain ':', so the prefix is unambiguous).
 func computeRatios(pairs listFlag, results []Result) (map[string]float64, error) {
 	ratios := make(map[string]float64, len(pairs))
 	for _, pair := range pairs {
 		key, refs, ok := strings.Cut(pair, "=")
 		refA, refB, ok2 := strings.Cut(refs, "|")
 		if !ok || !ok2 || key == "" {
-			return nil, fmt.Errorf("-ratio wants key=refA|refB, got %q", pair)
+			return nil, fmt.Errorf("-ratio wants key=[metric:]refA|refB, got %q", pair)
+		}
+		metric := "ns_per_op"
+		if m, rest, hasMetric := strings.Cut(refA, ":"); hasMetric {
+			metric, refA = m, rest
 		}
 		a, err := findResult(results, refA)
 		if err != nil {
@@ -276,10 +284,18 @@ func computeRatios(pairs listFlag, results []Result) (map[string]float64, error)
 		if err != nil {
 			return nil, err
 		}
-		if b.NsPerOp == 0 {
-			return nil, fmt.Errorf("-ratio %s: %q has ns_per_op 0", key, refB)
+		va, okA := a.metric(metric)
+		vb, okB := b.metric(metric)
+		if !okA {
+			return nil, fmt.Errorf("-ratio %s: %q has no metric %q", key, refA, metric)
 		}
-		ratios[key] = a.NsPerOp / b.NsPerOp
+		if !okB {
+			return nil, fmt.Errorf("-ratio %s: %q has no metric %q", key, refB, metric)
+		}
+		if vb == 0 {
+			return nil, fmt.Errorf("-ratio %s: %q has %s 0", key, refB, metric)
+		}
+		ratios[key] = va / vb
 	}
 	return ratios, nil
 }
@@ -463,7 +479,7 @@ func main() {
 	var merges mergeFlags
 	var ratios, asserts listFlag
 	flag.Var(&merges, "merge", "key=file: embed file's JSON under a top-level key (repeatable)")
-	flag.Var(&ratios, "ratio", "key=refA|refB: record ns_per_op(refA)/ns_per_op(refB) under ratios.key (refs accept name@gomaxprocs; repeatable)")
+	flag.Var(&ratios, "ratio", "key=[metric:]refA|refB: record refA's metric / refB's (default ns_per_op) under ratios.key (refs accept name@gomaxprocs; repeatable)")
 	flag.Var(&asserts, "assert-le", "metric:refA<=refB: exit 1 unless refA's metric <= refB's (refs accept a factor* prefix; repeatable)")
 	trend := flag.Bool("trend", false, "compare two benchjson files (old.json new.json as arguments) instead of parsing stdin; exit 1 on regression")
 	noise := flag.Float64("noise", 0.20, "trend mode: relative band a metric may drift before it counts as a regression")

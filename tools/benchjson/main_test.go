@@ -113,7 +113,24 @@ func TestComputeRatios(t *testing.T) {
 	if got := ratios["shards4_vs_1"]; got != 100.0/300.0 {
 		t.Fatalf("ratio %v", got)
 	}
-	for _, bad := range []string{"noequals", "k=onlyoneref", "=a|b", "k=a|NoSuch@1"} {
+
+	// A metric: prefix divides that column instead of ns_per_op.
+	sized := []Result{
+		{Name: "SnapshotEncode/proto=binary", Gomaxprocs: 1, NsPerOp: 10, Extra: map[string]float64{"bytes_per_ball": 2}},
+		{Name: "SnapshotEncode/proto=json", Gomaxprocs: 1, NsPerOp: 50, Extra: map[string]float64{"bytes_per_ball": 26}},
+	}
+	ratios, err = computeRatios(listFlag{
+		"binary_vs_json_snapshot_bytes=bytes_per_ball:SnapshotEncode/proto=binary@1|SnapshotEncode/proto=json@1",
+	}, sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ratios["binary_vs_json_snapshot_bytes"]; got != 2.0/26.0 {
+		t.Fatalf("metric ratio %v", got)
+	}
+
+	for _, bad := range []string{"noequals", "k=onlyoneref", "=a|b", "k=a|NoSuch@1",
+		"k=nosuchmetric:ServeThroughput/proto=binary/shards=4@4|ServeThroughput/proto=binary/shards=1@4"} {
 		if _, err := computeRatios(listFlag{bad}, results); err == nil {
 			t.Errorf("malformed -ratio %q accepted", bad)
 		}
