@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -146,6 +150,150 @@ func clustergen(cfg clustergenConfig) error {
 	}
 	fmt.Printf("cluster check: OK — %d batches, %d live balls, %d migration(s), fingerprint %s identical to single process\n",
 		cfg.Batches, len(live), migrations, clusterFP)
+	return nil
+}
+
+// clustersoak is the -cluster -clients soak mode: clients concurrent
+// churn traces against a running pba-router (batching or not — the
+// router decides), with no single-process replay. The deliverables are
+// the client-side latency distribution, reported per client so a
+// straggler is visible rather than averaged away, and the router's
+// group-commit telemetry scraped from /metrics as a before/after delta:
+// per-upstream batch frames, the batch-size histogram (mean subs per
+// frame), and the flush-reason split. All live balls are drained at the
+// end so repeated soaks start from the same census.
+func clustersoak(cfg clustergenConfig, clients int) error {
+	if cfg.Batches < 1 || cfg.Batch < 1 {
+		return fmt.Errorf("cluster soak needs batches and batch >= 1")
+	}
+	if !(cfg.Churn >= 0 && cfg.Churn < 1) {
+		return fmt.Errorf("cluster soak needs churn in [0, 1), got %v", cfg.Churn)
+	}
+	if cfg.Proto != protoJSON && cfg.Proto != protoBinary {
+		return fmt.Errorf("cluster soak needs -proto json or binary, got %q", cfg.Proto)
+	}
+	client := &http.Client{
+		Timeout:   5 * time.Minute,
+		Transport: &http.Transport{MaxIdleConnsPerHost: clients},
+	}
+	if err := waitHealthy(client, cfg.Base, 5*time.Second); err != nil {
+		return err
+	}
+	var st struct {
+		Clustered bool `json:"clustered"`
+	}
+	if err := getJSON(client, cfg.Base+"/stats", &st); err != nil {
+		return err
+	}
+	if !st.Clustered {
+		return fmt.Errorf("%s is not a pba-router (/stats has no cluster shape); point -cluster at the router", cfg.Base)
+	}
+	before, err := scrapeMetrics(client, cfg.Base)
+	if err != nil {
+		fmt.Printf("cluster soak: no router metrics (%v); client-side report only\n", err)
+	}
+
+	fmt.Printf("cluster soak: %d clients x %d batches x %d jobs, churn %.2f, proto %s -> %s\n",
+		clients, cfg.Batches, cfg.Batch, cfg.Churn, cfg.Proto, cfg.Base)
+	lcfg := loadgenConfig{
+		Base: cfg.Base, Clients: clients, Batches: cfg.Batches,
+		Batch: cfg.Batch, Churn: cfg.Churn, Seed: cfg.Seed,
+		Proto: cfg.Proto, Pipeline: cfg.Pipeline,
+	}
+	hists := make([]*obs.Histogram, clients)
+	for i := range hists {
+		hists[i] = &obs.Histogram{}
+	}
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = runClient(client, lcfg, c, false, hists[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for c, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", c, err)
+		}
+	}
+
+	var merged obs.Histogram
+	for c, h := range hists {
+		v := h.View()
+		fmt.Printf("client %-3d epochs %-6d p50 %-10s p95 %-10s p99 %-10s max %s\n",
+			c, v.Count,
+			time.Duration(v.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(v.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(v.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(v.Max).Round(time.Microsecond))
+		merged.Merge(h)
+	}
+	mv := merged.View()
+	balls := int64(mv.Count) * int64(cfg.Batch)
+	fmt.Printf("throughput: %d epochs, %d balls in %s -> %.1f epochs/s, %.0f balls/s\n",
+		mv.Count, balls, elapsed.Round(time.Millisecond),
+		float64(mv.Count)/elapsed.Seconds(), float64(balls)/elapsed.Seconds())
+
+	if before != nil {
+		if err := reportUpstreamBatching(client, cfg.Base, before); err != nil {
+			fmt.Printf("cluster soak: batching telemetry unavailable: %v\n", err)
+		}
+	}
+	return nil
+}
+
+// reportUpstreamBatching scrapes the router's /metrics again and prints
+// this run's group-commit telemetry per upstream: frames flushed, subs
+// carried (the batch-size histogram's count and sum), mean subs per
+// frame, and the flush-reason split. A router running unbatched exposes
+// no pba_upstream series; say so instead of printing an empty table.
+func reportUpstreamBatching(client *http.Client, base string, before *obs.Scrape) error {
+	after, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	delta := func(key string) float64 {
+		v := after.Values[key]
+		if before != nil {
+			v -= before.Values[key]
+		}
+		return v
+	}
+	const prefix = `pba_upstream_frames_total{upstream="`
+	var hosts []string
+	for key := range after.Values {
+		if strings.HasPrefix(key, prefix) {
+			hosts = append(hosts, strings.TrimSuffix(key[len(prefix):], `"}`))
+		}
+	}
+	if len(hosts) == 0 {
+		fmt.Printf("router batching: off (no pba_upstream series; start the router with -upstream-batch)\n")
+		return nil
+	}
+	sort.Strings(hosts)
+	fmt.Printf("router batching (this run, from /metrics):\n")
+	fmt.Printf("  %-22s %8s %8s %10s %8s %8s %8s\n",
+		"upstream", "frames", "subs", "subs/frame", "full", "window", "drain")
+	for _, h := range hosts {
+		l := `{upstream="` + h + `"`
+		frames := delta("pba_upstream_frames_total" + l + `}`)
+		flushes := delta("pba_upstream_batch_size_count" + l + `}`)
+		subs := delta("pba_upstream_batch_size_sum" + l + `}`)
+		mean := 0.0
+		if flushes > 0 {
+			mean = subs / flushes
+		}
+		fmt.Printf("  %-22s %8.0f %8.0f %10.2f %8.0f %8.0f %8.0f\n",
+			h, frames, subs, mean,
+			delta("pba_upstream_flush_total"+l+`,reason="full"}`),
+			delta("pba_upstream_flush_total"+l+`,reason="window"}`),
+			delta("pba_upstream_flush_total"+l+`,reason="drain"}`))
+	}
 	return nil
 }
 

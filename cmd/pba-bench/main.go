@@ -38,6 +38,18 @@
 // not perturb either stream.
 //
 //	pba-bench -cluster http://127.0.0.1:9100 -batches 20 -batch 2000 -churn 0.3 -migrate-every 5
+//
+// With -cluster and -clients > 1 it becomes a concurrent soak against
+// the router instead (no sequential replay — concurrency voids the
+// fixed-trace contract): each client plays its own churn trace over a
+// pipelined connection, per-client epoch-latency percentiles
+// (p50/p95/p99) are printed alongside the aggregate throughput, and the
+// router's group-commit telemetry — the per-upstream batch-size
+// histogram, frame counts, and flush reasons — is scraped from /metrics
+// before and after the run. Point it at a router started with
+// -upstream-batch to watch the coalescing window engage.
+//
+//	pba-bench -cluster http://127.0.0.1:9100 -clients 8 -batches 50 -batch 512 -churn 0.3 -proto binary
 package main
 
 import (
@@ -77,11 +89,17 @@ func main() {
 	flag.Parse()
 
 	if *clusterURL != "" {
-		err := clustergen(clustergenConfig{
+		cfg := clustergenConfig{
 			Base: *clusterURL, Batches: *batches, Batch: *batch,
 			Churn: *churn, Seed: *baseSeed, Proto: *proto,
 			Pipeline: *pipeline, MigrateEvery: *migEvery,
-		})
+		}
+		var err error
+		if *clients > 1 {
+			err = clustersoak(cfg, *clients)
+		} else {
+			err = clustergen(cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pba-bench: cluster: %v\n", err)
 			os.Exit(1)

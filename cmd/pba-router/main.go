@@ -68,32 +68,60 @@ func main() {
 		rebEvery  = flag.Duration("rebalance-every", 0, "load-rebalance check period (0 disables)")
 		rebRatio  = flag.Float64("rebalance-ratio", 2, "migrate when the busiest replica's live count exceeds ratio x the least busy")
 		rebGap    = flag.Int64("rebalance-gap", 256, "minimum live-ball gap before rebalancing (keeps near-empty clusters still)")
+		upBatch   = flag.Bool("upstream-batch", false, "group-commit upstream forwarding: one pipelined writer per replica coalesces concurrent requests into multi-request batch frames")
+		batchMinW = flag.Duration("batch-min-window", 0, "group commit: lower clamp on the adaptive coalescing window (0 = built-in default)")
+		batchMaxW = flag.Duration("batch-max-window", 0, "group commit: upper clamp on the adaptive coalescing window (0 = built-in default)")
 		verbose   = flag.Bool("v", false, "log per-request progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*addr, *upstreams, *n, *cells, *alg, *seed, *selfURL, *pool, *rebEvery, *rebRatio, *rebGap, *verbose); err != nil {
+	if err := run(routerConfig{
+		addr: *addr, upstreams: *upstreams, n: *n, cells: *cells, alg: *alg,
+		seed: *seed, selfURL: *selfURL, pool: *pool,
+		rebEvery: *rebEvery, rebRatio: *rebRatio, rebGap: *rebGap,
+		upBatch: *upBatch, batchMinW: *batchMinW, batchMaxW: *batchMaxW,
+		verbose: *verbose,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "pba-router: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, upstreams string, n, cells int, alg string, seed uint64, selfURL string, pool int, rebEvery time.Duration, rebRatio float64, rebGap int64, verbose bool) error {
-	if upstreams == "" {
+// routerConfig carries the parsed flags into run.
+type routerConfig struct {
+	addr, upstreams      string
+	n, cells             int
+	alg                  string
+	seed                 uint64
+	selfURL              string
+	pool                 int
+	rebEvery             time.Duration
+	rebRatio             float64
+	rebGap               int64
+	upBatch              bool
+	batchMinW, batchMaxW time.Duration
+	verbose              bool
+}
+
+func run(rc routerConfig) error {
+	if rc.upstreams == "" {
 		return fmt.Errorf("-upstreams is required")
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", rc.addr)
 	if err != nil {
 		return err
 	}
-	if selfURL == "" {
-		selfURL = "http://" + ln.Addr().String()
+	if rc.selfURL == "" {
+		rc.selfURL = "http://" + ln.Addr().String()
 	}
 	r, err := cluster.New(cluster.Config{
-		N: n, Cells: cells, Alg: alg, Seed: seed,
-		Upstreams: strings.Split(upstreams, ","),
-		SelfURL:   selfURL,
-		PoolSize:  pool,
-		Terse:     false,
+		N: rc.n, Cells: rc.cells, Alg: rc.alg, Seed: rc.seed,
+		Upstreams:      strings.Split(rc.upstreams, ","),
+		SelfURL:        rc.selfURL,
+		PoolSize:       rc.pool,
+		Terse:          false,
+		UpstreamBatch:  rc.upBatch,
+		BatchMinWindow: rc.batchMinW,
+		BatchMaxWindow: rc.batchMaxW,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("pba-router: "+format+"\n", args...)
 		},
@@ -103,26 +131,30 @@ func run(addr, upstreams string, n, cells int, alg string, seed uint64, selfURL 
 		return err
 	}
 	defer r.Close()
-	fmt.Printf("pba-router: listening on %s (n=%d cells=%d alg=%s seed=%d upstreams=%d)\n",
-		ln.Addr(), r.N(), r.Cells(), r.Alg(), r.Seed(), len(strings.Split(upstreams, ",")))
+	forwarding := "fan-out"
+	if rc.upBatch {
+		forwarding = "group-commit"
+	}
+	fmt.Printf("pba-router: listening on %s (n=%d cells=%d alg=%s seed=%d upstreams=%d forwarding=%s)\n",
+		ln.Addr(), r.N(), r.Cells(), r.Alg(), r.Seed(), len(strings.Split(rc.upstreams, ",")), forwarding)
 
-	mux := serve.NewBackendHandler(r, r.Metrics(), serve.HandlerConfig{Verbose: verbose})
+	mux := serve.NewBackendHandler(r, r.Metrics(), serve.HandlerConfig{Verbose: rc.verbose})
 	mountAdmin(mux, r)
 	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	stopReb := make(chan struct{})
-	if rebEvery > 0 {
+	if rc.rebEvery > 0 {
 		go func() {
-			t := time.NewTicker(rebEvery)
+			t := time.NewTicker(rc.rebEvery)
 			defer t.Stop()
 			for {
 				select {
 				case <-stopReb:
 					return
 				case <-t.C:
-					moved, err := r.RebalanceOnce(rebRatio, rebGap)
+					moved, err := r.RebalanceOnce(rc.rebRatio, rc.rebGap)
 					if err != nil {
 						fmt.Printf("pba-router: rebalance: %v\n", err)
 					} else if moved {

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Upstream group commit: with Config.UpstreamBatch on, each upstream's
+// connection is owned by a single writer goroutine. Forwards submit
+// their share of a round to the writer's queue and wait; the writer
+// drains whatever has queued up, holds an adaptive window open when
+// sustained concurrency makes coalescing pay, and flushes the whole
+// group as one KindBatchRequest frame — many concurrent client requests
+// become one upstream round trip, so upstream frames/s grows with
+// replicas/window instead of client concurrency. Replies demux back to
+// the waiting callers by sequence tag.
+//
+// The flush policy mirrors the replica's cell batcher (serve.cellLoop):
+// an EWMA of the submission gap and of subs-per-flush decides whether a
+// window engages at all, so a sequential caller — one request in flight
+// at a time — always sees an immediate single-sub flush and pays zero
+// added latency. That also keeps the determinism contract intact: a
+// sequential replay produces one-sub batch frames whose sub-requests
+// are byte-identical to the unbatched forwards.
+//
+// Gate interaction: callers hold their cells' read-gates across
+// submit-and-wait, and the writer never takes gates, so a migration's
+// write-lock still means "no forward touching this cell is anywhere in
+// flight — queued, framed, or awaiting its reply". The writer always
+// drains its queue, so a gated submitter can never deadlock against it.
+
+const (
+	// maxUpBatch caps subs per flush; upQueueDepth bounds the submission
+	// queue (backpressure, not loss — the writer always drains).
+	maxUpBatch   = 128
+	upQueueDepth = 256
+
+	// upCoalesceOn engages the window once the EWMA of subs-per-flush
+	// (×256 fixed point) exceeds ~1.25 — i.e. only under concurrency.
+	upCoalesceOn = 320
+
+	// upMaxGapNs: a submission gap above this means idle; the EWMA state
+	// resets so a burst after a lull starts windowless.
+	upMaxGapNs = int64(10 * time.Millisecond)
+
+	// maxBatchBytes caps one flush's frame size (the replica caps bodies
+	// at serve.MaxBody); an oversized sub carries to the next flush.
+	maxBatchBytes = 4 << 20
+
+	defBatchMinWindow = 2 * time.Microsecond
+	defBatchMaxWindow = 100 * time.Microsecond
+)
+
+// errSubMissing marks a sub the reply frame failed to answer; it only
+// escapes when a replica violates the one-reply-per-tag contract.
+var errSubMissing = fmt.Errorf("cluster: batch reply missing this sub-request")
+
+// errRouterClosed fails submissions that race a Close.
+var errRouterClosed = fmt.Errorf("cluster: router closed")
+
+// batchSub is one forward's share of a group-committed upstream round:
+// the payload (allocate pairs or release IDs), the reply target, and a
+// one-slot done channel the writer signals after demux. Subs are pooled
+// inside fwdScratch, one per upstream, so the steady-state submit path
+// allocates nothing.
+type batchSub struct {
+	alloc    bool
+	terse    bool
+	pairs    []wire.CellCount
+	ids      []int64
+	rep      *serve.Report
+	released int
+	err      error
+	done     chan struct{}
+}
+
+// subBytes estimates a sub's frame contribution for the byte cap.
+func subBytes(s *batchSub) int {
+	if s.alloc {
+		return 32 + len(s.pairs)*8
+	}
+	return 32 + len(s.ids)*8
+}
+
+// upBatcher is one upstream's group-commit writer. All mutable state
+// past the queue is writer-goroutine-local — the EWMA needs no atomics.
+type upBatcher struct {
+	up   *upstream
+	u    int
+	q    chan *batchSub
+	stop chan struct{}
+	done chan struct{}
+
+	minWindowNs int64
+	maxWindowNs int64
+
+	// Flush-policy EWMA state (writer-local): gap between round starts
+	// and subs per flush, ×256 fixed point.
+	lastStart int64
+	ewmaGapNs int64
+	ewmaSubs  int64
+
+	// Reply demux scratch, reused across flushes.
+	reps []wire.BatchSubReply
+
+	frames     *obs.Counter
+	batchSize  *obs.Histogram
+	flushFull  *obs.Counter
+	flushWin   *obs.Counter
+	flushDrain *obs.Counter
+}
+
+func newUpBatcher(up *upstream, u int, minW, maxW time.Duration, met *metrics) *upBatcher {
+	host := obs.L("upstream", up.host)
+	flush := func(reason string) *obs.Counter {
+		return met.reg.Counter("pba_upstream_flush_total",
+			"Group-commit flushes by reason: full (sub or byte cap), window (adaptive window expired), drain (queue empty, no window engaged).",
+			host, obs.L("reason", reason))
+	}
+	return &upBatcher{
+		up:          up,
+		u:           u,
+		q:           make(chan *batchSub, upQueueDepth),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		minWindowNs: int64(minW),
+		maxWindowNs: int64(maxW),
+		frames: met.reg.Counter("pba_upstream_frames_total",
+			"Batch frames flushed to the upstream (one round trip each).", host),
+		batchSize: met.reg.ValueHistogram("pba_upstream_batch_size",
+			"Sub-requests per flushed batch frame (small values land in the first bucket; read mean and max).", host),
+		flushFull:  flush("full"),
+		flushWin:   flush("window"),
+		flushDrain: flush("drain"),
+	}
+}
+
+// window returns the coalescing window in nanoseconds — zero unless the
+// recent past shows sustained concurrency, then a clamp of 4× the EWMA
+// submission gap (same shape as the replica cell batcher's policy).
+func (bt *upBatcher) window() int64 {
+	if bt.ewmaSubs < upCoalesceOn || bt.ewmaGapNs == 0 {
+		return 0
+	}
+	w := 4 * bt.ewmaGapNs
+	if w < bt.minWindowNs {
+		w = bt.minWindowNs
+	}
+	if w > bt.maxWindowNs {
+		w = bt.maxWindowNs
+	}
+	return w
+}
+
+// run is the writer loop: block for the first sub, drain the queue,
+// optionally hold the adaptive window open, flush, repeat.
+func (bt *upBatcher) run() {
+	defer close(bt.done)
+	pending := make([]*batchSub, 0, maxUpBatch)
+	var carry *batchSub
+	var c *conn
+	defer func() { bt.up.put(c, true) }()
+	for {
+		pending = pending[:0]
+		var first *batchSub
+		if carry != nil {
+			first, carry = carry, nil
+		} else {
+			select {
+			case first = <-bt.q:
+			case <-bt.stop:
+				return
+			}
+		}
+		now := time.Now().UnixNano()
+		if bt.lastStart != 0 {
+			if gap := now - bt.lastStart; gap > upMaxGapNs {
+				bt.ewmaGapNs, bt.ewmaSubs = 0, 0
+			} else {
+				bt.ewmaGapNs = (3*bt.ewmaGapNs + gap) / 4
+			}
+		}
+		bt.lastStart = now
+		pending = append(pending, first)
+		size := subBytes(first)
+		reason := bt.flushDrain
+		window := bt.window()
+		deadline := now + window
+	collect:
+		for len(pending) < maxUpBatch && carry == nil {
+			select {
+			case s := <-bt.q:
+				if size+subBytes(s) > maxBatchBytes {
+					carry = s
+					reason = bt.flushFull
+				} else {
+					pending = append(pending, s)
+					size += subBytes(s)
+				}
+			default:
+				if window == 0 {
+					break collect
+				}
+				if time.Now().UnixNano() >= deadline {
+					reason = bt.flushWin
+					break collect
+				}
+				// Spin-yield rather than sleep: the window is microseconds and
+				// a timer wait would overshoot it by more than its length.
+				runtime.Gosched()
+			}
+		}
+		if len(pending) >= maxUpBatch {
+			reason = bt.flushFull
+		}
+		bt.ewmaSubs = (3*bt.ewmaSubs + int64(len(pending))<<8) / 4
+		reason.Inc()
+		c = bt.flush(c, pending)
+	}
+}
+
+// flush frames pending as one batch request (tag = index), writes it
+// vectored, reads the one reply, and demuxes sub-replies back to their
+// waiting callers. Transport failures fail every sub and retire the
+// connection; a whole-frame HTTP error fails every sub but keeps the
+// connection (it is still in protocol sync); per-sub errors decode to
+// *httpError so the merge path's partial-failure handling is identical
+// to the unbatched plane. Returns the connection to own next round.
+func (bt *upBatcher) flush(c *conn, pending []*batchSub) *conn {
+	bt.frames.Inc()
+	bt.batchSize.Observe(int64(len(pending)))
+	if c == nil {
+		var err error
+		if c, err = bt.up.get(); err != nil {
+			bt.up.errors.Inc()
+			bt.up.healthy.Store(false)
+			bt.fail(pending, err)
+			return nil
+		}
+	}
+	f := wire.BeginBatchRequest(c.frame[:0])
+	for i, s := range pending {
+		f = wire.AppendBatchTag(f, uint32(i))
+		if s.alloc {
+			f = wire.AppendCellAllocateRequest(f, s.pairs, s.terse)
+		} else {
+			f = wire.AppendReleaseRequest(f, s.ids)
+		}
+	}
+	c.frame = wire.FinishBatch(f, 0, len(pending))
+	if err := c.writeRequestVectored(bt.up.host, "/allocate", c.frame); err != nil {
+		bt.up.put(c, false)
+		bt.up.errors.Inc()
+		bt.up.healthy.Store(false)
+		bt.fail(pending, err)
+		return nil
+	}
+	bt.up.forwards.Add(uint64(len(pending)))
+	start := time.Now()
+	body, err := c.readResponse()
+	bt.up.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		if isHTTPError(err) {
+			bt.up.errors.Inc()
+			bt.fail(pending, err)
+			return c
+		}
+		bt.up.put(c, false)
+		bt.up.errors.Inc()
+		bt.up.healthy.Store(false)
+		bt.fail(pending, err)
+		return nil
+	}
+	bt.reps, err = wire.ParseBatchReply(body, bt.reps[:0])
+	if err != nil {
+		// An unparseable reply body means the stream can no longer be
+		// trusted; retire the connection like a transport failure.
+		bt.up.put(c, false)
+		bt.up.errors.Inc()
+		bt.up.healthy.Store(false)
+		bt.fail(pending, fmt.Errorf("bad batch reply: %w", err))
+		return nil
+	}
+	for _, s := range pending {
+		s.err = errSubMissing
+	}
+	for i := range bt.reps {
+		sr := &bt.reps[i]
+		if int(sr.Tag) >= len(pending) {
+			continue
+		}
+		s := pending[sr.Tag]
+		if s.err != errSubMissing { //nolint:errorlint // sentinel identity, not wrapping
+			continue // duplicate tag: first reply wins
+		}
+		if sr.Status == 0 {
+			if s.alloc {
+				s.err = wire.ParseReport(sr.Frame, s.rep)
+			} else {
+				s.released, s.err = wire.ParseReleaseReply(sr.Frame)
+			}
+		} else {
+			s.err = decodeSubError(sr.Status, sr.Frame)
+		}
+	}
+	for _, s := range pending {
+		if s.err != nil {
+			bt.up.errors.Inc()
+		}
+		s.done <- struct{}{}
+	}
+	return c
+}
+
+// fail completes every pending sub with err.
+func (bt *upBatcher) fail(pending []*batchSub, err error) {
+	for _, s := range pending {
+		s.err = err
+		s.done <- struct{}{}
+	}
+}
+
+// decodeSubError turns a framed sub-error (HTTP status + JSON document)
+// into the same *httpError an unbatched non-200 reply produces, spans
+// and all — the caller's partial-failure folding cannot tell them
+// apart. Error paths may allocate.
+func decodeSubError(status int, doc []byte) error {
+	he := &httpError{Status: status}
+	var d struct {
+		Error string       `json:"error"`
+		Spans []serve.Span `json:"spans"`
+	}
+	if json.Unmarshal(doc, &d) == nil && d.Error != "" {
+		he.Msg, he.Spans = d.Error, d.Spans
+	} else {
+		he.Msg = string(doc)
+	}
+	return he
+}
+
+// sub returns the pooled batchSub for upstream u, creating it on first
+// use (the scratch then keeps it warm).
+func (sc *fwdScratch) sub(nup, u int) *batchSub {
+	if sc.bsubs == nil {
+		sc.bsubs = make([]*batchSub, nup)
+	}
+	if sc.bsubs[u] == nil {
+		sc.bsubs[u] = &batchSub{done: make(chan struct{}, 1)}
+	}
+	return sc.bsubs[u]
+}
+
+// batchAllocate is the group-commit spelling of the allocate fan-out:
+// submit each involved upstream's share to its writer, then wait in
+// upstream order. Failures land in sc.failed exactly as fanOut records
+// them, so the merge path downstream is unchanged.
+func (r *Router) batchAllocate(sc *fwdScratch) {
+	if r.closed.Load() {
+		for u := range sc.perUp {
+			if len(sc.perUp[u]) > 0 {
+				sc.failed[u] = errRouterClosed
+			}
+		}
+		return
+	}
+	for u := range sc.perUp {
+		if len(sc.perUp[u]) == 0 {
+			continue
+		}
+		s := sc.sub(len(r.ups), u)
+		s.alloc, s.terse = true, r.cfg.Terse
+		s.pairs, s.ids = sc.perUp[u], nil
+		s.rep, s.released, s.err = &sc.reps[u], 0, nil
+		r.batchers[u].q <- s
+	}
+	for u := range sc.perUp {
+		if len(sc.perUp[u]) == 0 {
+			continue
+		}
+		s := sc.bsubs[u]
+		<-s.done
+		sc.failed[u] = s.err
+	}
+}
+
+// batchRelease is the group-commit spelling of the release fan-out.
+func (r *Router) batchRelease(sc *fwdScratch) int {
+	if r.closed.Load() {
+		for u := range sc.relIDs {
+			if len(sc.relIDs[u]) > 0 {
+				sc.failed[u] = errRouterClosed
+			}
+		}
+		return 0
+	}
+	for u := range sc.relIDs {
+		if len(sc.relIDs[u]) == 0 {
+			continue
+		}
+		s := sc.sub(len(r.ups), u)
+		s.alloc, s.terse = false, false
+		s.pairs, s.ids = nil, sc.relIDs[u]
+		s.rep, s.released, s.err = nil, 0, nil
+		r.batchers[u].q <- s
+	}
+	total := 0
+	for u := range sc.relIDs {
+		if len(sc.relIDs[u]) == 0 {
+			continue
+		}
+		s := sc.bsubs[u]
+		<-s.done
+		if s.err != nil {
+			sc.failed[u] = s.err
+			continue
+		}
+		total += s.released
+	}
+	return total
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestBatchedMatchesSingleProcess is the determinism contract with group
+// commit on: the same fixed trace as TestClusterMatchesSingleProcess —
+// live migrations and an evacuation included — played sequentially
+// through a batched router grants the same IDs at every step and ends
+// fingerprint-identical to one single-process service. A sequential
+// caller produces one-sub batch frames, so the window never engages and
+// the plane is bit-compatible with the unbatched one.
+func TestBatchedMatchesSingleProcess(t *testing.T) {
+	const n, cells, seed = 60, 6, 21
+	single, err := serve.New(serve.Config{N: n, Shards: cells, Alg: "aheavy", Seed: seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	ups := make([]string, 3)
+	for i := range ups {
+		_, ups[i] = emptyReplica(t, n, cells, seed)
+	}
+	r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: seed, Upstreams: ups, UpstreamBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var singleLive, clusterLive []int64
+	step := func(arrive, release int) {
+		t.Helper()
+		if release > 0 {
+			sGot := single.Release(singleLive[:release])
+			cGot := r.Release(clusterLive[:release])
+			if sGot != release || cGot != release {
+				t.Fatalf("released single=%d cluster=%d, want %d", sGot, cGot, release)
+			}
+			singleLive = singleLive[release:]
+			clusterLive = clusterLive[release:]
+		}
+		srep, err := single.Allocate(arrive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crep, err := r.Allocate(arrive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sIDs, cIDs := srep.IDs(), crep.IDs()
+		if len(sIDs) != len(cIDs) {
+			t.Fatalf("cluster admitted %d, single %d", len(cIDs), len(sIDs))
+		}
+		for i := range sIDs {
+			if sIDs[i] != cIDs[i] {
+				t.Fatalf("id %d: cluster %d != single %d", i, cIDs[i], sIDs[i])
+			}
+		}
+		if srep.Admitted != crep.Admitted || srep.Pending != crep.Pending || srep.Cells != crep.Cells {
+			t.Fatalf("report scalars differ: single %+v, cluster %+v", srep, crep)
+		}
+		singleLive = append(singleLive, sIDs...)
+		clusterLive = append(clusterLive, cIDs...)
+	}
+	checkFingerprint := func(when string) {
+		t.Helper()
+		got, err := r.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", when, err)
+		}
+		if want := single.Fingerprint(); got != want {
+			t.Fatalf("%s: cluster fingerprint %s != single-process %s", when, got, want)
+		}
+	}
+
+	step(400, 0)
+	step(300, 100)
+	if err := r.Migrate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Migrate(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkFingerprint("after migrations")
+	step(0, 50)
+	step(500, 200)
+	if moved, err := r.Evacuate(1); err != nil || moved == 0 {
+		t.Fatalf("evacuation moved %d cells: %v", moved, err)
+	}
+	checkFingerprint("after evacuation")
+	step(100, 0)
+	step(0, 300)
+	checkFingerprint("end of trace")
+
+	// The batched plane actually carried the trace — frames flushed on
+	// every upstream that saw traffic — and the sequential caller never
+	// rode a multi-sub frame (zero added latency, bit-identical plane).
+	frames := uint64(0)
+	for _, bt := range r.batchers {
+		frames += bt.frames.Load()
+		if max := bt.batchSize.Max(); max > 1 {
+			t.Fatalf("sequential trace flushed a %d-sub frame; want single-sub flushes only", max)
+		}
+	}
+	if frames == 0 {
+		t.Fatal("no batch frames flushed; the group-commit plane did not engage")
+	}
+}
+
+// TestBatchedConcurrentConservation hammers a batched router from 8
+// concurrent clients while cells migrate between replicas mid-flight:
+// multi-sub frames, migration gate interleaving, and demux all under
+// load (and under -race in the race CI job). Afterwards every granted ID
+// must be unique, the clients' live holdings must equal the cluster's
+// live census exactly — no ball lost or duplicated — and a full drain
+// must return the cluster to zero.
+func TestBatchedConcurrentConservation(t *testing.T) {
+	const n, cells, seed = 240, 6, 11
+	const clients = 8
+	ups := make([]string, 3)
+	for i := range ups {
+		_, ups[i] = emptyReplica(t, n, cells, seed)
+	}
+	r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: seed, Upstreams: ups, Terse: true, UpstreamBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	liveSets := make([][]int64, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rep := new(serve.Report)
+			var live []int64
+			for {
+				select {
+				case <-stop:
+					liveSets[c] = live
+					return
+				default:
+				}
+				if err := r.AllocateInto(8+c, rep); err != nil {
+					errs[c] = err
+					liveSets[c] = live
+					return
+				}
+				live = rep.AppendIDs(live)
+				if len(live) > 40 {
+					k := len(live) / 2
+					if got := r.Release(live[:k]); got != k {
+						errs[c] = fmt.Errorf("released %d of %d", got, k)
+						liveSets[c] = live[k:]
+						return
+					}
+					live = append(live[:0], live[k:]...)
+				}
+			}
+		}(c)
+	}
+
+	// Migrations while batches are in flight: every cell moves at least
+	// once, cycling over all three replicas.
+	for i := 0; i < 2*cells; i++ {
+		if err := r.Migrate(i%cells, i%len(ups)); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	seen := make(map[int64]bool)
+	total := 0
+	for _, live := range liveSets {
+		for _, id := range live {
+			if seen[id] {
+				t.Fatalf("duplicate live id %d", id)
+			}
+			seen[id] = true
+		}
+		total += len(live)
+	}
+	st, ok := r.StatsDoc(false).(Stats)
+	if !ok {
+		t.Fatal("StatsDoc type")
+	}
+	if st.Live != int64(total) {
+		t.Fatalf("cluster live %d, clients hold %d", st.Live, total)
+	}
+	for _, live := range liveSets {
+		if len(live) == 0 {
+			continue
+		}
+		if got := r.Release(live); got != len(live) {
+			t.Fatalf("drain released %d of %d", got, len(live))
+		}
+	}
+	if st, _ = r.StatsDoc(false).(Stats); st.Live != 0 {
+		t.Fatalf("%d balls live after full drain", st.Live)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,51 +11,48 @@ import (
 	"repro/internal/wire"
 )
 
-// TestRouterForwardAllocFree: in steady state the router's binary
-// forward path — split draw, fan-out, reply merge, connection cycling —
-// adds zero allocations per allocate/release round trip on top of what
-// the raw upstream protocol costs (same connections, same frames, no
-// router logic). Both sides of the comparison include the replicas'
-// server-side work, so the delta isolates the router.
-func TestRouterForwardAllocFree(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race instrumentation allocates; counts are meaningless")
-	}
+// forwardPlanes builds the three measurement closures the allocation
+// split reads from, all over one shared replica pair: the raw upstream
+// protocol (the router's connection and codec layer with none of its
+// orchestration), the fan-out router, and the group-commit router. Each
+// closure plays one warm allocate+release round; routers and replicas
+// are torn down via tb.Cleanup.
+func forwardPlanes(tb testing.TB) (baseline, routed, batched func()) {
 	const n, cells, batch = 256, 4, 64
 	ups := make([]string, 2)
 	for i := range ups {
-		_, ups[i] = emptyReplica(t, n, cells, 2)
+		_, ups[i] = emptyReplica(tb, n, cells, 2)
 	}
 	r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: 2, Upstreams: ups, Terse: true})
 	if err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
-	defer r.Close()
+	tb.Cleanup(func() { r.Close() })
 
-	// The raw-protocol baseline: fixed per-upstream shares, the router's
-	// own connection and codec layer, none of its orchestration.
+	// The raw-protocol baseline: fixed per-upstream shares mirroring the
+	// router's split.
 	var basePairs [2][]wire.CellCount
 	for g := range r.table {
 		basePairs[r.table[g].Load()] = append(basePairs[r.table[g].Load()], wire.CellCount{Cell: g, Count: batch / cells})
 	}
 	var baseRep serve.Report
 	var baseIDs []int64
-	baseline := func() {
+	baseline = func() {
 		baseIDs = baseIDs[:0]
 		for u, up := range r.ups {
 			c, err := up.get()
 			if err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			if err := c.writeCellAllocate(up.host, basePairs[u], true); err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			body, err := c.readResponse()
 			if err == nil {
 				err = wire.ParseReport(body, &baseRep)
 			}
 			if err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			up.put(c, true)
 			baseIDs = baseRep.AppendIDs(baseIDs)
@@ -62,20 +60,20 @@ func TestRouterForwardAllocFree(t *testing.T) {
 		for u, up := range r.ups {
 			c, err := up.get()
 			if err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			// Releasing the full ID set at both replicas mirrors the router's
 			// partitioned release closely enough for allocation counting; the
 			// replicas skip unhosted IDs.
 			if err := c.writeRelease(up.host, baseIDs); err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			body, err := c.readResponse()
 			if err == nil {
 				_, err = wire.ParseReleaseReply(body)
 			}
 			if err != nil {
-				t.Fatal(err)
+				tb.Fatal(err)
 			}
 			up.put(c, true)
 			_ = u
@@ -84,26 +82,92 @@ func TestRouterForwardAllocFree(t *testing.T) {
 
 	rep := new(serve.Report)
 	var ids []int64
-	routed := func() {
+	routed = func() {
 		if err := r.AllocateInto(batch, rep); err != nil {
-			t.Fatal(err)
+			tb.Fatal(err)
 		}
 		ids = rep.AppendIDs(ids[:0])
 		if got := r.Release(ids); got != len(ids) {
-			t.Fatalf("released %d of %d", got, len(ids))
+			tb.Fatalf("released %d of %d", got, len(ids))
 		}
 	}
 
-	// Warm pools, connections, and slice capacities on both paths.
+	// The batched plane over the same replicas: the group-commit writer,
+	// the batch codec, and the demux must also add nothing per round.
+	rb, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: 2, Upstreams: ups, Terse: true, UpstreamBatch: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { rb.Close() })
+	brep := new(serve.Report)
+	var bids []int64
+	batched = func() {
+		if err := rb.AllocateInto(batch, brep); err != nil {
+			tb.Fatal(err)
+		}
+		bids = brep.AppendIDs(bids[:0])
+		if got := rb.Release(bids); got != len(bids) {
+			tb.Fatalf("released %d of %d", got, len(bids))
+		}
+	}
+	return baseline, routed, batched
+}
+
+// TestRouterForwardAllocFree: in steady state the router's binary
+// forward path — split draw, fan-out or group commit, reply merge,
+// connection cycling — adds zero allocations per allocate/release round
+// trip on top of what the raw upstream protocol costs (same
+// connections, same frames, no router logic). Both sides of the
+// comparison include the replicas' server-side work, so the delta
+// isolates the router.
+func TestRouterForwardAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	baseline, routed, batched := forwardPlanes(t)
+	// Warm pools, connections, and slice capacities on all paths.
 	for i := 0; i < 50; i++ {
 		baseline()
 		routed()
+		batched()
 	}
 	base := testing.AllocsPerRun(200, baseline)
 	via := testing.AllocsPerRun(200, routed)
+	viaBatched := testing.AllocsPerRun(200, batched)
 	if delta := via - base; delta >= 1 {
 		t.Errorf("router forward path adds %.2f allocs/op (router %.2f, raw upstream %.2f); want 0",
 			delta, via, base)
+	}
+	if delta := viaBatched - base; delta >= 1 {
+		t.Errorf("batched forward path adds %.2f allocs/op (batched %.2f, raw upstream %.2f); want 0",
+			delta, viaBatched, base)
+	}
+}
+
+// BenchmarkRouterAllocSplit pins the ClusterThroughput allocation story
+// as dedicated record columns: raw_allocs/op is what the upstream
+// protocol itself costs per round (dominated by the in-process replica
+// servers' net/http request machinery — the bench-harness side of the
+// split), and the two *_delta_allocs/op columns are the fan-out and
+// group-commit routers' own additions over it, both held at zero.
+// Counts come from testing.AllocsPerRun inside one iteration, so ns/op
+// is not meaningful here; read the custom columns.
+func BenchmarkRouterAllocSplit(b *testing.B) {
+	if raceEnabled {
+		b.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	baseline, routed, batched := forwardPlanes(b)
+	for i := 0; i < 50; i++ {
+		baseline()
+		routed()
+		batched()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := testing.AllocsPerRun(100, baseline)
+		b.ReportMetric(base, "raw_allocs/op")
+		b.ReportMetric(testing.AllocsPerRun(100, routed)-base, "router_delta_allocs/op")
+		b.ReportMetric(testing.AllocsPerRun(100, batched)-base, "batched_delta_allocs/op")
 	}
 }
 
@@ -152,6 +216,75 @@ func BenchmarkClusterThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(balls.Load())/b.Elapsed().Seconds(), "balls/s")
 		})
+	}
+}
+
+// BenchmarkClusterGroupCommit is the group-commit claim as a grid:
+// clients × replicas × batch on|off, same topology and batch size
+// everywhere. With one client the batched plane must cost nothing (the
+// window never engages, frames carry one sub); with many clients the
+// writer coalesces concurrent submissions into multi-sub frames and the
+// batched/unbatched balls/s ratio at replicas>=2 is the headline
+// speedup. Clients are explicit goroutines sharing b.N through an
+// atomic counter — RunParallel would cap the client count at
+// GOMAXPROCS, which is 1 on small CI boxes.
+func BenchmarkClusterGroupCommit(b *testing.B) {
+	const n, cells, batch = 1024, 6, 64
+	for _, clients := range []int{1, 8} {
+		for _, replicas := range []int{1, 2, 3} {
+			for _, batched := range []bool{false, true} {
+				mode := "off"
+				if batched {
+					mode = "on"
+				}
+				name := fmt.Sprintf("clients=%d/replicas=%d/batch=%s", clients, replicas, mode)
+				b.Run(name, func(b *testing.B) {
+					ups := make([]string, replicas)
+					for i := range ups {
+						_, ups[i] = emptyReplica(b, n, cells, 1)
+					}
+					r, err := New(Config{N: n, Cells: cells, Alg: "aheavy", Seed: 1,
+						Upstreams: ups, Terse: true, UpstreamBatch: batched})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer r.Close()
+					var balls atomic.Int64
+					var iters atomic.Int64
+					iters.Store(int64(b.N))
+					var wg sync.WaitGroup
+					b.ReportAllocs()
+					b.ResetTimer()
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							rep := new(serve.Report)
+							var ids []int64
+							for iters.Add(-1) >= 0 {
+								if err := r.AllocateInto(batch, rep); err != nil {
+									b.Error(err)
+									return
+								}
+								ids = rep.AppendIDs(ids[:0])
+								if got := r.Release(ids); got != len(ids) {
+									b.Errorf("released %d of %d", got, len(ids))
+									return
+								}
+								balls.Add(int64(len(ids)))
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					st, ok := r.StatsDoc(false).(Stats)
+					if !ok || st.Live != 0 {
+						b.Fatalf("bench left %d balls live", st.Live)
+					}
+					b.ReportMetric(float64(balls.Load())/b.Elapsed().Seconds(), "balls/s")
+				})
+			}
+		}
 	}
 }
 

@@ -54,6 +54,16 @@ type Config struct {
 	// replies. The spans still name every granted ID; only callers that
 	// need per-ball bin assignments (pba-bench -placements) turn this off.
 	Terse bool
+	// UpstreamBatch turns on per-upstream group commit: one writer
+	// goroutine per replica owns the connection and flushes concurrent
+	// forwards as one multi-request batch frame (see batch.go). Sequential
+	// callers still see immediate single-sub flushes, so a fixed trace
+	// replayed sequentially stays bit-identical to the unbatched plane.
+	UpstreamBatch bool
+	// BatchMinWindow and BatchMaxWindow clamp the adaptive coalescing
+	// window (defaults 2µs and 100µs); meaningful only with UpstreamBatch.
+	BatchMinWindow time.Duration
+	BatchMaxWindow time.Duration
 	// Logf, when set, receives one line per control-plane event the
 	// router performs on its own initiative (per-cell migrations inside
 	// an evacuation or rebalance, with their pause windows). Nil is
@@ -93,6 +103,11 @@ type Router struct {
 	// read side (data plane) or accept a racy-but-monotone view (stats).
 	table []atomic.Int32
 	ups   []*upstream
+
+	// batchers, non-nil iff Config.UpstreamBatch, hold one group-commit
+	// writer per upstream; the data plane then submits instead of running
+	// its own fan-out rounds.
+	batchers []*upBatcher
 
 	scratch sync.Pool
 
@@ -144,8 +159,9 @@ type fwdScratch struct {
 	conns   []*conn
 	reps    []serve.Report
 	failed  []error
-	cur     []int // per-upstream span cursor during the merge
-	plCur   []int // per-upstream placement cursor
+	cur     []int       // per-upstream span cursor during the merge
+	plCur   []int       // per-upstream placement cursor
+	bsubs   []*batchSub // per-upstream group-commit submissions (batch.go)
 }
 
 // New builds a router over cfg and bootstraps the assignment table:
@@ -206,6 +222,23 @@ func New(cfg Config) (*Router, error) {
 	if err := r.bootstrap(); err != nil {
 		return nil, err
 	}
+	if cfg.UpstreamBatch {
+		minW, maxW := cfg.BatchMinWindow, cfg.BatchMaxWindow
+		if minW <= 0 {
+			minW = defBatchMinWindow
+		}
+		if maxW <= 0 {
+			maxW = defBatchMaxWindow
+		}
+		if maxW < minW {
+			maxW = minW
+		}
+		for u, up := range r.ups {
+			bt := newUpBatcher(up, u, minW, maxW, met)
+			r.batchers = append(r.batchers, bt)
+			go bt.run()
+		}
+	}
 	return r, nil
 }
 
@@ -218,13 +251,37 @@ type cellsDoc struct {
 	Cells  []serve.CellInfo `json:"cells"`
 }
 
+// forEachUpstream runs fn(u) for every upstream concurrently and waits.
+// Control-plane sweeps — bootstrap, stats, health, load probes — are
+// dominated by O(replicas) sequential round trips otherwise; the
+// control client is safe for concurrent use. fn must confine its writes
+// to index-u state (or atomics).
+func (r *Router) forEachUpstream(fn func(u int)) {
+	var wg sync.WaitGroup
+	wg.Add(len(r.ups))
+	for u := range r.ups {
+		go func() {
+			defer wg.Done()
+			fn(u)
+		}()
+	}
+	wg.Wait()
+}
+
 func (r *Router) bootstrap() error {
+	// Fetch every replica's topology concurrently; verify and adopt
+	// sequentially (the table and hosted tallies are shared).
+	docs := make([]cellsDoc, len(r.ups))
+	errs := make([]error, len(r.ups))
+	r.forEachUpstream(func(u int) {
+		errs[u] = r.getJSON(r.ups[u].base, "/cells", &docs[u])
+	})
 	hosted := make([]int, len(r.ups)) // cells per upstream, for least-loaded placement
 	for u, up := range r.ups {
-		var doc cellsDoc
-		if err := r.getJSON(up.base, "/cells", &doc); err != nil {
-			return fmt.Errorf("cluster: bootstrap %s: %w", up.base, err)
+		if errs[u] != nil {
+			return fmt.Errorf("cluster: bootstrap %s: %w", up.base, errs[u])
 		}
+		doc := docs[u]
 		if doc.N != r.cfg.N || doc.Shards != r.cfg.Cells || doc.Alg != r.cfg.Alg || doc.Seed != r.cfg.Seed {
 			return fmt.Errorf("cluster: %s topology (n=%d cells=%d alg=%s seed=%d) does not match router (n=%d cells=%d alg=%s seed=%d)",
 				up.base, doc.N, doc.Shards, doc.Alg, doc.Seed, r.cfg.N, r.cfg.Cells, r.cfg.Alg, r.cfg.Seed)
@@ -325,6 +382,13 @@ func (r *Router) Close() {
 			r.gates[g].Unlock()
 		}
 	}()
+	// Holding every gate means no forward is queued or awaiting a reply,
+	// so the group-commit writers are idle: stop them (each returns its
+	// owned connection to the free list) before draining the lists.
+	for _, bt := range r.batchers {
+		close(bt.stop)
+		<-bt.done
+	}
 	for _, up := range r.ups {
 		up.drain()
 	}
@@ -384,11 +448,17 @@ func (r *Router) AllocateInto(k int, rep *serve.Report) error {
 
 	// Write all requests, then read all replies: the replicas' epochs
 	// overlap, and the slowest upstream bounds the round, not the sum.
-	r.fanOut(sc, func(c *conn, up *upstream, u int) error {
-		return c.writeCellAllocate(up.host, sc.perUp[u], r.cfg.Terse)
-	}, func(body []byte, u int) error {
-		return wire.ParseReport(body, &sc.reps[u])
-	})
+	// Under group commit the writers own the connections instead, and
+	// this forward's shares ride whatever frames they flush next.
+	if r.batchers != nil {
+		r.batchAllocate(sc)
+	} else {
+		r.fanOut(sc, func(c *conn, up *upstream, u int) error {
+			return c.writeCellAllocate(up.host, sc.perUp[u], r.cfg.Terse)
+		}, func(body []byte, u int) error {
+			return wire.ParseReport(body, &sc.reps[u])
+		})
+	}
 
 	// Merge in global cell order. Each reply's spans and placements are
 	// already ordered by global cell (replicas collect hosted cells
@@ -511,6 +581,9 @@ func (r *Router) Release(ids []int64) int {
 		}
 		u := r.table[int(id%r.stride)].Load()
 		sc.relIDs[u] = append(sc.relIDs[u], id)
+	}
+	if r.batchers != nil {
+		return r.batchRelease(sc)
 	}
 	// fanOut keys involvement off perUp; mark each used upstream with a
 	// sentinel pair.

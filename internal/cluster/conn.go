@@ -132,7 +132,9 @@ type conn struct {
 	frame   []byte
 	wbuf    []byte
 	body    []byte
-	closing bool // server sent Connection: close for the current response
+	vecArr  [2][]byte   // backing array for vec; survives WriteTo consuming the slice
+	vec     net.Buffers // reusable iovec pair for vectored writes, resliced from vecArr
+	closing bool        // server sent Connection: close for the current response
 }
 
 // writeRequest assembles one POST with the given binary frame as its
@@ -152,6 +154,33 @@ func (c *conn) writeRequest(host, path string, frame []byte) error {
 	b = append(b, frame...)
 	c.wbuf = b
 	_, err := c.nc.Write(b)
+	return err
+}
+
+// writeRequestVectored assembles the request headers into c.wbuf and
+// hands headers+frame to the kernel as one vectored write (writev on
+// platforms that have it), skipping the copy of a potentially large
+// batch frame into the write buffer that writeRequest's single-buffer
+// spelling would make. The iovec pair is reused across calls.
+func (c *conn) writeRequestVectored(host, path string, frame []byte) error {
+	b := c.wbuf[:0]
+	b = append(b, "POST "...)
+	b = append(b, path...)
+	b = append(b, " HTTP/1.1\r\nHost: "...)
+	b = append(b, host...)
+	b = append(b, "\r\nContent-Type: "...)
+	b = append(b, wire.ContentType...)
+	b = append(b, "\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(frame)), 10)
+	b = append(b, "\r\n\r\n"...)
+	c.wbuf = b
+	// WriteTo consumes its receiver by reslicing it forward, so rebuild
+	// the iovec from the fixed backing array each call — an append into
+	// the consumed slice would reallocate every time.
+	c.vecArr[0], c.vecArr[1] = b, frame
+	c.vec = net.Buffers(c.vecArr[:])
+	_, err := c.vec.WriteTo(c.nc)
+	c.vecArr[0], c.vecArr[1] = nil, nil
 	return err
 }
 

@@ -336,12 +336,13 @@ type upstreamLoad struct {
 
 func (r *Router) loads() []upstreamLoad {
 	out := make([]upstreamLoad, len(r.ups))
-	for u, up := range r.ups {
+	r.forEachUpstream(func(u int) {
+		up := r.ups[u]
 		out[u].up = u
 		var doc cellsDoc
 		if err := r.getJSON(up.base, "/cells", &doc); err != nil {
 			up.healthy.Store(false)
-			continue
+			return
 		}
 		up.healthy.Store(true)
 		out[u].healthy = true
@@ -349,7 +350,7 @@ func (r *Router) loads() []upstreamLoad {
 		for _, ci := range doc.Cells {
 			out[u].live += ci.Live
 		}
-	}
+	})
 	return out
 }
 
@@ -450,10 +451,17 @@ func (r *Router) StatsDoc(fingerprint bool) any {
 	if fingerprint {
 		query = "/cells?fingerprint=1"
 	}
-	for _, up := range r.ups {
+	// The sweep is concurrent — with ?fingerprint=1 each replica does
+	// O(live) hashing, so serializing the round trips serializes that
+	// hashing too. Folding stays sequential in upstream order.
+	docs := make([]cellsDoc, len(r.ups))
+	errs := make([]error, len(r.ups))
+	r.forEachUpstream(func(u int) {
+		errs[u] = r.getJSON(r.ups[u].base, query, &docs[u])
+	})
+	for u, up := range r.ups {
 		us := UpstreamStats{URL: up.base, Healthy: up.healthy.Load()}
-		var doc cellsDoc
-		if err := r.getJSON(up.base, query, &doc); err != nil {
+		if errs[u] != nil {
 			// A dead upstream voids the fingerprint only if a cell still
 			// lives there — the final per-cell check below decides that; a
 			// fully evacuated replica's silence costs nothing.
@@ -461,7 +469,7 @@ func (r *Router) StatsDoc(fingerprint bool) any {
 			st.Upstreams = append(st.Upstreams, us)
 			continue
 		}
-		for _, ci := range doc.Cells {
+		for _, ci := range docs[u].Cells {
 			us.Cells = append(us.Cells, ci.Cell)
 			us.Live += ci.Live
 			us.Pending += ci.Pending
@@ -535,16 +543,19 @@ func (r *Router) HealthDoc() any {
 	for g := range r.table {
 		hosted[r.table[g].Load()]++
 	}
-	for u, up := range r.ups {
+	alive := make([]bool, len(r.ups))
+	r.forEachUpstream(func(u int) {
 		var doc struct {
 			Status string `json:"status"`
 		}
-		healthy := r.getJSON(up.base, "/healthz", &doc) == nil && doc.Status == "ok"
-		up.healthy.Store(healthy)
-		if !healthy && hosted[u] > 0 {
+		alive[u] = r.getJSON(r.ups[u].base, "/healthz", &doc) == nil && doc.Status == "ok"
+		r.ups[u].healthy.Store(alive[u])
+	})
+	for u, up := range r.ups {
+		if !alive[u] && hosted[u] > 0 {
 			h.Status = "degraded"
 		}
-		h.Upstreams = append(h.Upstreams, UpstreamHealth{URL: up.base, Healthy: healthy, Cells: hosted[u]})
+		h.Upstreams = append(h.Upstreams, UpstreamHealth{URL: up.base, Healthy: alive[u], Cells: hosted[u]})
 	}
 	return h
 }

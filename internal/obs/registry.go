@@ -94,6 +94,16 @@ func (r *Registry) DurationHistogram(name, help string, labels ...Label) *Histog
 	return h
 }
 
+// ValueHistogram registers and returns a histogram of plain values
+// (sizes, counts) rendered unscaled. The log-spaced buckets start at
+// 2^10, so small-value distributions land entirely in the first bucket —
+// read mean (sum/count) and max for those rather than quantiles.
+func (r *Registry) ValueHistogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, "histogram", &series{labels: renderLabels(labels), h: h, scale: 1})
+	return h
+}
+
 // AddCollector registers a scrape-time collector: fn is invoked once per
 // WriteText and emits whole families (name, help, type, value). Used for
 // the Go runtime gauges, where a single ReadMemStats feeds many series.

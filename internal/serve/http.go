@@ -67,6 +67,17 @@ type Backend interface {
 	HealthDoc() any
 }
 
+// BatchBackend is the optional group-commit surface: a backend that can
+// run many cell-addressed allocates as one round implements it, letting
+// a batch frame's sub-requests share cell epochs instead of serializing
+// one epoch per sub. The handler falls back to per-sub
+// AllocateCellsInto calls when the backend lacks it.
+type BatchBackend interface {
+	// AllocateCellsBatch enqueues every item's epoch work before
+	// collecting any reply; items fail independently via their Err field.
+	AllocateCellsBatch(items []CellBatchItem)
+}
+
 // StatsDoc implements Backend for the Service.
 func (s *Service) StatsDoc(fingerprint bool) any {
 	if fingerprint {
@@ -118,6 +129,25 @@ type wireScratch struct {
 	pairs []wire.CellCount
 	rep   Report
 	out   []byte
+
+	// Batch-frame workspace: parsed sub views, their routing metadata,
+	// and the group-commit items with their reply reports.
+	bsubs  []wire.BatchSub
+	bmeta  []batchSubMeta
+	bitems []CellBatchItem
+	breps  []Report
+}
+
+// batchSubMeta carries one batch sub-request through the handler: which
+// span of sc.pairs (allocate) or sc.ids (release) it parsed into, its
+// reply mode, and any pre-execution failure.
+type batchSubMeta struct {
+	allocate bool
+	terse    bool
+	status   int // non-zero: reply with this HTTP error status
+	off, n   int // span into sc.pairs (allocate) or sc.ids (release)
+	item     int // index into sc.bitems/sc.breps; -1 when not executed
+	released int
 }
 
 var wirePool = sync.Pool{New: func() any { return new(wireScratch) }}
@@ -140,6 +170,18 @@ func putWire(sc *wireScratch) {
 	}
 	if cap(sc.out) > 1<<20 {
 		sc.out = nil
+	}
+	if cap(sc.bsubs) > 1<<10 {
+		sc.bsubs = nil
+	}
+	if cap(sc.bmeta) > 1<<10 {
+		sc.bmeta = nil
+	}
+	if cap(sc.bitems) > 1<<10 {
+		sc.bitems = nil
+	}
+	if cap(sc.breps) > 256 {
+		sc.breps = nil
 	}
 	sc.lr.R = nil
 	wirePool.Put(sc)
@@ -784,6 +826,10 @@ func wireAllocate(b Backend, m *handlerMetrics, hc HandlerConfig, w http.Respons
 		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
 		return
 	}
+	if kind == wire.KindBatchRequest {
+		wireBatch(b, m, hc, sc, frame, start, w)
+		return
+	}
 	var count int
 	var terse bool
 	cellAddressed := kind == wire.KindCellAllocateRequest
@@ -828,6 +874,146 @@ func wireAllocate(b Backend, m *handlerMetrics, hc HandlerConfig, w http.Respons
 	w.Header()["Content-Type"] = wireCTValue
 	_, _ = w.Write(sc.out)
 	putWire(sc)
+}
+
+// wireBatch is the group-commit path: one KindBatchRequest frame
+// carrying many sequence-tagged sub-requests, decoded in a single pass,
+// the allocates executed as one batch (sharing cell epochs when the
+// backend implements BatchBackend), answered with one KindBatchReply
+// frame. Sub-requests fail independently — an oversized count or an
+// allocator failure turns into that sub's error entry, never a frame
+// error — while structural malformation fails the whole request with a
+// 400 before anything executes. Owns sc and returns it to the pool.
+func wireBatch(b Backend, m *handlerMetrics, hc HandlerConfig, sc *wireScratch, frame []byte, start time.Time, w http.ResponseWriter) {
+	var err error
+	sc.bsubs, err = wire.ParseBatchRequest(frame, sc.bsubs[:0])
+	if err != nil {
+		putWire(sc)
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	sc.bmeta = sc.bmeta[:0]
+	sc.bitems = sc.bitems[:0]
+	sc.pairs = sc.pairs[:0]
+	sc.ids = sc.ids[:0]
+	nalloc := 0
+	for _, sub := range sc.bsubs {
+		kind, _ := wire.Kind(sub.Frame)
+		meta := batchSubMeta{item: -1}
+		switch kind {
+		case wire.KindCellAllocateRequest:
+			meta.allocate = true
+			off := len(sc.pairs)
+			sc.pairs, meta.terse, err = wire.ParseCellAllocateRequest(sub.Frame, sc.pairs)
+			if err != nil {
+				putWire(sc)
+				httpError(w, http.StatusBadRequest, "bad frame: sub %d: %v", len(sc.bmeta), err)
+				return
+			}
+			meta.off, meta.n = off, len(sc.pairs)-off
+			count := 0
+			for _, p := range sc.pairs[off:] {
+				count += p.Count
+			}
+			if count > MaxBatch {
+				meta.status = http.StatusBadRequest
+			} else {
+				meta.item = nalloc
+				nalloc++
+			}
+		default: // KindReleaseRequest — ParseBatchRequest admits nothing else
+			off := len(sc.ids)
+			sc.ids, err = wire.ParseReleaseRequest(sub.Frame, sc.ids)
+			if err != nil {
+				putWire(sc)
+				httpError(w, http.StatusBadRequest, "bad frame: sub %d: %v", len(sc.bmeta), err)
+				return
+			}
+			meta.off, meta.n = off, len(sc.ids)-off
+		}
+		sc.bmeta = append(sc.bmeta, meta)
+	}
+	m.stageDecode.ObserveDuration(time.Since(start))
+
+	// Sub-slices are taken only now that every append into sc.pairs and
+	// sc.ids is done — mid-parse views could alias a stale backing array.
+	for len(sc.breps) < nalloc {
+		sc.breps = append(sc.breps, Report{})
+	}
+	for i := range sc.bmeta {
+		mt := &sc.bmeta[i]
+		if !mt.allocate || mt.status != 0 {
+			continue
+		}
+		sc.bitems = append(sc.bitems, CellBatchItem{
+			Pairs: sc.pairs[mt.off : mt.off+mt.n],
+			Rep:   &sc.breps[mt.item],
+		})
+	}
+	if len(sc.bitems) > 0 {
+		if bb, ok := b.(BatchBackend); ok {
+			bb.AllocateCellsBatch(sc.bitems)
+		} else {
+			for i := range sc.bitems {
+				sc.bitems[i].Err = b.AllocateCellsInto(sc.bitems[i].Pairs, sc.bitems[i].Rep)
+			}
+		}
+	}
+	for i := range sc.bmeta {
+		mt := &sc.bmeta[i]
+		if mt.allocate {
+			continue
+		}
+		mt.released = b.Release(sc.ids[mt.off : mt.off+mt.n])
+	}
+	if hc.Verbose {
+		log.Printf("batch: %d sub-request(s), %d allocate(s)", len(sc.bsubs), nalloc)
+	}
+
+	start = time.Now()
+	out := wire.BeginBatchReply(sc.out[:0])
+	for i, sub := range sc.bsubs {
+		mt := &sc.bmeta[i]
+		out = wire.AppendBatchTag(out, sub.Tag)
+		switch {
+		case mt.status != 0:
+			out = wire.AppendBatchSubError(out, mt.status,
+				batchErrDoc(fmt.Errorf("count must be in [0, %d]", MaxBatch), nil))
+		case mt.allocate:
+			rep := &sc.breps[mt.item]
+			if serr := sc.bitems[mt.item].Err; serr != nil {
+				out = wire.AppendBatchSubError(out, http.StatusInternalServerError,
+					batchErrDoc(fmt.Errorf("allocate: %w", serr), rep.Spans))
+			} else {
+				out = wire.AppendBatchOK(out)
+				out = wire.AppendReport(out, rep, mt.terse)
+			}
+		default:
+			out = wire.AppendBatchOK(out)
+			out = wire.AppendReleaseReply(out, mt.released)
+		}
+	}
+	sc.out = wire.FinishBatch(out, 0, len(sc.bsubs))
+	m.stageEncode.ObserveDuration(time.Since(start))
+	w.Header()["Content-Type"] = wireCTValue
+	_, _ = w.Write(sc.out)
+	putWire(sc)
+}
+
+// batchErrDoc builds a sub-error JSON document in the writePartialFailure
+// shape ({"error", "spans"}), so the router's error decoding is the same
+// whether a failure arrives framed or as a whole HTTP error. Error paths
+// may allocate.
+func batchErrDoc(err error, spans []Span) []byte {
+	doc := struct {
+		Error string `json:"error"`
+		Spans []Span `json:"spans,omitempty"`
+	}{err.Error(), spans}
+	out, merr := json.Marshal(doc)
+	if merr != nil {
+		return []byte(`{"error":"encoding error document failed"}`)
+	}
+	return out
 }
 
 // wireRelease is the binary-protocol /release path; like wireAllocate it

@@ -225,6 +225,104 @@ func (s *Service) AllocateCellsInto(pairs []wire.CellCount, rep *Report) error {
 	return err
 }
 
+// CellBatchItem is one sub-request of a batched upstream frame: a
+// cell-addressed allocate plus its caller-owned reply report. Err
+// reports the item's outcome — items fail independently, exactly as if
+// each had arrived as its own AllocateCellsInto call.
+type CellBatchItem struct {
+	Pairs []wire.CellCount
+	Rep   *Report
+	Err   error
+}
+
+// batchScratch holds one batched frame's per-item allocScratch pointers,
+// pooled so the batched path stays allocation-free in steady state.
+type batchScratch struct {
+	scs []*allocScratch
+}
+
+// AllocateCellsBatch runs many cell-addressed allocates as one group:
+// every item's epoch work is enqueued to the cell batchers before any
+// reply is collected, so sub-requests arriving in one upstream batch
+// frame coalesce into shared cell epochs instead of serializing one
+// epoch per sub-request. Each item succeeds or fails independently
+// (Err), with the same validation and partial-failure contract as
+// AllocateCellsInto; invalid items sit the round out without touching
+// any cell. Item order is preserved: collecting in item order keeps a
+// sequential replay (one item per frame) bit-identical to the unbatched
+// path.
+func (s *Service) AllocateCellsBatch(items []CellBatchItem) {
+	start := time.Now()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	for i := range items {
+		items[i].Err = nil
+		items[i].Rep.Reset()
+		for _, p := range items[i].Pairs {
+			if p.Cell < 0 || p.Cell >= s.total {
+				items[i].Err = fmt.Errorf("serve: cell %d out of range [0, %d)", p.Cell, s.total)
+				break
+			}
+			if s.byGlobal[p.Cell] == nil {
+				items[i].Err = fmt.Errorf("serve: cell %d not hosted here", p.Cell)
+				break
+			}
+			if p.Count < 0 {
+				items[i].Err = fmt.Errorf("serve: cell %d: negative arrival count %d", p.Cell, p.Count)
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for i := range items {
+			if items[i].Err == nil {
+				items[i].Err = fmt.Errorf("serve: service closed")
+			}
+		}
+		return
+	}
+	s.nextReq += uint64(len(items)) // telemetry only: the router owns the split-relevant sequence
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	bs := s.batchPool.Get().(*batchScratch)
+	for len(bs.scs) < len(items) {
+		bs.scs = append(bs.scs, nil)
+	}
+	scs := bs.scs[:len(items)]
+	for i := range items {
+		scs[i] = nil
+		if items[i].Err != nil {
+			continue
+		}
+		sc := s.allocPool.Get().(*allocScratch)
+		scs[i] = sc
+		for g := range sc.counts {
+			sc.counts[g] = 0
+			sc.target[g] = false
+		}
+		for _, p := range items[i].Pairs {
+			sc.counts[p.Cell] += int64(p.Count)
+			sc.target[p.Cell] = true
+		}
+		s.metrics.requests.Inc()
+		s.enqueueEpochs(sc)
+	}
+	s.metrics.stageRoute.ObserveDuration(time.Since(start))
+	for i := range items {
+		if scs[i] == nil {
+			continue
+		}
+		items[i].Err = s.collectEpochs(scs[i], items[i].Rep, start)
+		s.allocPool.Put(scs[i])
+		scs[i] = nil
+	}
+	s.batchPool.Put(bs)
+}
+
 // allocateInline runs a single-cell request's epoch on the calling
 // goroutine — no queue, no batcher handoff. The caller holds the cell's
 // inlineBusy flag, so this request is the epoch's only contributor and
@@ -277,9 +375,20 @@ func (s *Service) allocateInline(c *cell, k int, rep *Report, start time.Time) e
 // cell order. Callers hold the topology read side and have validated
 // that every targeted cell is hosted.
 func (s *Service) runEpochs(sc *allocScratch, rep *Report, start time.Time) error {
-	// Fan out to the targeted cells. The enqueue timestamp feeds both the
-	// batch_wait stage histogram and the per-cell arrival-rate estimate
-	// driving the adaptive group-commit window (cellLoop).
+	s.enqueueEpochs(sc)
+	s.metrics.stageRoute.ObserveDuration(time.Since(start))
+	return s.collectEpochs(sc, rep, start)
+}
+
+// enqueueEpochs fans the scratch's targeted (cell, count) work out to
+// the hosted cells' batchers without waiting for any reply. The enqueue
+// timestamp feeds both the batch_wait stage histogram and the per-cell
+// arrival-rate estimate driving the adaptive group-commit window
+// (cellLoop). Split from collectEpochs so a batched upstream frame can
+// enqueue every sub-request's work before collecting any of it — the
+// cell batchers then see all of the frame's sub-requests in one drain
+// and coalesce them into shared epochs.
+func (s *Service) enqueueEpochs(sc *allocScratch) {
 	now := time.Now()
 	nowNs := now.Sub(s.started).Nanoseconds()
 	for g, c := range s.byGlobal {
@@ -292,8 +401,10 @@ func (s *Service) runEpochs(sc *allocScratch, rep *Report, start time.Time) erro
 		c.noteArrival(nowNs)
 		c.queue <- sub
 	}
-	s.metrics.stageRoute.ObserveDuration(time.Since(start))
+}
 
+// collectEpochs gathers the replies of a prior enqueueEpochs into rep.
+func (s *Service) collectEpochs(sc *allocScratch, rep *Report, start time.Time) error {
 	// Collect in global cell order. Every targeted cell sends exactly one
 	// reply, so the scratch (including the reply channels) is quiescent
 	// and reusable once this loop finishes.

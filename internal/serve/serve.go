@@ -95,6 +95,7 @@ type Service struct {
 	loops     sync.WaitGroup // cell batcher goroutines
 	relPool   sync.Pool      // *releaseBufs: reusable Release partition buffers
 	allocPool sync.Pool      // *allocScratch: reusable router workspaces
+	batchPool sync.Pool      // *batchScratch: batched-frame item workspaces
 
 	metrics  *metrics  // observability instruments (see metrics.go)
 	started  time.Time // service construction time (uptime anchor)
@@ -267,6 +268,7 @@ func build(cfg Config, mk func(i, cellN int, ins *online.Instrumentation) (*onli
 		return &releaseBufs{perCell: make([][]int64, s.total)}
 	}
 	s.allocPool.New = func() any { return s.newAllocScratch() }
+	s.batchPool.New = func() any { return new(batchScratch) }
 	seen := make([]bool, s.total)
 	for _, g := range host {
 		if g < 0 || g >= s.total {

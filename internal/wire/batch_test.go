@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// buildBatchRequest assembles a batch-request frame from (tag, nested
+// frame) pairs — the writer-side spelling under test.
+func buildBatchRequest(subs []BatchSub) []byte {
+	dst := BeginBatchRequest(nil)
+	for _, s := range subs {
+		dst = AppendBatchTag(dst, s.Tag)
+		dst = append(dst, s.Frame...)
+	}
+	return FinishBatch(dst, 0, len(subs))
+}
+
+func buildBatchReply(subs []BatchSubReply) []byte {
+	dst := BeginBatchReply(nil)
+	for _, s := range subs {
+		dst = AppendBatchTag(dst, s.Tag)
+		if s.Status == 0 {
+			dst = AppendBatchOK(dst)
+			dst = append(dst, s.Frame...)
+		} else {
+			dst = AppendBatchSubError(dst, s.Status, s.Frame)
+		}
+	}
+	return FinishBatch(dst, 0, len(subs))
+}
+
+// TestGoldenBatchFrames pins the byte-exact batch container encoding —
+// same wire-break contract as TestGoldenFrames.
+func TestGoldenBatchFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want string // hex
+	}{
+		{
+			"batch_request",
+			buildBatchRequest([]BatchSub{
+				{Tag: 7, Frame: AppendCellAllocateRequest(nil, []CellCount{{Cell: 2, Count: 300}, {Cell: 5, Count: 1}}, false)},
+			}),
+			"23000000" + "09" + "01000000" +
+				"07000000" + // tag
+				"16000000" + "05" + "00" + "02000000" +
+				"02000000" + "2c010000" +
+				"05000000" + "01000000",
+		},
+		{
+			"batch_request_mixed",
+			buildBatchRequest([]BatchSub{
+				{Tag: 0, Frame: AppendCellAllocateRequest(nil, nil, true)},
+				{Tag: 1, Frame: AppendReleaseRequest(nil, []int64{258})},
+			}),
+			"28000000" + "09" + "02000000" +
+				"00000000" + "06000000" + "05" + "01" + "00000000" +
+				"01000000" + "0d000000" + "03" + "01000000" + "0201000000000000",
+		},
+		{
+			"batch_reply",
+			buildBatchReply([]BatchSubReply{
+				{Tag: 1, Status: 0, Frame: AppendReleaseReply(nil, 3)},
+				{Tag: 2, Status: 500, Frame: []byte(`{}`)},
+			}),
+			"20000000" + "0a" + "02000000" +
+				"01000000" + "00" + "05000000" + "04" + "03000000" +
+				"02000000" + "01" + "f401" + "02000000" + "7b7d",
+		},
+	}
+	for _, tc := range cases {
+		want, err := hex.DecodeString(tc.want)
+		if err != nil {
+			t.Fatalf("%s: bad golden hex: %v", tc.name, err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s:\n got %x\nwant %x", tc.name, tc.got, want)
+		}
+	}
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	in := []BatchSub{
+		{Tag: 0, Frame: AppendCellAllocateRequest(nil, []CellCount{{Cell: 0, Count: 12}}, true)},
+		{Tag: 42, Frame: AppendReleaseRequest(nil, []int64{5, 9, 13})},
+		{Tag: 41, Frame: AppendCellAllocateRequest(nil, nil, false)},
+	}
+	frame := buildBatchRequest(in)
+	if k, err := Kind(frame); err != nil || k != KindBatchRequest {
+		t.Fatalf("Kind = %d, %v", k, err)
+	}
+	got, err := ParseBatchRequest(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("parsed %d subs, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Tag != in[i].Tag || !bytes.Equal(got[i].Frame, in[i].Frame) {
+			t.Errorf("sub %d: (%d, %x) != (%d, %x)", i, got[i].Tag, got[i].Frame, in[i].Tag, in[i].Frame)
+		}
+	}
+	// The views alias the outer frame: no copying in the parse.
+	if &got[0].Frame[0] != &frame[13] {
+		t.Error("sub frame does not alias the outer frame")
+	}
+	// Parsing appends into the caller's buffer without allocating anew.
+	buf := make([]BatchSub, 0, 8)
+	got2, err := ParseBatchRequest(frame, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got2[0] != &buf[:1][0] {
+		t.Error("parse did not reuse the caller's backing array")
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	okFrame := AppendReport(nil, &Report{
+		Admitted: 2, Cells: 1,
+		Spans: []Span{{Start: 0, Stride: 1, Count: 2}},
+	}, true)
+	in := []BatchSubReply{
+		{Tag: 3, Status: 0, Frame: okFrame},
+		{Tag: 0, Status: 503, Frame: []byte(`{"error":"cell 2 not hosted here"}`)},
+		{Tag: 1, Status: 0, Frame: AppendReleaseReply(nil, 9)},
+		{Tag: 2, Status: 500, Frame: nil},
+	}
+	frame := buildBatchReply(in)
+	got, err := ParseBatchReply(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("parsed %d subs, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Tag != in[i].Tag || got[i].Status != in[i].Status || !bytes.Equal(got[i].Frame, in[i].Frame) {
+			t.Errorf("sub %d: %+v != %+v", i, got[i], in[i])
+		}
+	}
+	// Error documents survive empty; the ok sub-frame parses as a report.
+	var rep Report
+	if err := ParseReport(got[0].Frame, &rep); err != nil || rep.Admitted != 2 {
+		t.Fatalf("nested report: admitted %d, %v", rep.Admitted, err)
+	}
+	if n, err := ParseReleaseReply(got[2].Frame); err != nil || n != 9 {
+		t.Fatalf("nested release reply: %d, %v", n, err)
+	}
+}
+
+// TestBatchParseRejects: the container is as strict as every other
+// frame kind — sub-count lies, truncations, foreign nested kinds,
+// unknown status bytes, and trailing garbage all fail.
+func TestBatchParseRejects(t *testing.T) {
+	good := buildBatchRequest([]BatchSub{
+		{Tag: 1, Frame: AppendCellAllocateRequest(nil, []CellCount{{Cell: 1, Count: 2}}, false)},
+	})
+	if _, err := ParseBatchRequest(good[:3], nil); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := ParseBatchRequest(good[:len(good)-1], nil); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if _, err := ParseBatchRequest(append(append([]byte(nil), good...), 0), nil); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	countLie := append([]byte(nil), good...)
+	countLie[5] = 9 // declares 9 subs, carries 1
+	if _, err := ParseBatchRequest(countLie, nil); err == nil {
+		t.Error("sub-count lie accepted")
+	}
+	zeroSubs := append([]byte(nil), good...)
+	zeroSubs[5] = 0
+	if _, err := ParseBatchRequest(zeroSubs, nil); err == nil {
+		t.Error("zero-sub batch accepted")
+	}
+	nestedLie := append([]byte(nil), good...)
+	nestedLie[13] = 99 // nested frame length lie
+	if _, err := ParseBatchRequest(nestedLie, nil); err == nil {
+		t.Error("nested length lie accepted")
+	}
+	// A reply frame nested inside a request (and vice versa) is rejected:
+	// the container directions carry disjoint vocabularies.
+	wrongKind := buildBatchRequest([]BatchSub{{Tag: 0, Frame: AppendReleaseReply(nil, 1)}})
+	if _, err := ParseBatchRequest(wrongKind, nil); err == nil {
+		t.Error("reply kind nested in a batch request accepted")
+	}
+
+	reply := buildBatchReply([]BatchSubReply{{Tag: 1, Status: 0, Frame: AppendReleaseReply(nil, 2)}})
+	if _, err := ParseBatchReply(reply[:len(reply)-1], nil); err == nil {
+		t.Error("truncated reply accepted")
+	}
+	badStatus := append([]byte(nil), reply...)
+	badStatus[13] = 0x7f // unknown status byte
+	if _, err := ParseBatchReply(badStatus, nil); err == nil {
+		t.Error("unknown sub status accepted")
+	}
+	reqNested := buildBatchReply([]BatchSubReply{{Tag: 0, Status: 0, Frame: AppendAllocateRequest(nil, 1, false)}})
+	if _, err := ParseBatchReply(reqNested, nil); err == nil {
+		t.Error("request kind nested in a batch reply accepted")
+	}
+	errReply := buildBatchReply([]BatchSubReply{{Tag: 0, Status: 500, Frame: []byte(`{}`)}})
+	docLie := append([]byte(nil), errReply...)
+	docLie[16] = 99 // declares 99 document bytes, carries 2
+	if _, err := ParseBatchReply(docLie, nil); err == nil {
+		t.Error("error-document length lie accepted")
+	}
+	statusLie := append([]byte(nil), errReply...)
+	statusLie[14], statusLie[15] = 0, 0 // HTTP status 0 would alias the OK case
+	if _, err := ParseBatchReply(statusLie, nil); err == nil {
+		t.Error("out-of-range HTTP status accepted")
+	}
+}
+
+// TestBatchEncodeAllocFree: building and parsing batch frames out of
+// warm caller buffers allocates nothing — the group-commit writer's
+// steady state depends on it.
+func TestBatchEncodeAllocFree(t *testing.T) {
+	pairs := []CellCount{{Cell: 0, Count: 64}, {Cell: 3, Count: 60}}
+	ids := []int64{4, 8, 15, 16, 23, 42}
+	frame := make([]byte, 0, 1<<12)
+	reply := make([]byte, 0, 1<<12)
+	subBuf := make([]BatchSub, 0, 8)
+	repBuf := make([]BatchSubReply, 0, 8)
+	rep := Report{Admitted: 2, Cells: 1, Spans: []Span{{Start: 0, Stride: 1, Count: 2}}}
+	allocs := testing.AllocsPerRun(100, func() {
+		start := 0
+		frame = BeginBatchRequest(frame[:0])
+		frame = AppendBatchTag(frame, 0)
+		frame = AppendCellAllocateRequest(frame, pairs, true)
+		frame = AppendBatchTag(frame, 1)
+		frame = AppendReleaseRequest(frame, ids)
+		frame = FinishBatch(frame, start, 2)
+		var err error
+		subBuf, err = ParseBatchRequest(frame, subBuf[:0])
+		if err != nil || len(subBuf) != 2 {
+			t.Fatalf("parse: %d subs, %v", len(subBuf), err)
+		}
+		reply = BeginBatchReply(reply[:0])
+		reply = AppendBatchTag(reply, 0)
+		reply = AppendBatchOK(reply)
+		reply = AppendReport(reply, &rep, true)
+		reply = AppendBatchTag(reply, 1)
+		reply = AppendBatchOK(reply)
+		reply = AppendReleaseReply(reply, len(ids))
+		reply = FinishBatch(reply, start, 2)
+		repBuf, err = ParseBatchReply(reply, repBuf[:0])
+		if err != nil || len(repBuf) != 2 {
+			t.Fatalf("parse reply: %d subs, %v", len(repBuf), err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batch codec hot path allocates %v per op, want 0", allocs)
+	}
+}

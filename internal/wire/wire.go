@@ -51,6 +51,13 @@
 //	                     the epochs the source ran after its snapshot was
 //	                     shipped, plus the chain digest the destination
 //	                     must land on after replaying them
+//	BatchRequest         u32 nsub | nsub x (u32 tag | nested frame) —
+//	                     the cluster tier's group-commit container: many
+//	                     tagged sub-requests flushed to one replica as a
+//	                     single frame (see batch.go)
+//	BatchReply           u32 nsub | nsub x (u32 tag | u8 status |
+//	                     payload) — the matching per-sub replies,
+//	                     demuxed back to waiting callers by tag
 //
 // # Equivalence guarantee
 //
@@ -88,6 +95,8 @@ const (
 	KindCellSnapshot        = 0x06
 	KindCellSnapshotBinary  = 0x07
 	KindCellDelta           = 0x08
+	KindBatchRequest        = 0x09
+	KindBatchReply          = 0x0A
 )
 
 // flagTerse asks the server to drop per-ball placements from the reply,

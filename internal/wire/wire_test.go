@@ -376,6 +376,14 @@ func FuzzParse(f *testing.F) {
 		Fingerprint: "f", Chain: "aa",
 	}))
 	f.Add(AppendCellDelta(nil, 3, bytes.Repeat([]byte{7}, ChainSize), []byte{'A', 0, 0, 0}))
+	f.Add(buildBatchRequest([]BatchSub{
+		{Tag: 0, Frame: AppendCellAllocateRequest(nil, []CellCount{{Cell: 1, Count: 9}}, true)},
+		{Tag: 1, Frame: AppendReleaseRequest(nil, []int64{3})},
+	}))
+	f.Add(buildBatchReply([]BatchSubReply{
+		{Tag: 0, Status: 0, Frame: AppendReleaseReply(nil, 1)},
+		{Tag: 1, Status: 500, Frame: []byte(`{"error":"x"}`)},
+	}))
 	f.Add([]byte{})
 	f.Add([]byte{5, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -420,6 +428,16 @@ func FuzzParse(f *testing.F) {
 				t.Errorf("allocate reply not canonical: %x -> %x", data, got)
 			}
 			rep.AppendIDs(nil) // expansion must not panic on any accepted frame
+		}
+		if subs, err := ParseBatchRequest(data, nil); err == nil {
+			if got := buildBatchRequest(subs); !bytes.Equal(got, data) {
+				t.Errorf("batch request not canonical: %x -> %x", data, got)
+			}
+		}
+		if subs, err := ParseBatchReply(data, nil); err == nil {
+			if got := buildBatchReply(subs); !bytes.Equal(got, data) {
+				t.Errorf("batch reply not canonical: %x -> %x", data, got)
+			}
 		}
 	})
 }
